@@ -1,0 +1,154 @@
+"""Ablations of SCUBA's design choices (DESIGN.md §5).
+
+Each ablation disables one mechanism and measures what breaks — these are
+not in the paper's evaluation but quantify the design arguments its text
+makes:
+
+* **two-step join** — without the join-between pre-filter, every
+  co-located cluster pair descends into join-within;
+* **direction predicate** — without the shared-destination condition,
+  clusters mix diverging entities and deteriorate (bigger footprints);
+* **expiration** — without dissolving clusters at their destination,
+  stale clusters accumulate;
+* **semantic vs. random shedding** — at equal shed volume, nucleus-based
+  shedding must beat random drops on accuracy (paper §6.6's closing
+  argument).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import warm_engine
+from repro.core import Scuba, ScubaConfig
+from repro.experiments import WorkloadSpec, run_experiment
+from repro.shedding import PartialShedding, RandomShedding, compare_results
+
+
+@pytest.fixture(scope="module")
+def spec(scale):
+    return replace(WorkloadSpec(), skew=50).scaled(scale)
+
+
+class TestBetweenFilterAblation:
+    @pytest.fixture(scope="class")
+    def pair(self, spec, intervals):
+        with_filter = Scuba(ScubaConfig(use_between_filter=True))
+        without_filter = Scuba(ScubaConfig(use_between_filter=False))
+        run_experiment(spec, with_filter, intervals=intervals, measure_memory=False)
+        run_experiment(spec, without_filter, intervals=intervals, measure_memory=False)
+        return with_filter, without_filter
+
+    def test_filter_prunes_within_joins(self, pair):
+        with_filter, without_filter = pair
+        assert with_filter.within_tests <= without_filter.within_tests
+
+    def test_filter_rejects_some_pairs(self, pair):
+        with_filter, _ = pair
+        assert with_filter.between_hits < with_filter.between_tests
+
+
+class TestDirectionPredicateAblation:
+    def test_without_direction_clusters_deteriorate(self, spec, intervals):
+        from repro.clustering import measure_quality
+
+        with_direction = Scuba(ScubaConfig(require_same_destination=True))
+        without_direction = Scuba(ScubaConfig(require_same_destination=False))
+        run_experiment(spec, with_direction, intervals=intervals, measure_memory=False)
+        run_experiment(
+            spec, without_direction, intervals=intervals, measure_memory=False
+        )
+        q_with = measure_quality(with_direction.world.storage.clusters())
+        q_without = measure_quality(without_direction.world.storage.clusters())
+        # Mixing diverging entities produces coarser clusters: fewer of
+        # them, with (weakly) larger footprints.
+        assert q_without.cluster_count <= q_with.cluster_count
+        assert q_without.mean_radius >= 0.8 * q_with.mean_radius
+
+
+class TestExpiryAblation:
+    def test_without_expiry_clusters_accumulate(self, spec, intervals):
+        expiring = Scuba(ScubaConfig(expire_clusters=True))
+        hoarding = Scuba(ScubaConfig(expire_clusters=False))
+        run_experiment(spec, expiring, intervals=intervals, measure_memory=False)
+        run_experiment(spec, hoarding, intervals=intervals, measure_memory=False)
+        assert hoarding.cluster_count >= expiring.cluster_count
+
+
+class TestSemanticVsRandomShedding:
+    def test_nucleus_beats_random_at_equal_volume(self, scale, intervals):
+        shed_spec = replace(
+            WorkloadSpec(), skew=50, query_range=(500.0, 500.0)
+        ).scaled(scale)
+        theta_d = ScubaConfig().theta_d
+
+        exact = run_experiment(
+            shed_spec,
+            Scuba(),
+            intervals=intervals,
+            collect_matches=True,
+            measure_memory=False,
+        )
+        nucleus_op = Scuba(ScubaConfig(shedding=PartialShedding(0.5, theta_d)))
+        nucleus = run_experiment(
+            shed_spec,
+            nucleus_op,
+            intervals=intervals,
+            collect_matches=True,
+            measure_memory=False,
+        )
+        # Match the nucleus policy's realised shed volume with random drops.
+        shed_positions = sum(c.shed_count for c in nucleus_op.world.storage)
+        total_positions = sum(c.n for c in nucleus_op.world.storage)
+        drop_fraction = shed_positions / max(total_positions, 1)
+        random_run = run_experiment(
+            shed_spec,
+            Scuba(
+                ScubaConfig(
+                    shedding=RandomShedding(drop_fraction, theta_d, seed=1)
+                )
+            ),
+            intervals=intervals,
+            collect_matches=True,
+            measure_memory=False,
+        )
+        reference = exact.sink.all_matches
+        nucleus_report = compare_results(reference, nucleus.sink.all_matches)
+        random_report = compare_results(reference, random_run.sink.all_matches)
+        assert drop_fraction > 0.05, "ablation needs a non-trivial shed volume"
+        assert nucleus_report.accuracy >= random_report.accuracy, (
+            nucleus_report,
+            random_report,
+        )
+
+
+class TestClusterSplittingExtension:
+    """Paper §3.1 future work: split clusters instead of dissolving them."""
+
+    def test_successor_links_absorb_node_crossings(self, spec, intervals):
+        splitting = Scuba(ScubaConfig(split_at_destination=True))
+        plain = Scuba(ScubaConfig(split_at_destination=False))
+        run_experiment(spec, splitting, intervals=intervals, measure_memory=False)
+        run_experiment(spec, plain, intervals=intervals, measure_memory=False)
+
+        def slow_path(op):
+            c = op.clusterer
+            return c.processed - c.fast_path_hits - c.split_joins
+
+        assert splitting.split_joins > 0
+        assert slow_path(splitting) < slow_path(plain)
+
+
+def test_bench_cycle_with_splitting(benchmark, spec):
+    engine = warm_engine(spec, Scuba(ScubaConfig(split_at_destination=True)))
+    benchmark(engine.run_interval)
+
+
+def test_bench_cycle_without_between_filter(benchmark, spec):
+    engine = warm_engine(spec, Scuba(ScubaConfig(use_between_filter=False)))
+    benchmark(engine.run_interval)
+
+
+def test_bench_cycle_with_between_filter(benchmark, spec):
+    engine = warm_engine(spec, Scuba(ScubaConfig(use_between_filter=True)))
+    benchmark(engine.run_interval)

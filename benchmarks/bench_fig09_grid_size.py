@@ -1,0 +1,67 @@
+"""Fig. 9 — varying grid cell size (paper §6.2).
+
+Regenerates both panels: join time (9a) and memory (9b) for the regular
+grid-based operator vs. SCUBA across ClusterGrid granularities, plus the
+grid-directory entry counts that drive the paper's memory argument.
+
+Shape checks (asserted):
+
+* SCUBA's join time stays below the regular operator's full cycle cost at
+  every granularity (paper: SCUBA wins throughout Fig. 9a);
+* SCUBA's join time moves only mildly with grid size (paper: "the change
+  is minimal");
+* the regular operator's grid directory grows with cell count while SCUBA
+  keeps fewer entries (paper §6.2's memory argument).
+"""
+
+import pytest
+
+from conftest import print_figure, warm_engine
+from repro.core import RegularConfig, RegularGridJoin, Scuba, ScubaConfig
+from repro.experiments import WorkloadSpec, fig09_grid_size
+
+
+@pytest.fixture(scope="module")
+def figure(scale, intervals):
+    result = fig09_grid_size(scale=scale, intervals=intervals)
+    print_figure(result)
+    return result
+
+
+class TestFig09Shapes:
+    def test_scuba_join_beats_regular_cycle_everywhere(self, figure):
+        for row in figure.rows:
+            assert row["scuba_join_s"] < row["regular_join_s"], row["grid"]
+
+    def test_scuba_join_mildly_sensitive_to_grid(self, figure):
+        times = [row["scuba_join_s"] for row in figure.rows]
+        assert max(times) <= 6.0 * max(min(times), 1e-6)
+
+    def test_regular_grid_entries_grow_with_granularity(self, figure):
+        entries = [row["regular_grid_entries"] for row in figure.rows]
+        assert entries[-1] > entries[0]
+
+    def test_scuba_has_fewer_grid_entries(self, figure):
+        for row in figure.rows:
+            assert row["scuba_grid_entries"] < row["regular_grid_entries"], row
+
+    def test_memory_reported_for_both(self, figure):
+        for row in figure.rows:
+            assert row["regular_memory_mb"] > 0
+            assert row["scuba_memory_mb"] > 0
+
+
+@pytest.mark.parametrize("grid_size", [50, 100, 150])
+def test_bench_scuba_cycle(benchmark, scale, grid_size):
+    """Wall-clock of one steady-state SCUBA Δ-cycle per grid size."""
+    spec = WorkloadSpec().scaled(scale)
+    engine = warm_engine(spec, Scuba(ScubaConfig(grid_size=grid_size)))
+    benchmark(engine.run_interval)
+
+
+@pytest.mark.parametrize("grid_size", [50, 100, 150])
+def test_bench_regular_cycle(benchmark, scale, grid_size):
+    """Wall-clock of one steady-state regular-operator Δ-cycle."""
+    spec = WorkloadSpec().scaled(scale)
+    engine = warm_engine(spec, RegularGridJoin(RegularConfig(grid_size=grid_size)))
+    benchmark(engine.run_interval)

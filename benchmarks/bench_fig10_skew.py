@@ -1,0 +1,70 @@
+"""Fig. 10 — join time with skew factor (paper §6.3).
+
+Regenerates the skew sweep: as more entities share spatio-temporal
+properties (bigger convoys), SCUBA aggregates them into fewer moving
+clusters and its join collapses, while the regular operator keeps paying
+for every individual update.
+
+Shape checks (asserted):
+
+* live cluster count falls monotonically as skew grows;
+* SCUBA's join time at skew 200 is a small fraction of its skew-1 cost
+  (the paper's headline collapse);
+* at skew 1 SCUBA's join does *not* beat the regular join phase (the
+  paper's single-member-cluster overhead regime);
+* at the highest skew SCUBA's join beats the regular operator's cycle.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import print_figure, warm_engine
+from repro.core import RegularGridJoin, Scuba
+from repro.experiments import WorkloadSpec, fig10_skew
+
+
+@pytest.fixture(scope="module")
+def figure(scale, intervals):
+    result = fig10_skew(scale=scale, intervals=intervals)
+    print_figure(result)
+    return result
+
+
+class TestFig10Shapes:
+    def test_cluster_count_falls_with_skew(self, figure):
+        clusters = [row["scuba_clusters"] for row in figure.rows]
+        # Downward trend with tolerance for adjacent noise, and a clear
+        # end-to-end collapse (the paper's premise for the whole figure).
+        assert all(a >= 0.8 * b for a, b in zip(clusters, clusters[1:])), clusters
+        assert clusters[-1] < 0.5 * clusters[0], clusters
+
+    def test_scuba_join_collapses_with_skew(self, figure):
+        first = figure.rows[0]["scuba_join_s"]
+        last = figure.rows[-1]["scuba_join_s"]
+        assert last < 0.5 * first, (first, last)
+
+    def test_scuba_overhead_at_skew_one(self, figure):
+        row = figure.rows[0]
+        assert row["skew"] == 1
+        # Clustering buys nothing at skew 1: the cluster join is no better
+        # than the plain cell join.
+        assert row["scuba_join_s"] >= row["regular_join_only_s"]
+
+    def test_scuba_wins_cycle_at_high_skew(self, figure):
+        row = figure.rows[-1]
+        assert row["scuba_join_s"] < row["regular_join_s"]
+
+
+@pytest.mark.parametrize("skew", [1, 20, 200])
+def test_bench_scuba_cycle_by_skew(benchmark, scale, skew):
+    spec = replace(WorkloadSpec(), skew=skew).scaled(scale)
+    engine = warm_engine(spec, Scuba())
+    benchmark(engine.run_interval)
+
+
+@pytest.mark.parametrize("skew", [1, 20, 200])
+def test_bench_regular_cycle_by_skew(benchmark, scale, skew):
+    spec = replace(WorkloadSpec(), skew=skew).scaled(scale)
+    engine = warm_engine(spec, RegularGridJoin())
+    benchmark(engine.run_interval)

@@ -1,0 +1,79 @@
+"""Fig. 11 — incremental vs. non-incremental clustering (paper §6.4).
+
+Regenerates the stacked clustering+join comparison: SCUBA's incremental
+clustering happens while tuples arrive ("the join processing starts
+immediately when Δ expires"), whereas the offline k-means variant must
+cluster the whole data set first.
+
+Shape checks (asserted):
+
+* the incremental variant's total beats every k-means variant's total
+  (the paper's conclusion: "the cost of waiting for the offline algorithm
+  outweighs the advantage of the faster join");
+* k-means clustering time grows with the iteration count;
+* from 3 iterations on, clustering alone costs more than the join it
+  enables (paper: "when the number of iterations is 3 or greater, the
+  clustering time in fact takes longer than the actual join processing").
+"""
+
+import pytest
+
+from conftest import print_figure
+from repro.clustering import KMeansClusterer
+from repro.experiments import WorkloadSpec, build_workload, fig11_clustering
+
+
+@pytest.fixture(scope="module")
+def figure(scale, intervals):
+    result = fig11_clustering(scale=scale, intervals=intervals)
+    print_figure(result)
+    return result
+
+
+class TestFig11Shapes:
+    def test_incremental_total_beats_all_offline(self, figure):
+        incremental = figure.rows[0]["total_s"]
+        for row in figure.rows[1:]:
+            assert incremental < row["total_s"], row["variant"]
+
+    def test_kmeans_clustering_grows_with_iterations(self, figure):
+        times = [row["clustering_s"] for row in figure.rows[1:]]
+        assert all(a <= b * 1.15 for a, b in zip(times, times[1:])), times
+
+    def test_clustering_dominates_join_from_three_iterations(self, figure):
+        for row in figure.rows:
+            variant = row["variant"]
+            if variant.startswith("kmeans-iter") and int(variant[11:]) >= 3:
+                assert row["clustering_s"] > row["join_s"], variant
+
+
+def test_bench_kmeans_clustering_step(benchmark, scale):
+    """Wall-clock of one offline k-means pass over a full snapshot."""
+    spec = WorkloadSpec().scaled(scale)
+    _network, generator = build_workload(spec)
+    for _ in range(2):
+        generator.tick(1.0)
+    snapshot = generator.snapshot()
+    kmeans = KMeansClusterer(iterations=5)
+    benchmark(kmeans.cluster, snapshot)
+
+
+def test_bench_incremental_clustering_step(benchmark, scale):
+    """Wall-clock of incrementally clustering one snapshot's updates."""
+    from repro.clustering import ClusteringSpec, ClusterWorld, IncrementalClusterer
+    from repro.network import DEFAULT_BOUNDS
+
+    spec = WorkloadSpec().scaled(scale)
+    _network, generator = build_workload(spec)
+    for _ in range(2):
+        generator.tick(1.0)
+    snapshot = generator.snapshot()
+
+    def ingest_all():
+        world = ClusterWorld(DEFAULT_BOUNDS, 100)
+        clusterer = IncrementalClusterer(world, ClusteringSpec())
+        for update in snapshot:
+            clusterer.ingest(update)
+        return world
+
+    benchmark(ingest_all)

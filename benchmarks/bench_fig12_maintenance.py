@@ -1,0 +1,68 @@
+"""Fig. 12 — cluster maintenance cost (paper §6.5).
+
+Regenerates the maintenance-vs-join breakdown while the skew factor sweeps
+the number of live clusters (population fixed).  SCUBA maintenance =
+ingest-side incremental clustering + post-join upkeep (forming, expanding,
+dissolving, re-locating clusters); the regular bar is its full cycle of
+individually processing every update plus the cell join.
+
+Shape checks (asserted):
+
+* sweeping skew down multiplies the live cluster count (the experiment's
+  premise);
+* maintenance cost is bounded — it stays within a constant factor of the
+  regular operator's per-update processing across the sweep (the paper's
+  "cluster maintenance is relatively cheap"; our Python build pays ~2-3x
+  hashing cost per tuple for clustering, see EXPERIMENTS.md);
+* maintenance cost per tuple does not explode as clusters multiply.
+"""
+
+import pytest
+
+from conftest import print_figure
+from repro.experiments import fig12_maintenance
+
+
+@pytest.fixture(scope="module")
+def figure(scale, intervals):
+    result = fig12_maintenance(scale=scale, intervals=intervals)
+    print_figure(result)
+    return result
+
+
+class TestFig12Shapes:
+    def test_skew_sweep_multiplies_clusters(self, figure):
+        clusters = [row["clusters"] for row in figure.rows]
+        assert clusters[-1] > clusters[0], clusters
+
+    def test_maintenance_bounded_relative_to_regular(self, figure):
+        for row in figure.rows:
+            assert row["maintenance_s"] < 8.0 * row["regular_total_s"], row
+
+    def test_maintenance_stable_across_cluster_counts(self, figure):
+        costs = [row["maintenance_s"] for row in figure.rows]
+        assert max(costs) < 3.0 * min(costs), costs
+
+    def test_totals_consistent(self, figure):
+        for row in figure.rows:
+            assert row["scuba_total_s"] == pytest.approx(
+                row["maintenance_s"] + row["scuba_join_s"], rel=1e-6
+            )
+
+
+def test_bench_post_join_maintenance(benchmark, scale):
+    """Wall-clock of the post-join maintenance phase in isolation."""
+    from dataclasses import replace
+
+    from conftest import warm_engine
+    from repro.core import Scuba
+    from repro.experiments import WorkloadSpec
+
+    spec = replace(WorkloadSpec(), skew=20).scaled(scale)
+    engine = warm_engine(spec, Scuba())
+    operator = engine.operator
+
+    def one_maintenance_pass():
+        operator._post_join_maintenance(engine.generator.time)
+
+    benchmark(one_maintenance_pass)

@@ -1,0 +1,68 @@
+"""Fig. 13 — moving-cluster-driven load shedding (paper §6.6).
+
+Regenerates both panels: join cost (13a — reported as wall time *and* as
+the count of individual geometric tests, the paper's actual cost driver)
+and result accuracy vs. the exact η = 0 answer (13b) as the nucleus grows.
+
+Shape checks (asserted):
+
+* individual join-within tests fall monotonically with η (the whole point
+  of nucleus grouping);
+* accuracy falls monotonically with η — but degrades gracefully, staying
+  in the paper's ballpark (~79 %) at η = 50 %;
+* shedding produces (almost) no false negatives: the nucleus is a
+  conservative approximation, errors are overwhelmingly false positives.
+"""
+
+import pytest
+
+from conftest import print_figure, warm_engine
+from repro.experiments import WorkloadSpec, fig13_load_shedding
+
+
+@pytest.fixture(scope="module")
+def figure(scale, intervals):
+    result = fig13_load_shedding(scale=scale, intervals=intervals)
+    print_figure(result)
+    return result
+
+
+class TestFig13Shapes:
+    def test_reference_row_exact(self, figure):
+        row = figure.rows[0]
+        assert row["eta_pct"] == 0
+        assert row["accuracy"] == 1.0
+        assert row["false_pos"] == 0 and row["false_neg"] == 0
+
+    def test_within_tests_fall_monotonically(self, figure):
+        tests = [row["within_tests"] for row in figure.rows]
+        assert all(a >= b for a, b in zip(tests, tests[1:])), tests
+
+    def test_full_shedding_orders_of_magnitude_fewer_tests(self, figure):
+        assert figure.rows[-1]["within_tests"] < 0.2 * figure.rows[0]["within_tests"]
+
+    def test_accuracy_degrades_monotonically(self, figure):
+        accuracies = [row["accuracy"] for row in figure.rows]
+        assert all(a >= b for a, b in zip(accuracies, accuracies[1:])), accuracies
+
+    def test_accuracy_graceful_at_half_nucleus(self, figure):
+        at_half = next(r for r in figure.rows if r["eta_pct"] == 50)
+        assert 0.45 <= at_half["accuracy"] <= 0.95, at_half
+
+    def test_errors_are_false_positives(self, figure):
+        for row in figure.rows:
+            assert row["false_neg"] <= max(10, 0.02 * max(row["false_pos"], 1)), row
+
+
+@pytest.mark.parametrize("eta", [0.0, 0.5, 1.0])
+def test_bench_shedding_cycle(benchmark, scale, eta):
+    """Wall-clock of one Δ-cycle per shedding level."""
+    from dataclasses import replace
+
+    from repro.core import Scuba, ScubaConfig
+    from repro.shedding import policy_for_eta
+
+    spec = replace(WorkloadSpec(), query_range=(500.0, 500.0)).scaled(scale)
+    config = ScubaConfig(shedding=policy_for_eta(eta, 100.0))
+    engine = warm_engine(spec, Scuba(config))
+    benchmark(engine.run_interval)

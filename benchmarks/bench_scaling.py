@@ -1,0 +1,62 @@
+"""Population scaling — the paper's headline claim, across three operators.
+
+SCUBA's pitch is scalability: as the population grows, the cluster
+abstraction keeps per-evaluation work proportional to the number of
+*clusters*, not entities.  This bench sweeps the population (at fixed
+traffic density, see WorkloadSpec.scaled) over
+
+* **SCUBA** (cluster-based, this paper),
+* **REGULAR** (per-update grid join, the paper's baseline), and
+* **INCREMENTAL** (SINA-style answer maintenance, §7's other school),
+
+measuring a full steady-state Δ-cycle each.  The equivalence test pins all
+three to identical answers before any timing is compared.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import warm_engine
+from repro.core import IncrementalGridJoin, NaiveJoin, RegularGridJoin, Scuba
+from repro.experiments import WorkloadSpec
+from repro.generator import NetworkBasedGenerator
+from repro.streams import CollectingSink, EngineConfig, StreamEngine, match_set
+
+POPULATION_SCALES = [0.05, 0.1, 0.2]
+
+OPERATORS = {
+    "scuba": Scuba,
+    "regular": RegularGridJoin,
+    "incremental": IncrementalGridJoin,
+}
+
+
+def test_all_operators_agree(scale):
+    """All four implementations produce identical answers on one workload."""
+    from repro.experiments import build_workload
+
+    spec = replace(WorkloadSpec(), skew=40).scaled(min(scale, 0.1))
+
+    def run(operator):
+        _net, generator = build_workload(spec)
+        sink = CollectingSink()
+        StreamEngine(generator, operator, sink, EngineConfig()).run(3)
+        return sink
+
+    sinks = {name: run(cls()) for name, cls in OPERATORS.items()}
+    sinks["naive"] = run(NaiveJoin())
+    reference = sinks["naive"]
+    for name, sink in sinks.items():
+        for t in reference.by_interval:
+            assert match_set(sink.by_interval[t]) == match_set(
+                reference.by_interval[t]
+            ), (name, t)
+
+
+@pytest.mark.parametrize("population_scale", POPULATION_SCALES)
+@pytest.mark.parametrize("operator_name", sorted(OPERATORS))
+def test_bench_cycle_scaling(benchmark, operator_name, population_scale):
+    spec = replace(WorkloadSpec(), skew=40).scaled(population_scale)
+    engine = warm_engine(spec, OPERATORS[operator_name]())
+    benchmark(engine.run_interval)

@@ -1,0 +1,46 @@
+"""Shared benchmark utilities.
+
+Benchmarks run at ``SCUBA_BENCH_SCALE`` (default 0.1 → 1,000 + 1,000
+entities; 1.0 reproduces the paper's full 10,000 + 10,000).  Figure tables
+are computed once per module and printed so a ``pytest benchmarks/ -s``
+run doubles as the experiment report; the wall-clock benchmarks measure
+representative operator cycles with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import WorkloadSpec, bench_scale, build_workload
+from repro.streams import CountingSink, EngineConfig, StreamEngine
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def intervals() -> int:
+    """Evaluation intervals per configuration in figure harnesses."""
+    return 3
+
+
+def warm_engine(spec: WorkloadSpec, operator, warm_intervals: int = 2) -> StreamEngine:
+    """An engine that has already processed ``warm_intervals`` Δ-periods.
+
+    Benchmarks then measure steady-state interval cycles rather than the
+    cold-start transient where every update creates a cluster.
+    """
+    _network, generator = build_workload(spec)
+    engine = StreamEngine(generator, operator, CountingSink(), EngineConfig())
+    engine.run(warm_intervals)
+    return engine
+
+
+def print_figure(result) -> None:
+    """Emit a figure table to stdout (visible with ``pytest -s``)."""
+    from repro.experiments import format_table
+
+    print()
+    print(format_table(result))

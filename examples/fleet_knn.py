@@ -1,0 +1,74 @@
+"""Fleet dispatch: kNN and aggregate queries over live cluster state.
+
+Beyond continuous range joins, the paper sketches (§1) that moving
+clusters help answer kNN and aggregate queries — clusters are summaries.
+This example runs a delivery-fleet scenario: vehicles stream through the
+city, and a dispatcher issues ad-hoc questions against SCUBA's live
+cluster state:
+
+* "which 5 vehicles are nearest to this incident?" (cluster-pruned kNN,
+  with the paper's isolated-cluster fast path when it applies);
+* "how many vehicles are in the downtown zone, and how fast are they
+  moving?" (exact vs. cluster-summary aggregates);
+* "who exactly is inside this zone right now?" (snapshot range probe).
+
+Run with::
+
+    python examples/fleet_knn.py
+"""
+
+from repro import GeneratorConfig, NetworkBasedGenerator, grid_city
+from repro.core import Scuba
+from repro.geometry import Point, Rect
+from repro.queries import (
+    evaluate_knn,
+    evaluate_range,
+    exact_aggregate,
+    knn_containing_cluster_fast_path,
+    summary_aggregate,
+)
+from repro.streams import EngineConfig, StreamEngine
+
+
+def main() -> None:
+    city = grid_city(rows=21, cols=21)
+    generator = NetworkBasedGenerator(
+        city,
+        GeneratorConfig(num_objects=800, num_queries=0, skew=40, seed=17),
+    )
+    operator = Scuba()
+    engine = StreamEngine(generator, operator, config=EngineConfig())
+    engine.run(4)
+    world = operator.world
+    print(f"fleet of {len(generator.objects)} vehicles -> {world}\n")
+
+    # --- kNN: nearest vehicles to an incident at the city centre ---------
+    incident = Point(5000.0, 5000.0)
+    nearest = evaluate_knn(world, incident, k=5)
+    print(f"5 vehicles nearest to incident at {incident}:")
+    for neighbor in nearest:
+        marker = "~" if neighbor.approximate else " "
+        print(f"  {marker} vehicle {neighbor.entity_id:4d} at {neighbor.distance:7.1f} units")
+
+    fast = knn_containing_cluster_fast_path(world, incident, k=5)
+    if fast is not None:
+        print(f"fast path applied: isolated cluster {fast.cid} holds the answer")
+    else:
+        print("fast path not applicable here (no isolated covering cluster)")
+
+    # --- Aggregates over the downtown zone -------------------------------
+    downtown = Rect(4000, 4000, 6000, 6000)
+    exact = exact_aggregate(world, downtown)
+    summary = summary_aggregate(world, downtown)
+    print(f"\ndowntown zone {downtown}:")
+    print(f"  exact    : {exact}")
+    print(f"  summary  : {summary}   (O(clusters), no member access)")
+
+    # --- Snapshot range probe ---------------------------------------------
+    answer = evaluate_range(world, downtown)
+    print(f"  roll call: {len(answer.exact_ids)} vehicles confirmed inside"
+          + (f", {len(answer.possible_ids)} possible (shed)" if answer.possible_ids else ""))
+
+
+if __name__ == "__main__":
+    main()

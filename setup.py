@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Configuration lives in pyproject.toml; this file only enables
+`pip install -e . --no-build-isolation --no-use-pep517` in offline
+environments where PEP 517 editable builds cannot fetch build deps.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""SCUBA — Scalable Cluster-Based Algorithm for continuous spatio-temporal queries.
+
+A full reproduction of Nehme & Rundensteiner, *SCUBA: Scalable Cluster-Based
+Algorithm for Evaluating Continuous Spatio-Temporal Queries on Moving
+Objects*, EDBT 2006 — including every substrate the paper builds on: a road
+network, a network-based moving object/query generator, a miniature stream
+engine, the moving-cluster framework, the two-step cluster join, the regular
+grid-based baseline it is evaluated against, and moving-cluster-driven load
+shedding.
+
+The most commonly used entry points are re-exported here::
+
+    from repro import (
+        GeneratorConfig, NetworkBasedGenerator, grid_city,
+        Scuba, ScubaConfig, RegularGridJoin, RegularConfig,
+        StreamEngine, EngineConfig,
+    )
+
+Subpackages
+-----------
+``repro.geometry``
+    Points, circles, rectangles, polar coordinates, segments.
+``repro.network``
+    Road networks: connection nodes, road edges, city builders, routing.
+``repro.generator``
+    Network-constrained moving object/query workload generation.
+``repro.streams``
+    Miniature stream engine (tuples, operators, periodic scheduler).
+``repro.clustering``
+    Moving clusters, incremental (Leader-Follower) and k-means clustering.
+``repro.core``
+    The SCUBA operator, its data structures, and the regular grid baseline.
+``repro.queries``
+    Range-query semantics plus the cluster-based kNN/aggregate extensions.
+``repro.shedding``
+    Moving-cluster-driven load shedding and accuracy measurement.
+``repro.experiments``
+    Workload construction, runners, memory accounting, figure harnesses.
+"""
+
+from .core import (
+    NaiveJoin,
+    RegularConfig,
+    RegularGridJoin,
+    Scuba,
+    ScubaConfig,
+)
+from .generator import (
+    EntityKind,
+    GeneratorConfig,
+    LocationUpdate,
+    NetworkBasedGenerator,
+    QueryUpdate,
+)
+from .geometry import Circle, Point, Rect
+from .network import DEFAULT_BOUNDS, RoadNetwork, grid_city, radial_city, random_city
+from .streams import (
+    CollectingSink,
+    CountingSink,
+    EngineConfig,
+    QueryMatch,
+    StreamEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Circle",
+    "CollectingSink",
+    "CountingSink",
+    "EngineConfig",
+    "EntityKind",
+    "GeneratorConfig",
+    "LocationUpdate",
+    "NaiveJoin",
+    "NetworkBasedGenerator",
+    "Point",
+    "QueryMatch",
+    "QueryUpdate",
+    "Rect",
+    "RegularConfig",
+    "RegularGridJoin",
+    "RoadNetwork",
+    "Scuba",
+    "ScubaConfig",
+    "StreamEngine",
+    "grid_city",
+    "radial_city",
+    "random_city",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Moving-cluster framework (paper §3).
+
+Moving clusters, the incremental Leader-Follower clusterer that forms them
+at run time, the offline k-means baseline of §6.4, the bookkeeping tables
+(ClusterStorage / ClusterHome / ClusterGrid), and quality metrics.
+"""
+
+from .cluster import ClusterMember, MovingCluster
+from .incremental import IncrementalClusterer
+from .kmeans import KMeansClusterer
+from .quality import ClusteringQuality, measure_quality
+from .registry import ClusterGrid, ClusterHome, ClusterStorage, ClusterWorld
+from .splitting import split_cluster
+from .thresholds import ClusteringSpec
+
+__all__ = [
+    "ClusterGrid",
+    "ClusterHome",
+    "ClusterMember",
+    "ClusterStorage",
+    "ClusterWorld",
+    "ClusteringQuality",
+    "ClusteringSpec",
+    "IncrementalClusterer",
+    "KMeansClusterer",
+    "MovingCluster",
+    "measure_quality",
+    "split_cluster",
+]

@@ -1,0 +1,178 @@
+"""Incremental (Leader-Follower) moving-cluster formation — paper §3.2.
+
+Every incoming location update is assigned to a moving cluster immediately,
+in one pass, using only the clusters already formed — no buffering of the
+data set, no re-clustering when the evaluation interval expires.  The
+algorithm is the paper's five-step adaptation of Leader-Follower
+clustering:
+
+1. probe the ClusterGrid around the update's position for candidate
+   clusters;
+2. no candidates → the entity forms its own single-member cluster;
+3. otherwise test each candidate's three admission conditions — same
+   destination connection node, centroid distance within ``Θ_D``, speed
+   within ``Θ_S`` of the cluster average;
+4. a qualifying cluster absorbs the entity (we pick the *nearest*
+   qualifying cluster, a deterministic tie-break the paper leaves open);
+5. no qualifying cluster → the entity forms its own cluster.
+
+An entity that was already clustered is first re-validated against its
+current cluster: if it still qualifies, the cluster simply refreshes its
+state; if not (it diverged, or the cluster's destination changed), it is
+evicted and re-clustered from step 1 — "objects and queries can enter or
+leave a moving cluster at any time" (§3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..generator import Update
+from .cluster import MovingCluster
+from .registry import ClusterWorld
+from .thresholds import ClusteringSpec
+
+__all__ = ["IncrementalClusterer"]
+
+
+class IncrementalClusterer:
+    """One-pass run-time clustering of moving objects and queries."""
+
+    def __init__(self, world: ClusterWorld, spec: ClusteringSpec) -> None:
+        self.world = world
+        self.spec = spec
+        #: Updates processed since construction (for throughput reporting).
+        self.processed = 0
+        #: How many updates re-used their previous cluster without probing.
+        self.fast_path_hits = 0
+        #: How many node-crossing updates joined a successor cluster via a
+        #: split link, skipping the grid probe (splitting enabled only).
+        self.split_joins = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def ingest(self, update: Update) -> MovingCluster:
+        """Assign ``update`` to a moving cluster; returns that cluster."""
+        self.processed += 1
+        world = self.world
+        current_cid = world.home.cluster_of(update.entity_id, update.kind)
+        previous: Optional[MovingCluster] = None
+        crossed_node = False
+        if current_cid is not None:
+            current = world.storage.get(current_cid)
+            # Track the moving members: advance the cluster to the update's
+            # time before re-validating against its centroid.
+            current.advance_to(update.t)
+            if self._qualifies(update, current, ignore_self=True):
+                # Fast path: the entity stays in its cluster.  Its home
+                # entry is already correct, so absorb + grid refresh is all
+                # that is needed — this is the per-update steady state.
+                self.fast_path_hits += 1
+                current.absorb(update)
+                world.grid.refresh(current)
+                return current
+            crossed_node = update.cn_node != current.cn_node
+            if crossed_node and self.spec.enable_splitting:
+                successor = self._follow_successor(update, current)
+                if successor is not None:
+                    world.evict(current, update.entity_id, update.kind)
+                    world.absorb(successor, update)
+                    self.split_joins += 1
+                    return successor
+            world.evict(current, update.entity_id, update.kind)
+            previous = current
+
+        chosen = self._find_cluster(update)
+        if chosen is None:
+            chosen = world.create_cluster(
+                centroid=update.loc,
+                cn_node=update.cn_node,
+                cn_loc=update.cn_loc,
+                now=update.t,
+            )
+        world.absorb(chosen, update)
+        if crossed_node and self.spec.enable_splitting and previous is not None:
+            # Record the split: platoon mates crossing toward the same next
+            # hop will join `chosen` directly.
+            if previous.successors is None:
+                previous.successors = {}
+            previous.successors[update.cn_node] = chosen.cid
+        return chosen
+
+    # -- admission ---------------------------------------------------------------
+
+    def _qualifies(
+        self, update: Update, cluster: MovingCluster, ignore_self: bool = False
+    ) -> bool:
+        """The three conditions of §3.2 Step 3.
+
+        ``ignore_self`` marks re-validation of an entity against its *own*
+        cluster: a single-member cluster trivially keeps its entity (it is
+        its own average), and multi-member clusters apply the spec's
+        eviction slack so boundary members don't thrash in and out.
+        """
+        spec = self.spec
+        if spec.require_same_destination and update.cn_node != cluster.cn_node:
+            return False
+        slack = 1.0
+        if ignore_self:
+            if len(cluster.objects) + len(cluster.queries) == 1:
+                # Single-member cluster: the entity is its own average, so
+                # the distance/speed tests compare it against itself.
+                return True
+            slack = spec.eviction_slack
+        loc = update.loc
+        dx = loc.x - cluster.cx
+        dy = loc.y - cluster.cy
+        max_d = spec.theta_d * slack
+        if dx * dx + dy * dy > max_d * max_d:
+            return False
+        return abs(update.speed - cluster.avespeed) <= spec.theta_s * slack
+
+    def _follow_successor(
+        self, update: Update, current: MovingCluster
+    ) -> Optional[MovingCluster]:
+        """A still-valid successor cluster for this node crossing, if any."""
+        if current.successors is None:
+            return None
+        succ_cid = current.successors.get(update.cn_node)
+        if succ_cid is None or succ_cid not in self.world.storage:
+            return None
+        successor = self.world.storage.get(succ_cid)
+        if successor.cn_node != update.cn_node:
+            return None
+        successor.advance_to(update.t)
+        if self._qualifies(update, successor):
+            return successor
+        return None
+
+    def _find_cluster(self, update: Update) -> Optional[MovingCluster]:
+        """Steps 1 and 3: grid probe, then nearest qualifying candidate."""
+        world = self.world
+        cells = world.grid.cells_for_circle(
+            update.loc.x, update.loc.y, self.spec.theta_d
+        )
+        candidate_ids = set()
+        for cell in cells:
+            candidate_ids.update(world.grid.members(cell))
+        best: Optional[MovingCluster] = None
+        best_dist = math.inf
+        for cid in sorted(candidate_ids):
+            cluster = world.storage.get(cid)
+            if self.spec.require_same_destination and (
+                update.cn_node != cluster.cn_node
+            ):
+                continue
+            cluster.advance_to(update.t)
+            dist = math.hypot(
+                update.loc.x - cluster.cx, update.loc.y - cluster.cy
+            )
+            if dist > self.spec.theta_d:
+                continue
+            if abs(update.speed - cluster.avespeed) > self.spec.theta_s:
+                continue
+            if dist < best_dist:
+                best = cluster
+                best_dist = dist
+        return best

@@ -1,0 +1,80 @@
+"""Cluster-quality metrics.
+
+The paper's §6.4 trades off clustering *quality* against clustering *time*:
+better (tighter) clusters make join-between more selective.  These metrics
+quantify "tighter" so the incremental-vs-k-means experiment can report the
+quality side of the trade-off, and so property tests can assert that the
+incremental clusterer produces sane clusterings at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .cluster import MovingCluster
+
+__all__ = ["ClusteringQuality", "measure_quality"]
+
+
+@dataclass(frozen=True)
+class ClusteringQuality:
+    """Summary statistics of one clustering."""
+
+    cluster_count: int
+    member_count: int
+    #: Sum of squared member distances to their cluster centroid (SSQ) —
+    #: the objective k-means minimises; lower is tighter.
+    ssq: float
+    #: Mean cluster radius over non-empty clusters.
+    mean_radius: float
+    #: Largest cluster radius.
+    max_radius: float
+    #: Fraction of clusters holding a single member (the degenerate case
+    #: §3.2 warns about: pure overhead for SCUBA).
+    singleton_fraction: float
+    #: Mean members per cluster.
+    mean_members: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cluster_count} clusters / {self.member_count} members | "
+            f"SSQ {self.ssq:.1f} | mean r {self.mean_radius:.1f} | "
+            f"singletons {self.singleton_fraction:.0%}"
+        )
+
+
+def measure_quality(clusters: Iterable[MovingCluster]) -> ClusteringQuality:
+    """Compute :class:`ClusteringQuality` over ``clusters``.
+
+    Members whose positions were load shed contribute to counts but not to
+    SSQ (their true positions are unknown by construction).
+    """
+    cluster_list: List[MovingCluster] = list(clusters)
+    member_count = 0
+    ssq = 0.0
+    radii: List[float] = []
+    singletons = 0
+    for cluster in cluster_list:
+        member_count += cluster.n
+        radii.append(cluster.radius)
+        if cluster.n == 1:
+            singletons += 1
+        for member in cluster.members():
+            loc = cluster.member_location(member)
+            if loc is None:
+                continue
+            dx = loc.x - cluster.cx
+            dy = loc.y - cluster.cy
+            ssq += dx * dx + dy * dy
+    count = len(cluster_list)
+    return ClusteringQuality(
+        cluster_count=count,
+        member_count=member_count,
+        ssq=ssq,
+        mean_radius=math.fsum(radii) / count if count else 0.0,
+        max_radius=max(radii, default=0.0),
+        singleton_fraction=singletons / count if count else 0.0,
+        mean_members=member_count / count if count else 0.0,
+    )

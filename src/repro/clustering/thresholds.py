@@ -1,0 +1,71 @@
+"""Clustering thresholds (paper §3.1).
+
+Two thresholds keep moving clusters compact and long-lived:
+
+* the **distance threshold** ``Θ_D`` guarantees clustered entities are close
+  to each other at clustering time, and
+* the **speed threshold** ``Θ_S`` assures they will *stay* close for some
+  time in the future.
+
+A third predicate — identical destination connection node — supplies the
+"direction of movement" condition.  It is configurable (``require_same_
+destination``) solely so the ablation benchmark can demonstrate what breaks
+without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusteringSpec"]
+
+
+@dataclass(frozen=True)
+class ClusteringSpec:
+    """Admission rules for moving clusters.
+
+    Defaults are the paper's experimental settings (§6.1): ``Θ_D = 100``
+    spatial units and ``Θ_S = 10`` spatial units per time unit.
+    """
+
+    #: Θ_D — maximum distance from the cluster centroid at admission.
+    theta_d: float = 100.0
+    #: Θ_S — maximum |entity speed − cluster average speed| at admission.
+    theta_s: float = 10.0
+    #: Whether members must share the cluster's destination connection node.
+    require_same_destination: bool = True
+    #: Hysteresis for membership re-validation: an existing member is only
+    #: evicted once it drifts past ``eviction_slack × Θ_D`` (and the speed
+    #: band widens the same way).  Admission always uses the strict
+    #: thresholds.  Without slack, members sitting at the Θ_D boundary
+    #: oscillate between eviction and re-admission every update, churning
+    #: the ingest path for no quality gain.  Set to 1.0 for the paper's
+    #: literal (slack-free) behaviour.
+    eviction_slack: float = 1.25
+    #: Cluster *splitting* (paper §3.1 future work): when a member crosses
+    #: its connection node and leaves its cluster, remember which cluster
+    #: it moved to, keyed by the new destination.  Members of the same
+    #: platoon peeling off toward the same next hop then join that
+    #: successor directly — no grid probe, no candidate search.
+    enable_splitting: bool = False
+
+    def __post_init__(self) -> None:
+        if self.theta_d < 0:
+            raise ValueError(f"theta_d must be non-negative, got {self.theta_d}")
+        if self.theta_s < 0:
+            raise ValueError(f"theta_s must be non-negative, got {self.theta_s}")
+        if self.eviction_slack < 1.0:
+            raise ValueError(
+                f"eviction_slack must be >= 1.0, got {self.eviction_slack}"
+            )
+
+    def admits(
+        self,
+        distance_to_centroid: float,
+        speed_delta: float,
+        same_destination: bool,
+    ) -> bool:
+        """The three admission conditions of paper §3.2 Step 3."""
+        if self.require_same_destination and not same_destination:
+            return False
+        return distance_to_centroid <= self.theta_d and abs(speed_delta) <= self.theta_s

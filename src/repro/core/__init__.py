@@ -1,0 +1,34 @@
+"""SCUBA core: the cluster-based join operator and its baselines.
+
+Exports the SCUBA operator (paper §4), the regular grid-based operator it
+is evaluated against (§6), the naive nested-loop oracle used for ground
+truth, the join primitives, and the ObjectsTable/QueriesTable registries.
+"""
+
+from .deltas import DeltaProducer, DeltaSink, ResultDelta
+from .incremental_grid import IncrementalGridConfig, IncrementalGridJoin
+from .joins import ClusterJoinView, join_between, join_within_pair, join_within_self
+from .naive import NaiveJoin
+from .regular import RegularConfig, RegularGridJoin
+from .scuba import Scuba, ScubaConfig
+from .tables import EntityAttributeTable, ObjectsTable, QueriesTable
+
+__all__ = [
+    "ClusterJoinView",
+    "DeltaProducer",
+    "DeltaSink",
+    "EntityAttributeTable",
+    "IncrementalGridConfig",
+    "IncrementalGridJoin",
+    "NaiveJoin",
+    "ObjectsTable",
+    "QueriesTable",
+    "RegularConfig",
+    "RegularGridJoin",
+    "ResultDelta",
+    "Scuba",
+    "ScubaConfig",
+    "join_between",
+    "join_within_pair",
+    "join_within_self",
+]

@@ -1,0 +1,110 @@
+"""Incremental result production.
+
+The paper's future work (§8): "enhance SCUBA to produce results
+incrementally".  A continuous range query's answer changes slowly between
+evaluations — most matches persist — so downstream consumers (dashboards,
+alerting) prefer a **delta stream**: which (query, object) pairs *entered*
+the answer this interval and which *left*, rather than the full answer
+re-sent every Δ.
+
+:class:`DeltaProducer` wraps any continuous operator's output: feed it the
+full match list per evaluation and it emits a :class:`ResultDelta` with
+positive and negative tuples, maintaining the current answer set
+internally.  :class:`DeltaSink` adapts the engine's sink interface so the
+whole pipeline can run delta-mode without touching the operator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from ..streams import QueryMatch, ResultSink
+
+__all__ = ["ResultDelta", "DeltaProducer", "DeltaSink"]
+
+
+class ResultDelta:
+    """The change of the answer set at one evaluation.
+
+    ``added`` are matches appearing for the first time (or re-appearing);
+    ``removed`` are (qid, oid) pairs from the previous answer that no
+    longer hold.  ``unchanged_count`` sizes the suppressed re-sends, i.e.
+    the bandwidth the delta representation saves.
+    """
+
+    __slots__ = ("t", "added", "removed", "unchanged_count")
+
+    def __init__(
+        self,
+        t: float,
+        added: List[QueryMatch],
+        removed: List[Tuple[int, int]],
+        unchanged_count: int,
+    ) -> None:
+        self.t = t
+        self.added = added
+        self.removed = removed
+        self.unchanged_count = unchanged_count
+
+    @property
+    def change_count(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultDelta(t={self.t:g}, +{len(self.added)}, "
+            f"-{len(self.removed)}, ={self.unchanged_count})"
+        )
+
+
+class DeltaProducer:
+    """Stateful differ over consecutive full answers."""
+
+    def __init__(self) -> None:
+        self._current: Set[Tuple[int, int]] = set()
+
+    @property
+    def current_answer(self) -> Set[Tuple[int, int]]:
+        """The (qid, oid) pairs in force after the last evaluation."""
+        return set(self._current)
+
+    def ingest(self, matches: Iterable[QueryMatch], t: float) -> ResultDelta:
+        """Diff a full answer against the previous one."""
+        new_pairs: Set[Tuple[int, int]] = set()
+        added: List[QueryMatch] = []
+        for match in matches:
+            pair = (match.qid, match.oid)
+            if pair in new_pairs:
+                continue  # duplicate in the same evaluation
+            new_pairs.add(pair)
+            if pair not in self._current:
+                added.append(match)
+        removed = sorted(self._current - new_pairs)
+        unchanged = len(new_pairs) - len(added)
+        self._current = new_pairs
+        return ResultDelta(t, added, removed, unchanged)
+
+    def reset(self) -> None:
+        self._current.clear()
+
+
+class DeltaSink(ResultSink):
+    """A sink that retains deltas instead of full answers."""
+
+    def __init__(self) -> None:
+        self._producer = DeltaProducer()
+        self.deltas: List[ResultDelta] = []
+
+    def accept(self, matches: List[QueryMatch], t: float) -> None:
+        self.deltas.append(self._producer.ingest(matches, t))
+
+    @property
+    def current_answer(self) -> Set[Tuple[int, int]]:
+        return self._producer.current_answer
+
+    def total_changes(self) -> int:
+        return sum(d.change_count for d in self.deltas)
+
+    def total_suppressed(self) -> int:
+        """Matches NOT re-sent thanks to delta mode."""
+        return sum(d.unchanged_count for d in self.deltas)

@@ -1,0 +1,247 @@
+"""Join-between and join-within moving clusters (paper §4, Algorithms 2-3).
+
+**Join-between** is the cheap pre-filter: two clusters can contribute
+matches only if their circular footprints come close enough.  We inflate
+the test by the widest member query window (``max_query_half_diag``) so the
+filter is *lossless*: a pruned pair provably cannot produce a match.  (The
+paper's Algorithm 2 literally tests containment, ``dist² < (R_L − R_R)²`` —
+an evident typo, since the prose, Fig. 4 and the worked example all use
+overlap semantics; see :mod:`repro.geometry.circle`.)
+
+**Join-within** is the fine-grained object × query join over the members
+of one cluster or of a surviving cluster pair.  Under load shedding some
+members have no stored position; they are approximated by their cluster's
+nucleus.  The four predicate cases:
+
+===================  ======================================================
+object / query       test
+===================  ======================================================
+exact × exact        point inside the query window
+shed × exact         query window intersects the object cluster's nucleus
+exact × shed         object within nucleus-radius of the window placed at
+                     the query cluster's centroid
+shed × shed          the two nuclei within query-window reach of each other
+===================  ======================================================
+
+All shed members of a cluster share one nucleus, so they are tested *as a
+group* — one geometric test matches (or rejects) the whole block.  That is
+precisely why shedding trades accuracy for join time (Fig. 13a): fewer
+individual position tests survive.
+
+Pairs are emitted cross-cluster only (L-objects × R-queries plus
+R-objects × L-queries); a mixed cluster's internal matches come from its
+own self join-within, exactly as in the worked example of Fig. 7 where
+``Join-Within(M1 ∪ M2)`` reports only the cross pair ``(Q2, O3)`` and
+``Join-Within(M1)`` separately reports ``(Q3, O5)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..clustering import MovingCluster
+from ..geometry import circles_overlap
+from ..streams import QueryMatch
+
+__all__ = ["join_between", "ClusterJoinView", "join_within_pair", "join_within_self"]
+
+
+def join_between(left: MovingCluster, right: MovingCluster) -> bool:
+    """Lossless cluster-level overlap pre-filter (Algorithm 2, corrected).
+
+    The reach adds both radii plus the larger query-window half-diagonal of
+    the two clusters: any (object, query) match requires the object within
+    ``half_diag`` of the query point, the object within ``left.radius`` of
+    its centroid, and the query within ``right.radius`` of its centroid.
+    """
+    reach_bonus = max(left.max_query_half_diag, right.max_query_half_diag)
+    return circles_overlap(
+        left.cx,
+        left.cy,
+        left.radius + reach_bonus,
+        right.cx,
+        right.cy,
+        right.radius,
+    )
+
+
+class ClusterJoinView:
+    """Join-ready snapshot of one cluster's members.
+
+    Built once per cluster per evaluation (clusters often participate in
+    several pairwise joins).  Exact members are flattened into tuples; shed
+    members are grouped under the cluster nucleus.
+    """
+
+    __slots__ = (
+        "cid",
+        "cx",
+        "cy",
+        "approx_radius",
+        "exact_objects",
+        "shed_object_ids",
+        "exact_queries",
+        "shed_query_groups",
+        "obj_min_x",
+        "obj_min_y",
+        "obj_max_x",
+        "obj_max_y",
+    )
+
+    def __init__(self, cluster: MovingCluster) -> None:
+        cluster.flush_transform()
+        self.cid = cluster.cid
+        self.cx = cluster.cx
+        self.cy = cluster.cy
+        # Shed members provably lie within the cluster; the nucleus cannot
+        # usefully exceed the cluster's own radius.
+        self.approx_radius = min(cluster.nucleus_radius, cluster.radius)
+        self.exact_objects: List[Tuple[int, float, float]] = []
+        self.shed_object_ids: List[int] = []
+        # Tight bounding box of the exact object members: one rect-overlap
+        # test per query prunes whole member loops for near-miss cluster
+        # pairs (cluster-granularity filtering, same spirit as
+        # join-between but at the query's window size).
+        min_x = min_y = math.inf
+        max_x = max_y = -math.inf
+        for oid, member in cluster.objects.items():
+            if member.position_shed:
+                self.shed_object_ids.append(oid)
+            else:
+                # flush_transform above made abs_x/abs_y current.
+                x = member.abs_x
+                y = member.abs_y
+                self.exact_objects.append((oid, x, y))
+                if x < min_x:
+                    min_x = x
+                if x > max_x:
+                    max_x = x
+                if y < min_y:
+                    min_y = y
+                if y > max_y:
+                    max_y = y
+        self.obj_min_x = min_x
+        self.obj_min_y = min_y
+        self.obj_max_x = max_x
+        self.obj_max_y = max_y
+        self.exact_queries: List[Tuple[int, float, float, float, float]] = []
+        self.shed_query_groups: Dict[Tuple[float, float], List[int]] = {}
+        for qid, member in cluster.queries.items():
+            hw = member.range_width / 2.0
+            hh = member.range_height / 2.0
+            if member.position_shed:
+                self.shed_query_groups.setdefault((hw, hh), []).append(qid)
+            else:
+                self.exact_queries.append((qid, member.abs_x, member.abs_y, hw, hh))
+
+    @property
+    def has_objects(self) -> bool:
+        return bool(self.exact_objects or self.shed_object_ids)
+
+    @property
+    def has_queries(self) -> bool:
+        return bool(self.exact_queries or self.shed_query_groups)
+
+
+def _rect_point_gap_sq(
+    cx: float, cy: float, hw: float, hh: float, px: float, py: float
+) -> float:
+    """Squared distance from point ``(px, py)`` to rect ``(cx±hw, cy±hh)``."""
+    dx = abs(px - cx) - hw
+    dy = abs(py - cy) - hh
+    if dx < 0.0:
+        dx = 0.0
+    if dy < 0.0:
+        dy = 0.0
+    return dx * dx + dy * dy
+
+
+def _join_objects_to_queries(
+    objects: ClusterJoinView,
+    queries: ClusterJoinView,
+    now: float,
+    out: List[QueryMatch],
+) -> int:
+    """Match ``objects``-side members against ``queries``-side members.
+
+    Returns the number of individual geometric tests performed (the cost
+    metric the shedding experiment reports alongside wall-clock time).
+    """
+    tests = 0
+    exact_objects = objects.exact_objects
+    o_min_x, o_max_x = objects.obj_min_x, objects.obj_max_x
+    o_min_y, o_max_y = objects.obj_min_y, objects.obj_max_y
+
+    # Exact queries vs. this object view.
+    for qid, qx, qy, hw, hh in queries.exact_queries:
+        # Window vs. object bounding box: skips the member loop for the
+        # common near-miss case of barely-overlapping clusters.
+        if (
+            exact_objects
+            and qx - hw <= o_max_x
+            and qx + hw >= o_min_x
+            and qy - hh <= o_max_y
+            and qy + hh >= o_min_y
+        ):
+            for oid, ox, oy in exact_objects:
+                tests += 1
+                if abs(ox - qx) <= hw and abs(oy - qy) <= hh:
+                    out.append(QueryMatch(qid, oid, now))
+        if objects.shed_object_ids:
+            tests += 1
+            gap = _rect_point_gap_sq(qx, qy, hw, hh, objects.cx, objects.cy)
+            if gap <= objects.approx_radius * objects.approx_radius:
+                for oid in objects.shed_object_ids:
+                    out.append(QueryMatch(qid, oid, now))
+
+    # Shed query groups (window at the query cluster's centroid, slack =
+    # that cluster's nucleus radius).
+    for (hw, hh), qids in queries.shed_query_groups.items():
+        q_slack = queries.approx_radius
+        reach_x = hw + q_slack
+        reach_y = hh + q_slack
+        if (
+            exact_objects
+            and queries.cx - reach_x <= o_max_x
+            and queries.cx + reach_x >= o_min_x
+            and queries.cy - reach_y <= o_max_y
+            and queries.cy + reach_y >= o_min_y
+        ):
+            for oid, ox, oy in exact_objects:
+                tests += 1
+                gap = _rect_point_gap_sq(queries.cx, queries.cy, hw, hh, ox, oy)
+                if gap <= q_slack * q_slack:
+                    for qid in qids:
+                        out.append(QueryMatch(qid, oid, now))
+        if objects.shed_object_ids:
+            tests += 1
+            reach = q_slack + objects.approx_radius
+            gap = _rect_point_gap_sq(
+                queries.cx, queries.cy, hw, hh, objects.cx, objects.cy
+            )
+            if gap <= reach * reach:
+                for qid in qids:
+                    for oid in objects.shed_object_ids:
+                        out.append(QueryMatch(qid, oid, now))
+    return tests
+
+
+def join_within_pair(
+    left: ClusterJoinView,
+    right: ClusterJoinView,
+    now: float,
+    out: List[QueryMatch],
+) -> int:
+    """Join-within for two distinct clusters (Algorithm 3, cross pairs)."""
+    tests = 0
+    if left.has_objects and right.has_queries:
+        tests += _join_objects_to_queries(left, right, now, out)
+    if right.has_objects and left.has_queries:
+        tests += _join_objects_to_queries(right, left, now, out)
+    return tests
+
+
+def join_within_self(view: ClusterJoinView, now: float, out: List[QueryMatch]) -> int:
+    """Join-within of a single mixed cluster (Algorithm 1, line 15)."""
+    return _join_objects_to_queries(view, view, now, out)

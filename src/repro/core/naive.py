@@ -1,0 +1,55 @@
+"""Naive nested-loop join — the correctness oracle.
+
+Not part of the paper's comparison (it would be hopeless at scale); it
+exists so tests and accuracy measurements have an indisputable ground
+truth: every (query, object) pair is tested directly against the latest
+reported positions, with no index, no clusters and no approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..generator import EntityKind, Update
+from ..streams import ContinuousJoinOperator, QueryMatch, Timer
+
+__all__ = ["NaiveJoin"]
+
+
+class NaiveJoin(ContinuousJoinOperator):
+    """O(objects × queries) reference implementation of the range join."""
+
+    def __init__(self) -> None:
+        self.objects: Dict[int, Tuple[float, float]] = {}
+        self.queries: Dict[int, Tuple[float, float, float, float]] = {}
+        self.last_join_seconds = 0.0
+        self.last_maintenance_seconds = 0.0
+
+    def on_update(self, update: Update) -> None:
+        if update.kind is EntityKind.OBJECT:
+            self.objects[update.oid] = (update.loc.x, update.loc.y)
+        else:
+            self.queries[update.qid] = (
+                update.loc.x,
+                update.loc.y,
+                update.range_width / 2.0,
+                update.range_height / 2.0,
+            )
+
+    def evaluate(self, now: float) -> List[QueryMatch]:
+        results: List[QueryMatch] = []
+        timer = Timer()
+        with timer:
+            for qid, (qx, qy, hw, hh) in self.queries.items():
+                for oid, (ox, oy) in self.objects.items():
+                    if abs(ox - qx) <= hw and abs(oy - qy) <= hh:
+                        results.append(QueryMatch(qid, oid, now))
+        self.last_join_seconds = timer.seconds
+        self.last_maintenance_seconds = 0.0
+        return results
+
+    def state_roots(self) -> List[object]:
+        return [self.objects, self.queries]
+
+    def reset(self) -> None:
+        self.__init__()

@@ -1,0 +1,260 @@
+"""The SCUBA continuous operator (paper §4.2, Algorithm 1).
+
+Execution cycles through three phases:
+
+1. **Cluster pre-join maintenance** — runs continuously between
+   evaluations: every incoming location update is clustered incrementally
+   (:meth:`Scuba.on_update`), and the configured load-shedding policy may
+   immediately discard the member's relative position.
+2. **Cluster-based joining** — fires every Δ time units
+   (:meth:`Scuba.evaluate`): a sweep over the occupied ClusterGrid cells
+   joins co-located cluster pairs with the lossless join-between filter,
+   descending into join-within only for surviving pairs; mixed clusters
+   additionally self-join.
+3. **Cluster post-join maintenance** — still inside :meth:`evaluate`:
+   clusters that have reached (or will pass) their destination connection
+   node are dissolved, survivors are advanced along their velocity vectors
+   to their expected position at the next evaluation and re-registered in
+   the grid.
+
+Instrumentation counters (`between_tests`, `within_tests`, ...) are part of
+the public surface: the paper's figures report exactly these costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import hypot
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..clustering import (
+    ClusteringSpec,
+    ClusterWorld,
+    IncrementalClusterer,
+    MovingCluster,
+    split_cluster,
+)
+from ..generator import EntityKind, Update
+from ..geometry import Rect
+from ..network import DEFAULT_BOUNDS
+from ..shedding import NoShedding, SheddingPolicy
+from ..streams import ContinuousJoinOperator, QueryMatch, Timer
+from .joins import ClusterJoinView, join_between, join_within_pair, join_within_self
+from .tables import ObjectsTable, QueriesTable
+
+__all__ = ["ScubaConfig", "Scuba"]
+
+
+@dataclass
+class ScubaConfig:
+    """Tuning knobs of the SCUBA operator.
+
+    Defaults reproduce the paper's experimental settings (§6.1): a 100×100
+    ClusterGrid, ``Θ_D = 100`` spatial units, ``Θ_S = 10`` units/time-unit,
+    Δ = 2 time units, no load shedding.
+    """
+
+    bounds: Rect = field(default_factory=lambda: DEFAULT_BOUNDS)
+    grid_size: int = 100
+    theta_d: float = 100.0
+    theta_s: float = 10.0
+    #: Δ — the evaluation period, used by post-join maintenance to advance
+    #: clusters to their expected next-evaluation position.
+    delta: float = 2.0
+    #: Load-shedding policy (η knob of §5/Fig. 13).
+    shedding: SheddingPolicy = field(default_factory=NoShedding)
+    #: Require identical destination connection node for cluster admission.
+    #: Disabled only by the direction-predicate ablation.
+    require_same_destination: bool = True
+    #: Tighten cluster radii during post-join maintenance.  The paper's
+    #: pseudocode only ever grows radii; recomputation keeps long-lived
+    #: clusters compact.  Disabled by the deterioration ablation.
+    recompute_radius: bool = True
+    #: Dissolve clusters at their destination (paper behaviour).  Disabled
+    #: by the deterioration ablation.
+    expire_clusters: bool = True
+    #: Apply the join-between pre-filter.  Disabled by the two-step-join
+    #: ablation, which joins-within every co-located cluster pair.
+    use_between_filter: bool = True
+    #: Split clusters at their destination node instead of dissolving them
+    #: outright — the paper's §3.1 future-work option.  Members that have
+    #: already reported their next destination are regrouped into
+    #: successor clusters without re-clustering churn.
+    split_at_destination: bool = False
+
+    def __post_init__(self) -> None:
+        if self.grid_size < 1:
+            raise ValueError(f"grid_size must be >= 1, got {self.grid_size}")
+        if self.delta <= 0:
+            raise ValueError(f"delta must be positive, got {self.delta}")
+
+    def clustering_spec(self) -> ClusteringSpec:
+        return ClusteringSpec(
+            theta_d=self.theta_d,
+            theta_s=self.theta_s,
+            require_same_destination=self.require_same_destination,
+            enable_splitting=self.split_at_destination,
+        )
+
+
+class Scuba(ContinuousJoinOperator):
+    """Shared cluster-based execution of continuous spatio-temporal queries."""
+
+    def __init__(self, config: Optional[ScubaConfig] = None) -> None:
+        self.config = config if config is not None else ScubaConfig()
+        self.world = ClusterWorld(self.config.bounds, self.config.grid_size)
+        self.clusterer = IncrementalClusterer(
+            self.world, self.config.clustering_spec()
+        )
+        self.objects_table = ObjectsTable()
+        self.queries_table = QueriesTable()
+        self._shed_is_noop = isinstance(self.config.shedding, NoShedding)
+        # Phase timings of the most recent evaluate().
+        self.last_join_seconds = 0.0
+        self.last_maintenance_seconds = 0.0
+        # Cumulative instrumentation.
+        self.between_tests = 0
+        self.between_hits = 0
+        self.within_tests = 0
+        self.evaluations = 0
+
+    # -- phase 1: pre-join maintenance ------------------------------------------
+
+    def on_update(self, update: Update) -> None:
+        """Cluster one incoming update (and maybe shed its position)."""
+        if update.kind is EntityKind.OBJECT:
+            self.objects_table.record(update.entity_id, update.attrs, update.t)
+        else:
+            self.queries_table.record(update.entity_id, update.attrs, update.t)
+        cluster = self.clusterer.ingest(update)
+        if not self._shed_is_noop:
+            dist = hypot(update.loc.x - cluster.cx, update.loc.y - cluster.cy)
+            self.config.shedding.apply(cluster, update, dist)
+
+    # -- phases 2 + 3: joining and post-join maintenance --------------------------
+
+    def evaluate(self, now: float) -> List[QueryMatch]:
+        """One Δ-triggered evaluation; returns the current query answers."""
+        self.evaluations += 1
+        results: List[QueryMatch] = []
+        join_timer = Timer()
+        with join_timer:
+            self._joining_phase(now, results)
+        self.last_join_seconds = join_timer.seconds
+
+        maintenance_timer = Timer()
+        with maintenance_timer:
+            self._post_join_maintenance(now)
+        self.last_maintenance_seconds = maintenance_timer.seconds
+        return results
+
+    def _joining_phase(self, now: float, results: List[QueryMatch]) -> None:
+        """Algorithm 1, lines 8-21: the cell sweep."""
+        storage = self.world.storage
+        views: Dict[int, ClusterJoinView] = {}
+
+        def view_of(cluster: MovingCluster) -> ClusterJoinView:
+            view = views.get(cluster.cid)
+            if view is None:
+                view = ClusterJoinView(cluster)
+                views[cluster.cid] = view
+            return view
+
+        # Self join-within for every mixed cluster (Algorithm 1, line 15).
+        for cluster in storage.clusters():
+            if cluster.is_mixed:
+                self.within_tests += join_within_self(view_of(cluster), now, results)
+
+        # Pairwise joins for clusters sharing a grid cell.  A pair may share
+        # several cells; the seen-set makes it join exactly once.
+        seen_pairs: Set[Tuple[int, int]] = set()
+        use_filter = self.config.use_between_filter
+        for _cell, members in self.world.grid.occupied_cells():
+            if len(members) < 2:
+                continue
+            cids = sorted(members)
+            for i, cid_l in enumerate(cids):
+                left = storage.get(cid_l)
+                for cid_r in cids[i + 1 :]:
+                    pair = (cid_l, cid_r)
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
+                    right = storage.get(cid_r)
+                    # Join only pairs that can mix types (line 18).
+                    if not (
+                        (left.objects and right.queries)
+                        or (left.queries and right.objects)
+                    ):
+                        continue
+                    if use_filter:
+                        self.between_tests += 1
+                        if not join_between(left, right):
+                            continue
+                        self.between_hits += 1
+                    self.within_tests += join_within_pair(
+                        view_of(left), view_of(right), now, results
+                    )
+
+    def _post_join_maintenance(self, now: float) -> None:
+        """Dissolve arrivals, advance survivors, refresh the grid."""
+        cfg = self.config
+        for cluster in list(self.world.storage):
+            if cfg.expire_clusters and (
+                cluster.has_expired(now) or cluster.will_pass_destination(cfg.delta)
+            ):
+                if cfg.split_at_destination:
+                    # Regroup any members whose reported next destination
+                    # already diverged (stragglers under partial update
+                    # fractions); the common case — members peeling off one
+                    # by one as they cross — is handled at eviction time by
+                    # the clusterer's successor links.
+                    split_cluster(self.world, cluster, now)
+                else:
+                    self.world.dissolve(cluster)
+                continue
+            # Clusters untouched since their last update (shed members,
+            # partial update fractions) still move by their velocity.
+            cluster.advance_to(now)
+            if cfg.recompute_radius:
+                # Per-interval compaction: bake the transformation vector,
+                # re-centre on the true member mean (per-tuple refreshes do
+                # not touch the centroid), and tighten the radius.
+                cluster.flush_transform()
+                cluster.recentre()
+                cluster.recompute_radius()
+            cluster.update_expiry(now)
+            self.world.grid.refresh(cluster)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def cluster_count(self) -> int:
+        return self.world.cluster_count
+
+    @property
+    def split_joins(self) -> int:
+        """Node crossings resolved through successor links (splitting on)."""
+        return self.clusterer.split_joins
+
+    def state_roots(self) -> List[object]:
+        """The five in-memory structures of §4.1 (for memory accounting)."""
+        return [
+            self.objects_table,
+            self.queries_table,
+            self.world.home,
+            self.world.storage,
+            self.world.grid,
+        ]
+
+    def reset(self) -> None:
+        """Drop all clusters and tables, keeping configuration."""
+        self.__init__(self.config)
+
+    def __repr__(self) -> str:
+        return (
+            f"Scuba({self.cluster_count} clusters, "
+            f"{len(self.objects_table)} objects, "
+            f"{len(self.queries_table)} queries, "
+            f"shedding={self.config.shedding!r})"
+        )

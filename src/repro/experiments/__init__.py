@@ -1,0 +1,34 @@
+"""Experiment harnesses reproducing the paper's evaluation (§6)."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    fig09_grid_size,
+    fig10_skew,
+    fig11_clustering,
+    fig12_maintenance,
+    fig13_load_shedding,
+    format_table,
+)
+from .memory import deep_sizeof, operator_state_bytes
+from .runner import RunResult, run_experiment
+from .workloads import PAPER_DEFAULTS, WorkloadSpec, bench_scale, build_workload
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "PAPER_DEFAULTS",
+    "RunResult",
+    "WorkloadSpec",
+    "bench_scale",
+    "build_workload",
+    "deep_sizeof",
+    "fig09_grid_size",
+    "fig10_skew",
+    "fig11_clustering",
+    "fig12_maintenance",
+    "fig13_load_shedding",
+    "format_table",
+    "operator_state_bytes",
+    "run_experiment",
+]

@@ -1,0 +1,64 @@
+"""CLI for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments            # run every figure
+    python -m repro.experiments fig10      # run one figure
+    python -m repro.experiments fig09 fig13 --scale 0.2 --intervals 2
+
+``--scale`` overrides ``SCUBA_BENCH_SCALE`` (1.0 = the paper's full
+10,000 + 10,000 population).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_FIGURES, format_table
+from .workloads import bench_scale
+
+
+def main(argv: list | None = None) -> int:
+    """Entry point: run the requested figure harnesses and print tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the SCUBA paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[*ALL_FIGURES, []],
+        help="figures to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="population scale; 1.0 = paper's 10k+10k (default: "
+        "SCUBA_BENCH_SCALE or 0.1)",
+    )
+    parser.add_argument(
+        "--intervals",
+        type=int,
+        default=3,
+        help="evaluation intervals per configuration (default: 3)",
+    )
+    args = parser.parse_args(argv)
+    names = args.figures or list(ALL_FIGURES)
+    scale = args.scale if args.scale is not None else bench_scale()
+    print(f"scale={scale} ({round(10_000 * scale)}+{round(10_000 * scale)} entities), "
+          f"intervals={args.intervals}")
+    for name in names:
+        started = time.perf_counter()
+        result = ALL_FIGURES[name](scale=scale, intervals=args.intervals)
+        elapsed = time.perf_counter() - started
+        print()
+        print(format_table(result))
+        print(f"[{name} completed in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

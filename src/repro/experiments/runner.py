@@ -1,0 +1,97 @@
+"""Experiment runners.
+
+Wraps the stream engine with the measurement protocol every figure shares:
+run an operator over a workload for N evaluation intervals, report per-phase
+times, state memory, result volume and cluster statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import Scuba
+from ..streams import (
+    CollectingSink,
+    ContinuousJoinOperator,
+    CountingSink,
+    EngineConfig,
+    ResultSink,
+    StreamEngine,
+)
+from .memory import operator_state_bytes
+from .workloads import WorkloadSpec, build_workload
+
+__all__ = ["RunResult", "run_experiment"]
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one operator run."""
+
+    label: str
+    intervals: int
+    ingest_seconds: float
+    join_seconds: float
+    maintenance_seconds: float
+    result_count: int
+    tuple_count: int
+    memory_bytes: int
+    #: Cluster count at end of run (0 for non-cluster operators).
+    cluster_count: int
+    #: The sink, when the caller asked to collect matches.
+    sink: Optional[ResultSink] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ingest_seconds + self.join_seconds + self.maintenance_seconds
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+    def row(self) -> dict:
+        """Flat dict for table printing."""
+        return {
+            "label": self.label,
+            "join_s": round(self.join_seconds, 4),
+            "maint_s": round(self.maintenance_seconds, 4),
+            "ingest_s": round(self.ingest_seconds, 4),
+            "memory_mb": round(self.memory_mb, 2),
+            "results": self.result_count,
+            "clusters": self.cluster_count,
+        }
+
+
+def run_experiment(
+    spec: WorkloadSpec,
+    operator: ContinuousJoinOperator,
+    intervals: int = 5,
+    delta: float = 2.0,
+    label: str = "",
+    collect_matches: bool = False,
+    measure_memory: bool = True,
+) -> RunResult:
+    """Run ``operator`` over the workload ``spec`` for ``intervals`` Δ-periods."""
+    _network, generator = build_workload(spec)
+    sink: ResultSink = CollectingSink() if collect_matches else CountingSink()
+    engine = StreamEngine(
+        generator, operator, sink, EngineConfig(delta=delta, tick=1.0)
+    )
+    stats = engine.run(intervals)
+    if isinstance(sink, CollectingSink):
+        result_count = len(sink.all_matches)
+    else:
+        result_count = sink.total  # type: ignore[union-attr]
+    return RunResult(
+        label=label or type(operator).__name__,
+        intervals=intervals,
+        ingest_seconds=stats.total_ingest_seconds,
+        join_seconds=stats.total_join_seconds,
+        maintenance_seconds=stats.total_maintenance_seconds,
+        result_count=result_count,
+        tuple_count=stats.total_tuple_count,
+        memory_bytes=operator_state_bytes(operator) if measure_memory else 0,
+        cluster_count=operator.cluster_count if isinstance(operator, Scuba) else 0,
+        sink=sink if collect_matches else None,
+    )

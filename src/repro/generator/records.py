@@ -1,0 +1,153 @@
+"""Location-update records — the stream tuples of the system.
+
+The paper's motion model (§2) defines the wire format of the two streams:
+
+* moving objects report ``(o.oid, o.loc_t, o.t, o.speed, o.cnloc, o.attrs)``;
+* moving queries report ``(q.qid, q.loc_t, q.t, q.speed, q.cnloc, q.attrs)``
+  where ``q.attrs`` carries query-specific attributes such as the size of
+  the range window.
+
+``cnloc`` — the connection node the entity will reach next — is carried both
+as a node id (for the cheap equality test in cluster admission) and as a
+planar point (for expiration-time estimates).  The range window size is
+materialised into dedicated fields on :class:`QueryUpdate` because the join
+inner loop reads it for every candidate pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Mapping, Optional, Union
+
+from ..geometry import Point, Rect
+from ..network import NodeId
+
+__all__ = ["EntityKind", "LocationUpdate", "QueryUpdate", "Update"]
+
+
+class EntityKind(enum.Enum):
+    """Discriminates the two moving-entity streams."""
+
+    OBJECT = "object"
+    QUERY = "query"
+
+
+_EMPTY_ATTRS: Mapping[str, Any] = {}
+
+
+class LocationUpdate:
+    """A position report from a moving object."""
+
+    __slots__ = ("oid", "loc", "t", "speed", "cn_node", "cn_loc", "attrs")
+
+    kind = EntityKind.OBJECT
+
+    def __init__(
+        self,
+        oid: int,
+        loc: Point,
+        t: float,
+        speed: float,
+        cn_node: NodeId,
+        cn_loc: Point,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.oid = oid
+        self.loc = loc
+        self.t = t
+        self.speed = speed
+        self.cn_node = cn_node
+        self.cn_loc = cn_loc
+        self.attrs = attrs if attrs is not None else _EMPTY_ATTRS
+
+    @property
+    def entity_id(self) -> int:
+        """Uniform id accessor shared with :class:`QueryUpdate`."""
+        return self.oid
+
+    def __repr__(self) -> str:
+        return (
+            f"LocationUpdate(oid={self.oid}, loc={self.loc!r}, t={self.t:g}, "
+            f"speed={self.speed:g}, cn={self.cn_node})"
+        )
+
+
+class QueryUpdate:
+    """A position report from a continuous range query.
+
+    The query's spatial footprint is a ``range_width × range_height`` window
+    centred on ``loc`` (see :meth:`region`).  A query whose focal point is
+    stationary simply reports ``speed == 0`` and an arbitrary ``cn_node``.
+    """
+
+    __slots__ = (
+        "qid",
+        "loc",
+        "t",
+        "speed",
+        "cn_node",
+        "cn_loc",
+        "range_width",
+        "range_height",
+        "attrs",
+    )
+
+    kind = EntityKind.QUERY
+
+    def __init__(
+        self,
+        qid: int,
+        loc: Point,
+        t: float,
+        speed: float,
+        cn_node: NodeId,
+        cn_loc: Point,
+        range_width: float,
+        range_height: float,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if range_width < 0 or range_height < 0:
+            raise ValueError(
+                f"range extent must be non-negative: {range_width}x{range_height}"
+            )
+        self.qid = qid
+        self.loc = loc
+        self.t = t
+        self.speed = speed
+        self.cn_node = cn_node
+        self.cn_loc = cn_loc
+        self.range_width = range_width
+        self.range_height = range_height
+        self.attrs = attrs if attrs is not None else _EMPTY_ATTRS
+
+    @property
+    def entity_id(self) -> int:
+        return self.qid
+
+    @property
+    def half_diagonal(self) -> float:
+        """Greatest distance from the query point to its window boundary.
+
+        The join-between filter inflates cluster circles by the largest
+        member ``half_diagonal`` so that pruning never drops a true match
+        (see :mod:`repro.core.joins`).
+        """
+        return 0.5 * (self.range_width**2 + self.range_height**2) ** 0.5
+
+    def region(self) -> Rect:
+        """The query window at the reported location."""
+        return Rect.centered(self.loc, self.range_width, self.range_height)
+
+    def region_at(self, loc: Point) -> Rect:
+        """The query window if the focal point were at ``loc``."""
+        return Rect.centered(loc, self.range_width, self.range_height)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryUpdate(qid={self.qid}, loc={self.loc!r}, t={self.t:g}, "
+            f"range={self.range_width:g}x{self.range_height:g}, cn={self.cn_node})"
+        )
+
+
+# An update from either stream.
+Update = Union[LocationUpdate, QueryUpdate]

@@ -1,0 +1,209 @@
+"""Simulation state of a single moving entity.
+
+A :class:`MovingEntity` is the generator-side truth about one object or
+query: where it is on the network, how fast it travels, and the remainder
+of its current route.  The paper's motion model is honoured exactly:
+
+* movement is piecewise linear along road edges;
+* ``cnloc`` (the next connection node) never changes until the entity
+  actually reaches that node ("the network is stable", §2);
+* on reaching the end of its route the entity asks its
+  :class:`DestinationPlan` for the next destination — groups of entities
+  sharing a plan keep travelling together, which is what produces the
+  spatio-temporal skew of §6.3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Mapping, Optional
+
+from ..geometry import Point
+from ..network import EdgePosition, NodeId, RoadNetwork, Router
+from .records import EntityKind, LocationUpdate, QueryUpdate, Update
+
+__all__ = ["DestinationPlan", "MovingEntity"]
+
+
+class DestinationPlan:
+    """Deterministic per-group destination oracle.
+
+    Entities in the same skew group share a plan (same ``plan_seed``).  The
+    destination for leg ``i`` from node ``n`` depends only on
+    ``(plan_seed, i, n)``, so group members that arrive at the same node on
+    the same leg — even at slightly different times — pick the *same* next
+    destination and stay clusterable, while independent entities (distinct
+    seeds) scatter.
+    """
+
+    def __init__(self, plan_seed: object, node_ids: List[NodeId]) -> None:
+        if not node_ids:
+            raise ValueError("destination plan needs a non-empty node set")
+        self.plan_seed = str(plan_seed)
+        self._node_ids = node_ids
+
+    def next_destination(self, leg: int, current: NodeId) -> NodeId:
+        """Destination node for leg ``leg`` starting from ``current``."""
+        rng = random.Random(f"{self.plan_seed}|{leg}|{current}")
+        choice = self._node_ids[rng.randrange(len(self._node_ids))]
+        if choice == current and len(self._node_ids) > 1:
+            # Deterministically skip to the next node id to avoid a no-op leg.
+            idx = (self._node_ids.index(choice) + 1) % len(self._node_ids)
+            choice = self._node_ids[idx]
+        return choice
+
+
+class MovingEntity:
+    """Mutable simulation state for one moving object or query."""
+
+    __slots__ = (
+        "entity_id",
+        "kind",
+        "position",
+        "route",
+        "leg",
+        "speed_factor",
+        "speed",
+        "plan",
+        "router",
+        "attrs",
+        "range_width",
+        "range_height",
+        "distance_travelled",
+    )
+
+    def __init__(
+        self,
+        entity_id: int,
+        kind: EntityKind,
+        position: EdgePosition,
+        route: List[NodeId],
+        speed_factor: float,
+        plan: DestinationPlan,
+        router: Router,
+        attrs: Optional[Mapping[str, Any]] = None,
+        range_width: float = 0.0,
+        range_height: float = 0.0,
+    ) -> None:
+        if not 0.0 < speed_factor <= 1.0:
+            raise ValueError(f"speed factor must be in (0, 1], got {speed_factor}")
+        if kind is EntityKind.QUERY and (range_width <= 0 or range_height <= 0):
+            raise ValueError("queries need a positive range extent")
+        self.entity_id = entity_id
+        self.kind = kind
+        self.position = position
+        #: Remaining route *after* the current edge's destination node.
+        self.route = route
+        self.leg = 0
+        self.speed_factor = speed_factor
+        self.speed = speed_factor * position.edge.speed_limit
+        self.plan = plan
+        self.router = router
+        self.attrs = attrs
+        self.range_width = range_width
+        self.range_height = range_height
+        self.distance_travelled = 0.0
+
+    # -- motion ----------------------------------------------------------------
+
+    @property
+    def cn_node(self) -> NodeId:
+        """The connection node the entity will reach next (paper's cnloc)."""
+        return self.position.destination
+
+    def location(self, network: RoadNetwork) -> Point:
+        return network.position_location(self.position)
+
+    def advance(self, dt: float, network: RoadNetwork) -> None:
+        """Move for ``dt`` time units along the current route.
+
+        Node crossings within ``dt`` are handled exactly: the remaining
+        travel budget carries over to the next edge at that edge's speed.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        budget = dt
+        while budget > 0.0:
+            step = self.speed * budget
+            remaining = self.position.remaining
+            if step < remaining:
+                self.position.offset += step
+                self.distance_travelled += step
+                return
+            # Reach the connection node; consume the time it took.
+            if self.speed > 0:
+                budget -= remaining / self.speed
+            else:  # pragma: no cover - speed is always positive by construction
+                budget = 0.0
+            self.distance_travelled += remaining
+            self._enter_next_edge(network)
+
+    def _enter_next_edge(self, network: RoadNetwork) -> None:
+        """Step onto the next edge of the route, replanning at route end."""
+        arrived_at = self.position.destination
+        if not self.route:
+            self.leg += 1
+            self._replan(arrived_at)
+        if not self.route:
+            # Degenerate single-node network: stay put at the node.
+            self.position.offset = self.position.edge.length
+            return
+        next_node = self.route.pop(0)
+        edge = self.router.network.find_edge(arrived_at, next_node)
+        if edge is None:
+            raise RuntimeError(
+                f"route step {arrived_at}->{next_node} has no edge; "
+                "routes must follow network adjacency"
+            )
+        self.position = EdgePosition(edge, arrived_at, 0.0)
+        self.speed = self.speed_factor * edge.speed_limit
+
+    def _replan(self, current: NodeId) -> None:
+        """Choose the next destination and route to it."""
+        destination = self.plan.next_destination(self.leg, current)
+        path = self.router.route(current, destination)
+        if path is None or len(path) < 2:
+            # Unreachable or trivial destination: try the next leg index so
+            # the deterministic plan still makes progress.
+            self.leg += 1
+            destination = self.plan.next_destination(self.leg, current)
+            path = self.router.route(current, destination)
+        if path is None or len(path) < 2:
+            self.route = []
+        else:
+            self.route = path[1:]
+
+    # -- reporting ----------------------------------------------------------------
+
+    def make_update(self, t: float, network: RoadNetwork) -> Update:
+        """The stream tuple this entity would emit at time ``t``."""
+        loc = self.location(network)
+        cn = self.cn_node
+        cn_loc = network.node_location(cn)
+        if self.kind is EntityKind.OBJECT:
+            return LocationUpdate(
+                oid=self.entity_id,
+                loc=loc,
+                t=t,
+                speed=self.speed,
+                cn_node=cn,
+                cn_loc=cn_loc,
+                attrs=self.attrs,
+            )
+        return QueryUpdate(
+            qid=self.entity_id,
+            loc=loc,
+            t=t,
+            speed=self.speed,
+            cn_node=cn,
+            cn_loc=cn_loc,
+            range_width=self.range_width,
+            range_height=self.range_height,
+            attrs=self.attrs,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MovingEntity({self.kind.value} {self.entity_id}, "
+            f"pos={self.position!r}, speed={self.speed:g})"
+        )

@@ -1,0 +1,160 @@
+"""Workload traces: record update streams to disk and replay them.
+
+Experiments gain a lot from *trace-based* execution: the exact tuple
+stream that produced a result (or a bug) can be saved as a JSON-lines
+file, attached to a report, diffed, and replayed through any operator —
+no generator, road network, or seed bookkeeping required on the replay
+side.  This mirrors how the original Brinkhoff tool was used: it emitted
+trace files that systems consumed.
+
+* :class:`TraceRecorder` wraps a live generator, forwarding ticks while
+  appending every emitted update to the trace file.
+* :class:`TraceReplayer` implements the generator protocol the stream
+  engine uses (``tick``/``time``/``snapshot``) by reading a trace back.
+
+The format is one JSON object per line.  Header line::
+
+    {"format": "scuba-trace", "version": 1}
+
+Tick lines carry the tick's time followed by its updates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+from ..geometry import Point
+from .records import EntityKind, LocationUpdate, QueryUpdate, Update
+
+__all__ = ["TraceRecorder", "TraceReplayer", "update_to_dict", "update_from_dict"]
+
+_FORMAT = "scuba-trace"
+_VERSION = 1
+
+
+def update_to_dict(update: Update) -> Dict:
+    """JSON-compatible representation of one update tuple."""
+    data = {
+        "kind": update.kind.value,
+        "id": update.entity_id,
+        "x": update.loc.x,
+        "y": update.loc.y,
+        "t": update.t,
+        "speed": update.speed,
+        "cn": update.cn_node,
+        "cnx": update.cn_loc.x,
+        "cny": update.cn_loc.y,
+    }
+    if update.kind is EntityKind.QUERY:
+        data["w"] = update.range_width
+        data["h"] = update.range_height
+    if update.attrs:
+        data["attrs"] = dict(update.attrs)
+    return data
+
+
+def update_from_dict(data: Dict) -> Update:
+    """Inverse of :func:`update_to_dict`."""
+    kind = EntityKind(data["kind"])
+    common = dict(
+        loc=Point(data["x"], data["y"]),
+        t=data["t"],
+        speed=data["speed"],
+        cn_node=data["cn"],
+        cn_loc=Point(data["cnx"], data["cny"]),
+        attrs=data.get("attrs"),
+    )
+    if kind is EntityKind.OBJECT:
+        return LocationUpdate(oid=data["id"], **common)
+    return QueryUpdate(
+        qid=data["id"], range_width=data["w"], range_height=data["h"], **common
+    )
+
+
+class TraceRecorder:
+    """A generator wrapper that records everything it emits.
+
+    Drop-in for the wrapped generator: the stream engine calls ``tick``
+    and reads ``time`` exactly as before; each tick is appended to the
+    trace file as one JSON line.  Use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(self, generator, path: Union[str, Path]) -> None:
+        self.generator = generator
+        self.path = Path(path)
+        self._file: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self._file.write(json.dumps({"format": _FORMAT, "version": _VERSION}) + "\n")
+
+    @property
+    def time(self) -> float:
+        return self.generator.time
+
+    def tick(self, dt: float = 1.0) -> List[Update]:
+        if self._file is None:
+            raise ValueError("trace recorder is closed")
+        updates = self.generator.tick(dt)
+        line = {
+            "t": self.generator.time,
+            "updates": [update_to_dict(u) for u in updates],
+        }
+        self._file.write(json.dumps(line) + "\n")
+        return updates
+
+    def snapshot(self) -> List[Update]:
+        return self.generator.snapshot()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceReplayer:
+    """Replays a recorded trace through the generator protocol.
+
+    ``tick`` returns each recorded tick's updates in order (the recorded
+    times are authoritative; the ``dt`` argument is ignored beyond
+    protocol compatibility).  ``snapshot`` reconstructs the latest known
+    update per entity — the same approximation any operator fed by the
+    trace holds.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise ValueError(f"empty trace file: {self.path}")
+        header = json.loads(lines[0])
+        if header.get("format") != _FORMAT or header.get("version") != _VERSION:
+            raise ValueError(f"not a scuba trace: {self.path}")
+        self._ticks: List[Dict] = [json.loads(line) for line in lines[1:]]
+        self._cursor = 0
+        self.time = 0.0
+        self._latest: Dict = {}
+
+    @property
+    def ticks_remaining(self) -> int:
+        return len(self._ticks) - self._cursor
+
+    def tick(self, dt: float = 1.0) -> List[Update]:
+        if self._cursor >= len(self._ticks):
+            raise StopIteration(f"trace exhausted after {len(self._ticks)} ticks")
+        record = self._ticks[self._cursor]
+        self._cursor += 1
+        self.time = record["t"]
+        updates = [update_from_dict(d) for d in record["updates"]]
+        for update in updates:
+            self._latest[(update.kind, update.entity_id)] = update
+        return updates
+
+    def snapshot(self) -> List[Update]:
+        return list(self._latest.values())

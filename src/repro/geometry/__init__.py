@@ -1,0 +1,29 @@
+"""Geometry kernel for the SCUBA reproduction.
+
+All spatial reasoning in the system — cluster footprints, range-query
+windows, road edges, relative member positions — is built from the five
+primitives exported here.  The module is dependency-free (standard library
+only) and keeps allocation-free raw-coordinate helpers alongside the object
+API for the hot join paths.
+"""
+
+from .circle import Circle, circles_overlap
+from .point import Point, Vector, distance, distance_sq, midpoint
+from .polar import PolarCoord, to_cartesian, to_polar
+from .rect import Rect
+from .segment import Segment
+
+__all__ = [
+    "Circle",
+    "Point",
+    "PolarCoord",
+    "Rect",
+    "Segment",
+    "Vector",
+    "circles_overlap",
+    "distance",
+    "distance_sq",
+    "midpoint",
+    "to_cartesian",
+    "to_polar",
+]

@@ -1,0 +1,84 @@
+"""Circles: the spatial footprint of a moving cluster.
+
+A moving cluster is summarised by a circular region — centroid plus radius —
+and SCUBA's *join-between* step (paper Algorithm 2) is nothing more than an
+overlap test between two such circles.
+
+.. note::
+   The paper's pseudocode tests ``dist² < (R_L − R_R)²``, which is the
+   condition for one circle to lie *inside* the other, not for overlap.
+   Every prose description and the worked example in Fig. 7 use overlap
+   semantics (clusters must be joined whenever their regions intersect, or
+   results would silently be lost), so we implement the evidently intended
+   test ``dist² ≤ (R_L + R_R)²`` and expose the containment predicate
+   separately.
+"""
+
+from __future__ import annotations
+
+from .point import Point
+
+__all__ = ["Circle", "circles_overlap"]
+
+
+class Circle:
+    """A circle with ``center`` and non-negative ``radius``."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: Point, radius: float) -> None:
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        self.center = center
+        self.radius = float(radius)
+
+    def __repr__(self) -> str:
+        return f"Circle(center={self.center!r}, radius={self.radius:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circle):
+            return NotImplemented
+        return self.center == other.center and self.radius == other.radius
+
+    def __hash__(self) -> int:
+        return hash((self.center, self.radius))
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the boundary of the circle."""
+        return self.center.distance_sq_to(p) <= self.radius * self.radius
+
+    def overlaps(self, other: "Circle") -> bool:
+        """True when the two closed discs share at least one point."""
+        reach = self.radius + other.radius
+        return self.center.distance_sq_to(other.center) <= reach * reach
+
+    def contains_circle(self, other: "Circle") -> bool:
+        """True when ``other`` lies entirely inside this circle.
+
+        This is the literal reading of the paper's Algorithm 2 pseudocode;
+        it is provided for completeness and for the ablation benchmark that
+        demonstrates why it cannot serve as the join-between filter.
+        """
+        if other.radius > self.radius:
+            return False
+        slack = self.radius - other.radius
+        return self.center.distance_sq_to(other.center) <= slack * slack
+
+    def expanded(self, margin: float) -> "Circle":
+        """A concentric circle whose radius is larger by ``margin``."""
+        return Circle(self.center, self.radius + margin)
+
+
+def circles_overlap(
+    ax: float, ay: float, ar: float, bx: float, by: float, br: float
+) -> bool:
+    """Allocation-free disc overlap test on raw coordinates.
+
+    This is the hot-path form of :meth:`Circle.overlaps`, used by the
+    join-between step which runs for every candidate cluster pair in every
+    execution interval.
+    """
+    dx = ax - bx
+    dy = ay - by
+    reach = ar + br
+    return dx * dx + dy * dy <= reach * reach

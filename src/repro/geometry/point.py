@@ -1,0 +1,132 @@
+"""Planar points and vectors.
+
+Every spatial value in the SCUBA reproduction — object locations, query
+locations, cluster centroids, connection-node positions — is a point in a
+two-dimensional Euclidean plane measured in abstract *spatial units* (the
+paper's terminology).  ``Point`` is deliberately tiny: two float slots plus
+the handful of operations the rest of the system needs.  Hot loops that join
+thousands of entities per interval avoid allocating points entirely and work
+on raw ``(x, y)`` floats via the module-level helpers below.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+__all__ = [
+    "Point",
+    "Vector",
+    "distance",
+    "distance_sq",
+    "midpoint",
+]
+
+
+class Point:
+    """An immutable point (or displacement) in the plane.
+
+    ``Point`` doubles as a 2-D vector: subtraction of two points yields the
+    displacement between them, and points can be translated by adding a
+    displacement.  This mirrors how the paper treats cluster *velocity
+    vectors* and *transformation vectors* — both are just points used as
+    offsets.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        object.__setattr__(self, "x", float(x))
+        object.__setattr__(self, "y", float(y))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __repr__(self) -> str:
+        return f"Point({self.x:g}, {self.y:g})"
+
+    # -- geometry -----------------------------------------------------------
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_sq_to(self, other: "Point") -> float:
+        """Squared Euclidean distance; avoids the sqrt in filter tests."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def norm(self) -> float:
+        """Length of this point interpreted as a vector from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Point":
+        """Unit vector in this direction.
+
+        Raises :class:`ValueError` for the zero vector, which has no
+        direction — callers deciding a cluster's heading must special-case
+        a cluster that is already at its destination.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """Approximate equality within absolute tolerance ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+
+# ``Vector`` is an alias: displacements and positions share representation.
+Vector = Point
+
+
+def distance(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between raw coordinate pairs (allocation-free)."""
+    return math.hypot(ax - bx, ay - by)
+
+
+def distance_sq(ax: float, ay: float, bx: float, by: float) -> float:
+    """Squared Euclidean distance between raw coordinate pairs."""
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Point halfway between ``a`` and ``b``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)

@@ -1,0 +1,64 @@
+"""Polar coordinates for cluster-relative member positions.
+
+SCUBA stores the position of every object and query inside a moving cluster
+*relative* to the cluster centroid, as polar coordinates ``(r, theta)`` with
+the pole at the centroid (paper §3.1).  ``r`` is the radial distance from the
+centroid and ``theta`` the counterclockwise angle from the positive x-axis.
+
+Storing relative positions lets the whole cluster translate rigidly (the
+common case between execution intervals) without touching any member, and it
+makes the paper's load-shedding policy natural: a member whose ``r`` falls
+inside the nucleus radius can have its coordinates discarded outright.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from .point import Point
+
+__all__ = ["PolarCoord", "to_polar", "to_cartesian"]
+
+
+class PolarCoord(NamedTuple):
+    """A polar coordinate pair ``(r, theta)``.
+
+    ``theta`` is normalised to ``[0, 2*pi)`` by :func:`to_polar`; the origin
+    (``r == 0``) is represented with ``theta == 0``.
+    """
+
+    r: float
+    theta: float
+
+    def to_point(self, pole: Point) -> Point:
+        """Absolute position of this coordinate given the ``pole``."""
+        return Point(
+            pole.x + self.r * math.cos(self.theta),
+            pole.y + self.r * math.sin(self.theta),
+        )
+
+
+_TWO_PI = 2.0 * math.pi
+
+
+def to_polar(p: Point, pole: Point) -> PolarCoord:
+    """Polar coordinates of point ``p`` with respect to ``pole``.
+
+    The returned angle lies in ``[0, 2*pi)`` so that coordinates have a
+    single canonical representation (useful for equality in tests).
+    """
+    dx = p.x - pole.x
+    dy = p.y - pole.y
+    r = math.hypot(dx, dy)
+    if r == 0.0:
+        return PolarCoord(0.0, 0.0)
+    theta = math.atan2(dy, dx)
+    if theta < 0.0:
+        theta += _TWO_PI
+    return PolarCoord(r, theta)
+
+
+def to_cartesian(coord: PolarCoord, pole: Point) -> Point:
+    """Inverse of :func:`to_polar`: absolute position of ``coord``."""
+    return coord.to_point(pole)

@@ -1,0 +1,138 @@
+"""Axis-aligned rectangles.
+
+Rectangles appear in two roles:
+
+* the **spatial region of a range query** — a window of configurable width
+  and height centred on the (moving) query point, exactly the "size of the
+  range query" attribute the paper stores in ``q.attrs``; and
+* the **world bounds** that the :class:`~repro.core.grid.SpatialGrid`
+  partitions into N×N cells.
+"""
+
+from __future__ import annotations
+
+from .circle import Circle
+from .point import Point
+
+__all__ = ["Rect"]
+
+
+class Rect:
+    """A closed axis-aligned rectangle ``[min_x, max_x] × [min_y, max_y]``."""
+
+    __slots__ = ("min_x", "min_y", "max_x", "max_y")
+
+    def __init__(self, min_x: float, min_y: float, max_x: float, max_y: float) -> None:
+        if max_x < min_x or max_y < min_y:
+            raise ValueError(
+                f"degenerate rectangle: ({min_x}, {min_y}, {max_x}, {max_y})"
+            )
+        self.min_x = float(min_x)
+        self.min_y = float(min_y)
+        self.max_x = float(max_x)
+        self.max_y = float(max_y)
+
+    @classmethod
+    def centered(cls, center: Point, width: float, height: float) -> "Rect":
+        """Rectangle of ``width × height`` centred on ``center``.
+
+        This is the footprint of a continuous range query whose focal point
+        is the query's current location.
+        """
+        hw = width / 2.0
+        hh = height / 2.0
+        return cls(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def __repr__(self) -> str:
+        return (
+            f"Rect({self.min_x:g}, {self.min_y:g}, {self.max_x:g}, {self.max_y:g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return (
+            self.min_x == other.min_x
+            and self.min_y == other.min_y
+            and self.max_x == other.max_x
+            and self.max_y == other.max_y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.min_x, self.min_y, self.max_x, self.max_y))
+
+    # -- predicates ----------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the boundary."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """Allocation-free form of :meth:`contains_point`."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two closed rectangles share at least one point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def intersects_circle(self, circle: Circle) -> bool:
+        """True when the rectangle and the closed disc share a point.
+
+        Used when probing which grid region a cluster's circular footprint
+        overlaps, and for range-query vs. nucleus intersection under
+        partial load shedding.
+        """
+        # Closest point on the rectangle to the circle center.
+        cx = min(max(circle.center.x, self.min_x), self.max_x)
+        cy = min(max(circle.center.y, self.min_y), self.max_y)
+        dx = circle.center.x - cx
+        dy = circle.center.y - cy
+        return dx * dx + dy * dy <= circle.radius * circle.radius
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def clamp_point(self, p: Point) -> Point:
+        """Nearest point inside the rectangle to ``p``."""
+        return Point(
+            min(max(p.x, self.min_x), self.max_x),
+            min(max(p.y, self.min_y), self.max_y),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side (Minkowski sum)."""
+        return Rect(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )

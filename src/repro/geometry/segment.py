@@ -1,0 +1,72 @@
+"""Line segments: the geometry of road-network edges.
+
+Objects in the paper's motion model (§2) move *piecewise linearly* along
+roads.  Each road edge is a straight segment between two connection nodes;
+an object's position is always a point on some segment, parameterised by the
+distance travelled from the segment's start.
+"""
+
+from __future__ import annotations
+
+from .point import Point
+
+__all__ = ["Segment"]
+
+
+class Segment:
+    """A directed straight segment from ``start`` to ``end``."""
+
+    __slots__ = ("start", "end", "_length")
+
+    def __init__(self, start: Point, end: Point) -> None:
+        self.start = start
+        self.end = end
+        self._length = start.distance_to(end)
+
+    @property
+    def length(self) -> float:
+        """Euclidean length (cached at construction)."""
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"Segment({self.start!r} -> {self.end!r})"
+
+    def point_at(self, offset: float) -> Point:
+        """Point at ``offset`` spatial units from ``start`` along the segment.
+
+        ``offset`` is clamped to ``[0, length]`` so callers that overshoot a
+        connection node by a fraction of a unit (floating-point drift when an
+        object arrives) still get a position on the road.
+        """
+        if self._length == 0.0:
+            return self.start
+        t = min(max(offset / self._length, 0.0), 1.0)
+        return Point(
+            self.start.x + (self.end.x - self.start.x) * t,
+            self.start.y + (self.end.y - self.start.y) * t,
+        )
+
+    def point_at_fraction(self, t: float) -> Point:
+        """Point at parameter ``t`` in ``[0, 1]`` along the segment."""
+        if not 0.0 <= t <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {t}")
+        return Point(
+            self.start.x + (self.end.x - self.start.x) * t,
+            self.start.y + (self.end.y - self.start.y) * t,
+        )
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.end, self.start)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Shortest distance from ``p`` to any point on the segment."""
+        if self._length == 0.0:
+            return self.start.distance_to(p)
+        dx = self.end.x - self.start.x
+        dy = self.end.y - self.start.y
+        t = ((p.x - self.start.x) * dx + (p.y - self.start.y) * dy) / (
+            self._length * self._length
+        )
+        t = min(max(t, 0.0), 1.0)
+        return Point(self.start.x + dx * t, self.start.y + dy * t).distance_to(p)

@@ -1,0 +1,5 @@
+"""Spatial indexing structures shared by SCUBA and the regular baseline."""
+
+from .grid import CellKey, SpatialGrid
+
+__all__ = ["CellKey", "SpatialGrid"]

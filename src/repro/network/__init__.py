@@ -1,0 +1,35 @@
+"""Road-network substrate.
+
+Provides the constrained motion space of the paper's model (§2): connection
+nodes joined by straight road edges with per-class speed limits, synthetic
+city builders standing in for the Worcester road map, shortest-path routing,
+and JSON serialisation.
+"""
+
+from .builder import DEFAULT_BOUNDS, grid_city, radial_city, random_city
+from .edge import EdgeId, RoadClass, RoadEdge
+from .graph import EdgePosition, RoadNetwork
+from .io import load_network, network_from_dict, network_to_dict, save_network
+from .node import ConnectionNode, NodeId
+from .path import Router, path_length, shortest_path
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "ConnectionNode",
+    "EdgeId",
+    "EdgePosition",
+    "NodeId",
+    "RoadClass",
+    "RoadEdge",
+    "RoadNetwork",
+    "Router",
+    "grid_city",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "path_length",
+    "radial_city",
+    "random_city",
+    "save_network",
+    "shortest_path",
+]

@@ -1,0 +1,250 @@
+"""Synthetic city builders.
+
+The paper feeds the road map of Worcester, USA into Brinkhoff's generator.
+That shapefile is not redistributable, so we synthesise road networks with
+the structural properties SCUBA's evaluation actually depends on:
+
+* a connected planar graph of connection nodes;
+* a mix of road classes — few long, fast roads (highways/arterials) where
+  connection nodes are far apart, and many short, slow local streets —
+  which produces the speed/destination skew that makes entities clusterable
+  (paper §3.1 argues exactly this structure for real cities);
+* a bounded rectangular extent that the spatial grid partitions.
+
+Three builders are provided.  ``grid_city`` is the default workload
+substrate (a Manhattan-style lattice with arterial avenues); ``radial_city``
+models a ring-and-spoke European layout; ``random_city`` grows a seeded
+random planar-ish network for robustness testing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from ..geometry import Point, Rect
+from .edge import RoadClass
+from .graph import RoadNetwork
+
+__all__ = ["grid_city", "radial_city", "random_city", "DEFAULT_BOUNDS"]
+
+#: Default world extent: 10,000 × 10,000 spatial units.  With the paper's
+#: 100×100 grid this makes each grid cell 100 units — the same magnitude as
+#: the default distance threshold Θ_D = 100, matching the paper's setup.
+DEFAULT_BOUNDS = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+def grid_city(
+    rows: int = 11,
+    cols: int = 11,
+    bounds: Rect = DEFAULT_BOUNDS,
+    arterial_every: int = 5,
+    interchange_every: int = 4,
+) -> RoadNetwork:
+    """A Manhattan-style lattice city.
+
+    ``rows × cols`` connection nodes are placed on a regular lattice over
+    ``bounds`` and joined by horizontal and vertical streets.  Every
+    ``arterial_every``-th row and column is an arterial; the two central
+    axes are highways.
+
+    Highways behave like real limited-access roads: along the central
+    axes, edges span ``interchange_every`` lattice steps, so connection
+    nodes (interchanges) are far apart and through traffic keeps its
+    ``cnloc`` — and therefore its moving cluster — for a long stretch
+    (paper §3.1: "on the larger roads connection nodes would be far apart
+    from each other").  Lattice nodes under a highway span are overpasses:
+    cross streets pass through them, the highway does not stop.  The
+    result is connected by construction.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid city needs at least a 2x2 lattice")
+    if interchange_every < 1:
+        raise ValueError(f"interchange_every must be >= 1, got {interchange_every}")
+    network = RoadNetwork(bounds)
+    dx = bounds.width / (cols - 1)
+    dy = bounds.height / (rows - 1)
+    ids = [
+        [
+            network.add_node(Point(bounds.min_x + c * dx, bounds.min_y + r * dy)).node_id
+            for c in range(cols)
+        ]
+        for r in range(rows)
+    ]
+    mid_row = rows // 2
+    mid_col = cols // 2
+
+    def class_for(r: int, c: int, horizontal: bool) -> RoadClass:
+        if horizontal:
+            if r % arterial_every == 0:
+                return RoadClass.ARTERIAL
+        else:
+            if c % arterial_every == 0:
+                return RoadClass.ARTERIAL
+        return RoadClass.LOCAL
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols and r != mid_row:
+                network.add_edge(ids[r][c], ids[r][c + 1], class_for(r, c, True))
+            if r + 1 < rows and c != mid_col:
+                network.add_edge(ids[r][c], ids[r + 1][c], class_for(r, c, False))
+
+    # Central-axis highways with sparse interchanges.  The final span is
+    # shortened to reach the border even when the lattice size is not a
+    # multiple of the interchange spacing.
+    def highway_stops(limit: int, crossing: int) -> list:
+        stops = set(range(0, limit, interchange_every))
+        stops.add(limit - 1)
+        # The two highways must interchange where they cross, or the
+        # crossing node (which carries no local edges) would be isolated.
+        stops.add(crossing)
+        return sorted(stops)
+
+    col_stops = highway_stops(cols, mid_col)
+    for a, b in zip(col_stops, col_stops[1:]):
+        network.add_edge(ids[mid_row][a], ids[mid_row][b], RoadClass.HIGHWAY)
+    row_stops = highway_stops(rows, mid_row)
+    for a, b in zip(row_stops, row_stops[1:]):
+        network.add_edge(ids[a][mid_col], ids[b][mid_col], RoadClass.HIGHWAY)
+    return network
+
+
+def radial_city(
+    rings: int = 4,
+    spokes: int = 8,
+    bounds: Rect = DEFAULT_BOUNDS,
+) -> RoadNetwork:
+    """A ring-and-spoke city: a centre, concentric ring roads, radial spokes.
+
+    Spokes are arterials (the innermost segments are highways); ring roads
+    are local except the outermost ring, which is an arterial beltway.
+    """
+    if rings < 1 or spokes < 3:
+        raise ValueError("radial city needs >= 1 ring and >= 3 spokes")
+    network = RoadNetwork(bounds)
+    center = bounds.center
+    max_radius = 0.45 * min(bounds.width, bounds.height)
+    center_node = network.add_node(center)
+    ring_nodes: List[List[int]] = []
+    for ring in range(1, rings + 1):
+        radius = max_radius * ring / rings
+        nodes = []
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            nodes.append(
+                network.add_node(
+                    Point(
+                        center.x + radius * math.cos(angle),
+                        center.y + radius * math.sin(angle),
+                    )
+                ).node_id
+            )
+        ring_nodes.append(nodes)
+    for spoke in range(spokes):
+        # Spoke segments: center -> ring 1 -> ... -> outermost ring.
+        network.add_edge(center_node.node_id, ring_nodes[0][spoke], RoadClass.HIGHWAY)
+        for ring in range(rings - 1):
+            road_class = RoadClass.HIGHWAY if ring == 0 else RoadClass.ARTERIAL
+            network.add_edge(
+                ring_nodes[ring][spoke], ring_nodes[ring + 1][spoke], road_class
+            )
+    for ring in range(rings):
+        road_class = RoadClass.ARTERIAL if ring == rings - 1 else RoadClass.LOCAL
+        for spoke in range(spokes):
+            network.add_edge(
+                ring_nodes[ring][spoke],
+                ring_nodes[ring][(spoke + 1) % spokes],
+                road_class,
+            )
+    return network
+
+
+def random_city(
+    node_count: int = 60,
+    bounds: Rect = DEFAULT_BOUNDS,
+    seed: int = 7,
+    neighbor_links: int = 3,
+) -> RoadNetwork:
+    """A seeded random city.
+
+    Nodes are scattered uniformly over ``bounds``; each node is linked to
+    its ``neighbor_links`` nearest neighbours (producing a planar-ish local
+    street pattern), then any remaining components are stitched together by
+    arterial roads between their closest node pairs so the result is always
+    connected.  Long edges are promoted to arterials, the longest decile to
+    highways, mimicking how real arterials span a city.
+    """
+    if node_count < 2:
+        raise ValueError("random city needs at least 2 nodes")
+    rng = random.Random(seed)
+    network = RoadNetwork(bounds)
+    nodes = [
+        network.add_node(
+            Point(
+                bounds.min_x + rng.random() * bounds.width,
+                bounds.min_y + rng.random() * bounds.height,
+            )
+        )
+        for _ in range(node_count)
+    ]
+
+    # Link each node to its nearest neighbours.
+    for node in nodes:
+        ranked = sorted(
+            (other for other in nodes if other.node_id != node.node_id),
+            key=lambda other: node.location.distance_sq_to(other.location),
+        )
+        for other in ranked[:neighbor_links]:
+            if network.find_edge(node.node_id, other.node_id) is None:
+                network.add_edge(node.node_id, other.node_id, RoadClass.LOCAL)
+
+    # Stitch disconnected components with arterial bridges.
+    while not network.is_connected():
+        components = _components(network)
+        main, rest = components[0], components[1:]
+        best = None
+        for component in rest:
+            for a in main:
+                for b in component:
+                    d = network.node(a).location.distance_sq_to(
+                        network.node(b).location
+                    )
+                    if best is None or d < best[0]:
+                        best = (d, a, b)
+        assert best is not None
+        network.add_edge(best[1], best[2], RoadClass.ARTERIAL)
+
+    # Promote the longest edges to faster classes.
+    edges = sorted(network.edges(), key=lambda e: e.length, reverse=True)
+    highway_cut = max(1, len(edges) // 10)
+    arterial_cut = max(1, len(edges) // 4)
+    for i, edge in enumerate(edges):
+        if i < highway_cut:
+            edge.road_class = RoadClass.HIGHWAY
+        elif i < arterial_cut and edge.road_class is RoadClass.LOCAL:
+            edge.road_class = RoadClass.ARTERIAL
+    return network
+
+
+def _components(network: RoadNetwork) -> List[List[int]]:
+    """Connected components as node-id lists, largest first."""
+    seen: set = set()
+    components: List[List[int]] = []
+    for node in network.nodes():
+        if node.node_id in seen:
+            continue
+        component = [node.node_id]
+        seen.add(node.node_id)
+        stack = [node.node_id]
+        while stack:
+            current = stack.pop()
+            for neighbor in network.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.append(neighbor)
+                    stack.append(neighbor)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components

@@ -1,0 +1,99 @@
+"""Road edges.
+
+Edges are undirected for connectivity purposes (traffic flows both ways)
+but are traversed in a concrete direction by a moving entity.  Each edge
+carries a *road class* that fixes its speed limit; the mix of classes is
+what produces the realistic speed skew the paper leans on — fast highways
+with far-apart connection nodes, slow local roads with close ones (§3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .node import NodeId
+
+__all__ = ["RoadClass", "RoadEdge", "EdgeId"]
+
+EdgeId = int
+
+
+class RoadClass(enum.Enum):
+    """Functional class of a road, fixing its speed limit.
+
+    Speed limits are in spatial units per time unit and are calibrated so
+    that with the default world of 10,000×10,000 units an object crosses a
+    grid cell of the paper's 100×100 grid in one to a few time units.
+    """
+
+    HIGHWAY = "highway"
+    ARTERIAL = "arterial"
+    LOCAL = "local"
+
+    @property
+    def speed_limit(self) -> float:
+        return _SPEED_LIMITS[self]
+
+    @property
+    def min_speed(self) -> float:
+        """Slowest plausible travel speed on this class of road."""
+        return _MIN_SPEEDS[self]
+
+
+_SPEED_LIMITS = {
+    RoadClass.HIGHWAY: 100.0,
+    RoadClass.ARTERIAL: 60.0,
+    RoadClass.LOCAL: 30.0,
+}
+
+_MIN_SPEEDS = {
+    RoadClass.HIGHWAY: 60.0,
+    RoadClass.ARTERIAL: 30.0,
+    RoadClass.LOCAL: 10.0,
+}
+
+
+class RoadEdge:
+    """An undirected road between two connection nodes.
+
+    ``length`` is the Euclidean distance between the endpoint nodes (roads
+    are straight segments in the piecewise-linear motion model).
+    """
+
+    __slots__ = ("edge_id", "u", "v", "length", "road_class")
+
+    def __init__(
+        self,
+        edge_id: EdgeId,
+        u: NodeId,
+        v: NodeId,
+        length: float,
+        road_class: RoadClass = RoadClass.LOCAL,
+    ) -> None:
+        if u == v:
+            raise ValueError(f"self-loop edge at node {u}")
+        if length <= 0:
+            raise ValueError(f"edge length must be positive, got {length}")
+        self.edge_id = edge_id
+        self.u = u
+        self.v = v
+        self.length = float(length)
+        self.road_class = road_class
+
+    def other_endpoint(self, node: NodeId) -> NodeId:
+        """The endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"node {node} is not an endpoint of edge {self.edge_id}")
+
+    @property
+    def speed_limit(self) -> float:
+        return self.road_class.speed_limit
+
+    def __repr__(self) -> str:
+        return (
+            f"RoadEdge({self.edge_id}, {self.u}<->{self.v}, "
+            f"len={self.length:g}, {self.road_class.value})"
+        )

@@ -1,0 +1,189 @@
+"""The road network graph.
+
+:class:`RoadNetwork` is the substrate every other subsystem stands on: the
+generator moves entities along its edges, clusters use its connection nodes
+as shared destinations, and the spatial grid partitions its bounding box.
+
+The structure is a plain undirected multigraph kept in adjacency lists.  It
+is append-only by design — the paper assumes "the network is stable" (§2),
+so there is no edge/node removal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..geometry import Point, Rect, Segment
+from .edge import EdgeId, RoadClass, RoadEdge
+from .node import ConnectionNode, NodeId
+
+__all__ = ["RoadNetwork", "EdgePosition"]
+
+
+class EdgePosition:
+    """A position on the network: an edge, a travel direction, an offset.
+
+    ``offset`` is the distance already travelled from ``origin`` toward the
+    opposite endpoint, in ``[0, edge.length]``.  This is the canonical
+    representation of a moving entity's whereabouts; :meth:`location`
+    projects it into the plane.
+    """
+
+    __slots__ = ("edge", "origin", "offset")
+
+    def __init__(self, edge: RoadEdge, origin: NodeId, offset: float = 0.0) -> None:
+        if origin not in (edge.u, edge.v):
+            raise ValueError(f"origin {origin} is not an endpoint of {edge!r}")
+        if not 0.0 <= offset <= edge.length:
+            raise ValueError(
+                f"offset {offset} outside [0, {edge.length}] on edge {edge.edge_id}"
+            )
+        self.edge = edge
+        self.origin = origin
+        self.offset = float(offset)
+
+    @property
+    def destination(self) -> NodeId:
+        """The connection node this position is moving toward."""
+        return self.edge.other_endpoint(self.origin)
+
+    @property
+    def remaining(self) -> float:
+        """Distance left to the destination endpoint."""
+        return self.edge.length - self.offset
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgePosition(edge={self.edge.edge_id}, {self.origin}->"
+            f"{self.destination}, offset={self.offset:g})"
+        )
+
+
+class RoadNetwork:
+    """An undirected road graph of connection nodes and road edges."""
+
+    def __init__(self, bounds: Rect) -> None:
+        self.bounds = bounds
+        self._nodes: Dict[NodeId, ConnectionNode] = {}
+        self._edges: Dict[EdgeId, RoadEdge] = {}
+        self._adjacency: Dict[NodeId, List[EdgeId]] = {}
+        self._next_node_id: NodeId = 0
+        self._next_edge_id: EdgeId = 0
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, location: Point) -> ConnectionNode:
+        """Create a connection node at ``location`` (must be inside bounds)."""
+        if not self.bounds.contains_point(location):
+            raise ValueError(f"node location {location!r} outside {self.bounds!r}")
+        node = ConnectionNode(self._next_node_id, location)
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = []
+        self._next_node_id += 1
+        return node
+
+    def add_edge(
+        self, u: NodeId, v: NodeId, road_class: RoadClass = RoadClass.LOCAL
+    ) -> RoadEdge:
+        """Create a straight road between existing nodes ``u`` and ``v``."""
+        if u not in self._nodes or v not in self._nodes:
+            raise KeyError(f"both endpoints must exist: {u}, {v}")
+        length = self._nodes[u].location.distance_to(self._nodes[v].location)
+        edge = RoadEdge(self._next_edge_id, u, v, length, road_class)
+        self._edges[edge.edge_id] = edge
+        self._adjacency[u].append(edge.edge_id)
+        self._adjacency[v].append(edge.edge_id)
+        self._next_edge_id += 1
+        return edge
+
+    # -- lookup ---------------------------------------------------------------
+
+    def node(self, node_id: NodeId) -> ConnectionNode:
+        return self._nodes[node_id]
+
+    def edge(self, edge_id: EdgeId) -> RoadEdge:
+        return self._edges[edge_id]
+
+    def nodes(self) -> Iterable[ConnectionNode]:
+        return self._nodes.values()
+
+    def edges(self) -> Iterable[RoadEdge]:
+        return self._edges.values()
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def incident_edges(self, node_id: NodeId) -> List[RoadEdge]:
+        """All road edges touching ``node_id``."""
+        return [self._edges[eid] for eid in self._adjacency[node_id]]
+
+    def neighbors(self, node_id: NodeId) -> List[NodeId]:
+        """Connection nodes one edge away from ``node_id``."""
+        return [
+            self._edges[eid].other_endpoint(node_id)
+            for eid in self._adjacency[node_id]
+        ]
+
+    def degree(self, node_id: NodeId) -> int:
+        return len(self._adjacency[node_id])
+
+    def find_edge(self, u: NodeId, v: NodeId) -> Optional[RoadEdge]:
+        """The first edge between ``u`` and ``v``, or None."""
+        for eid in self._adjacency.get(u, ()):
+            edge = self._edges[eid]
+            if edge.other_endpoint(u) == v:
+                return edge
+        return None
+
+    # -- geometry --------------------------------------------------------------
+
+    def edge_segment(self, edge: RoadEdge, origin: NodeId) -> Segment:
+        """The edge as a directed segment starting at ``origin``."""
+        start = self._nodes[origin].location
+        end = self._nodes[edge.other_endpoint(origin)].location
+        return Segment(start, end)
+
+    def position_location(self, pos: EdgePosition) -> Point:
+        """Planar location of an :class:`EdgePosition`."""
+        return self.edge_segment(pos.edge, pos.origin).point_at(pos.offset)
+
+    def node_location(self, node_id: NodeId) -> Point:
+        return self._nodes[node_id].location
+
+    def nearest_node(self, p: Point) -> ConnectionNode:
+        """Connection node closest to ``p`` (linear scan; setup-time only)."""
+        if not self._nodes:
+            raise ValueError("network has no nodes")
+        return min(self._nodes.values(), key=lambda n: n.location.distance_sq_to(p))
+
+    # -- integrity ---------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from every other node.
+
+        Generators require a connected network: an entity whose next
+        destination is unreachable would stall forever.
+        """
+        if not self._nodes:
+            return True
+        start = next(iter(self._nodes))
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"RoadNetwork({self.node_count} nodes, {self.edge_count} edges, "
+            f"bounds={self.bounds!r})"
+        )

@@ -1,0 +1,81 @@
+"""Road-network serialisation.
+
+Networks round-trip through a plain-dict representation (and from there to
+JSON on disk) so that experiment configurations are reproducible artefacts:
+a benchmark can pin the exact city it ran on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..geometry import Point, Rect
+from .edge import RoadClass
+from .graph import RoadNetwork
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> Dict[str, Any]:
+    """Serialisable representation of ``network``."""
+    return {
+        "version": _FORMAT_VERSION,
+        "bounds": [
+            network.bounds.min_x,
+            network.bounds.min_y,
+            network.bounds.max_x,
+            network.bounds.max_y,
+        ],
+        "nodes": [
+            {"id": n.node_id, "x": n.location.x, "y": n.location.y}
+            for n in network.nodes()
+        ],
+        "edges": [
+            {
+                "id": e.edge_id,
+                "u": e.u,
+                "v": e.v,
+                "class": e.road_class.value,
+            }
+            for e in network.edges()
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> RoadNetwork:
+    """Rebuild a network from :func:`network_to_dict` output.
+
+    Node and edge ids are reassigned sequentially in file order, which the
+    serialised order preserves; edge lengths are recomputed from node
+    positions (they are derived data).
+    """
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported network format version: {version!r}")
+    bounds = Rect(*data["bounds"])
+    network = RoadNetwork(bounds)
+    id_map: Dict[int, int] = {}
+    for node_data in data["nodes"]:
+        node = network.add_node(Point(node_data["x"], node_data["y"]))
+        id_map[node_data["id"]] = node.node_id
+    for edge_data in data["edges"]:
+        network.add_edge(
+            id_map[edge_data["u"]],
+            id_map[edge_data["v"]],
+            RoadClass(edge_data["class"]),
+        )
+    return network
+
+
+def save_network(network: RoadNetwork, path: Union[str, Path]) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network)), encoding="utf-8")
+
+
+def load_network(path: Union[str, Path]) -> RoadNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

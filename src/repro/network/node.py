@@ -1,0 +1,38 @@
+"""Connection nodes of the road network.
+
+The paper's motion model (§2) constrains objects to roads "connected by
+network nodes, also known as *connection nodes*".  A connection node is the
+unit of *direction* in SCUBA: every moving entity reports the connection
+node it is currently heading to (``cnloc``), and two entities are eligible
+for the same moving cluster only when their ``cnloc`` agree.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Point
+
+__all__ = ["ConnectionNode", "NodeId"]
+
+# Node identifiers are small integers assigned by the network builder.
+NodeId = int
+
+
+class ConnectionNode:
+    """A road intersection (or endpoint) with a fixed position."""
+
+    __slots__ = ("node_id", "location")
+
+    def __init__(self, node_id: NodeId, location: Point) -> None:
+        self.node_id = node_id
+        self.location = location
+
+    def __repr__(self) -> str:
+        return f"ConnectionNode({self.node_id}, {self.location!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConnectionNode):
+            return NotImplemented
+        return self.node_id == other.node_id and self.location == other.location
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)

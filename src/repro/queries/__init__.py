@@ -1,0 +1,24 @@
+"""Query types beyond the continuous range join.
+
+Snapshot range probes, cluster-based kNN, and cluster-summary aggregates —
+the extensions the paper sketches in §1, built as working code over live
+SCUBA cluster state.
+"""
+
+from .aggregate import RegionAggregate, exact_aggregate, summary_aggregate
+from .continuous_knn import KnnConfig, ScubaKnn
+from .knn import KnnNeighbor, evaluate_knn, knn_containing_cluster_fast_path
+from .range import RangeAnswer, evaluate_range
+
+__all__ = [
+    "KnnConfig",
+    "KnnNeighbor",
+    "RangeAnswer",
+    "RegionAggregate",
+    "ScubaKnn",
+    "evaluate_knn",
+    "evaluate_range",
+    "exact_aggregate",
+    "knn_containing_cluster_fast_path",
+    "summary_aggregate",
+]

@@ -1,0 +1,143 @@
+"""Cluster-based k-nearest-neighbour queries.
+
+The paper claims SCUBA "is applicable to other types of spatio-temporal
+queries", sketching for kNN that "moving clusters that are not intersecting
+with other moving clusters and contain at least k members can be assumed to
+contain nearest members of the query object" (§1).  This module turns that
+sketch into working code:
+
+* :func:`evaluate_knn` — an exact best-first search over clusters, using
+  each cluster's circle for distance bounds (lower bound
+  ``max(0, d(centroid) − radius)``), expanding clusters in bound order and
+  stopping as soon as the k-th best member distance beats the next
+  cluster's lower bound.  Load-shed members contribute their *optimistic*
+  nucleus bound and are flagged approximate.
+* :func:`knn_containing_cluster_fast_path` — the paper's shortcut verbatim:
+  if the query point's own cluster holds at least ``k`` members and its
+  circle intersects no other cluster, the answer is inside that cluster.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, NamedTuple, Optional
+
+from ..clustering import ClusterWorld, MovingCluster
+from ..generator import EntityKind
+from ..geometry import Point, circles_overlap
+
+__all__ = ["KnnNeighbor", "evaluate_knn", "knn_containing_cluster_fast_path"]
+
+
+class KnnNeighbor(NamedTuple):
+    """One kNN answer entry."""
+
+    entity_id: int
+    distance: float
+    #: True when the distance is a nucleus approximation (position shed).
+    approximate: bool
+
+
+def evaluate_knn(
+    world: ClusterWorld,
+    point: Point,
+    k: int,
+    kind: EntityKind = EntityKind.OBJECT,
+) -> List[KnnNeighbor]:
+    """The ``k`` entities of ``kind`` nearest to ``point``.
+
+    Exact for members with stored positions; shed members are ranked by
+    distance to their cluster's nucleus (a lower bound) and flagged.
+    Returns fewer than ``k`` entries when the world holds fewer members.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    # Best-first queue of clusters by lower-bound distance.
+    queue: List = []
+    for cluster in world.storage.clusters():
+        count = (
+            cluster.object_count if kind is EntityKind.OBJECT else cluster.query_count
+        )
+        if count == 0:
+            continue
+        d_centroid = math.hypot(point.x - cluster.cx, point.y - cluster.cy)
+        lower = max(0.0, d_centroid - cluster.radius)
+        heapq.heappush(queue, (lower, cluster.cid, cluster))
+
+    best: List[KnnNeighbor] = []  # kept sorted ascending by distance
+
+    def kth_distance() -> float:
+        return best[k - 1].distance if len(best) >= k else math.inf
+
+    while queue:
+        lower, _cid, cluster = heapq.heappop(queue)
+        if lower > kth_distance():
+            break  # no remaining cluster can improve the answer
+        cluster.flush_transform()
+        members = (
+            cluster.objects if kind is EntityKind.OBJECT else cluster.queries
+        )
+        nucleus_r = min(cluster.nucleus_radius, cluster.radius)
+        d_centroid = math.hypot(point.x - cluster.cx, point.y - cluster.cy)
+        shed_bound = max(0.0, d_centroid - nucleus_r)
+        for entity_id, member in members.items():
+            if member.position_shed:
+                candidate = KnnNeighbor(entity_id, shed_bound, True)
+            else:
+                dist = math.hypot(point.x - member.abs_x, point.y - member.abs_y)
+                candidate = KnnNeighbor(entity_id, dist, False)
+            if candidate.distance < kth_distance() or len(best) < k:
+                _insert_sorted(best, candidate, k)
+    return best[:k]
+
+
+def _insert_sorted(best: List[KnnNeighbor], item: KnnNeighbor, k: int) -> None:
+    """Insert keeping ascending distance order; trim to ``k`` entries."""
+    lo, hi = 0, len(best)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if best[mid].distance <= item.distance:
+            lo = mid + 1
+        else:
+            hi = mid
+    best.insert(lo, item)
+    if len(best) > k:
+        best.pop()
+
+
+def knn_containing_cluster_fast_path(
+    world: ClusterWorld,
+    point: Point,
+    k: int,
+    kind: EntityKind = EntityKind.OBJECT,
+) -> Optional[MovingCluster]:
+    """The paper's §1 shortcut: an isolated cluster that must hold the answer.
+
+    Returns the cluster containing ``point`` when it (a) has at least ``k``
+    members of ``kind`` and (b) its circle intersects no other cluster's —
+    in that case all k nearest members are guaranteed to be its own.
+    Returns ``None`` when the shortcut does not apply and a full
+    :func:`evaluate_knn` is needed.
+    """
+    home: Optional[MovingCluster] = None
+    for cluster in world.storage.clusters():
+        if cluster.circle().contains_point(point):
+            count = (
+                cluster.object_count
+                if kind is EntityKind.OBJECT
+                else cluster.query_count
+            )
+            if count >= k:
+                home = cluster
+                break
+    if home is None:
+        return None
+    for other in world.storage.clusters():
+        if other.cid == home.cid:
+            continue
+        if circles_overlap(
+            home.cx, home.cy, home.radius, other.cx, other.cy, other.radius
+        ):
+            return None
+    return home

@@ -1,0 +1,25 @@
+"""Moving-cluster-driven load shedding (paper §5) and accuracy scoring."""
+
+from .accuracy import AccuracyReport, compare_results
+from .controller import AdaptiveShedder, retained_position_count
+from .policy import (
+    FullShedding,
+    NoShedding,
+    PartialShedding,
+    RandomShedding,
+    SheddingPolicy,
+    policy_for_eta,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "AdaptiveShedder",
+    "FullShedding",
+    "NoShedding",
+    "PartialShedding",
+    "RandomShedding",
+    "SheddingPolicy",
+    "compare_results",
+    "policy_for_eta",
+    "retained_position_count",
+]

@@ -1,0 +1,89 @@
+"""Result-accuracy measurement under load shedding (paper §6.6).
+
+The paper scores a shedding configuration by comparing its output against
+the η = 0 % (no shedding) answer and counting **false positives** (pairs
+reported that the exact evaluation does not report) and **false negatives**
+(exact pairs that the shedding run misses).  We reproduce that score and
+additionally expose precision/recall/F1, which make the trade-off easier to
+read in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
+
+from ..streams import QueryMatch, match_set
+
+__all__ = ["AccuracyReport", "compare_results"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Confusion counts of an approximate result set vs. a reference."""
+
+    reference_count: int
+    produced_count: int
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        if self.produced_count == 0:
+            return 1.0 if self.reference_count == 0 else 0.0
+        return self.true_positives / self.produced_count
+
+    @property
+    def recall(self) -> float:
+        if self.reference_count == 0:
+            return 1.0
+        return self.true_positives / self.reference_count
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    @property
+    def accuracy(self) -> float:
+        """The paper's headline metric: errors relative to the exact answer.
+
+        Both error kinds count against the score, floored at zero:
+        ``1 − (FP + FN) / |reference|``.  A perfect run scores 1.0.
+        """
+        if self.reference_count == 0:
+            return 1.0 if self.false_positives == 0 else 0.0
+        return max(
+            0.0,
+            1.0 - (self.false_positives + self.false_negatives) / self.reference_count,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"accuracy {self.accuracy:.1%} "
+            f"(P {self.precision:.1%} / R {self.recall:.1%}, "
+            f"FP {self.false_positives}, FN {self.false_negatives})"
+        )
+
+
+def compare_results(
+    reference: Iterable[QueryMatch], produced: Iterable[QueryMatch]
+) -> AccuracyReport:
+    """Score ``produced`` against the exact ``reference`` answer.
+
+    Matches are compared as (qid, oid) pairs — evaluation timestamps are
+    metadata, not identity.
+    """
+    ref: Set[Tuple[int, int]] = match_set(reference)
+    got: Set[Tuple[int, int]] = match_set(produced)
+    tp = len(ref & got)
+    return AccuracyReport(
+        reference_count=len(ref),
+        produced_count=len(got),
+        true_positives=tp,
+        false_positives=len(got - ref),
+        false_negatives=len(ref - got),
+    )

@@ -1,0 +1,79 @@
+"""Adaptive shedding control.
+
+The paper describes load shedding as a *reaction* to resource pressure:
+"If the system is about to run out of memory, SCUBA begins load shedding of
+cluster member positions and uses a nucleus to approximate their positions.
+If memory requirements are still high, then SCUBA load sheds positions of
+all cluster members" (§5).  The evaluation only measures fixed η settings,
+but the control loop itself is part of the design — this module supplies
+it, and an ablation benchmark exercises it.
+
+:class:`AdaptiveShedder` watches the number of retained member positions (a
+direct proxy for the state the paper sheds) and escalates η by one step
+whenever the count exceeds the budget, de-escalating when pressure drops
+below half the budget.  η moves along a fixed ladder ending in full
+shedding, mirroring the paper's two-stage "nucleus first, everything if
+that's not enough" story.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..clustering import ClusterStorage
+from .policy import SheddingPolicy, policy_for_eta
+
+__all__ = ["AdaptiveShedder", "retained_position_count"]
+
+#: Default escalation ladder for η (fractions of Θ_D).
+DEFAULT_LADDER: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def retained_position_count(storage: ClusterStorage) -> int:
+    """Member positions currently held (the state shedding can reclaim)."""
+    return sum(cluster.n - cluster.shed_count for cluster in storage)
+
+
+class AdaptiveShedder:
+    """Feedback controller stepping η up and down a ladder."""
+
+    def __init__(
+        self,
+        theta_d: float,
+        max_positions: int,
+        ladder: Sequence[float] = DEFAULT_LADDER,
+    ) -> None:
+        if max_positions < 1:
+            raise ValueError(f"max_positions must be >= 1, got {max_positions}")
+        if not ladder or sorted(ladder) != list(ladder):
+            raise ValueError("ladder must be a non-empty ascending sequence")
+        self.theta_d = theta_d
+        self.max_positions = max_positions
+        self.ladder: List[float] = list(ladder)
+        self._level = 0
+        self.policy: SheddingPolicy = policy_for_eta(self.ladder[0], theta_d)
+        #: (time, eta) escalation history, for experiment reporting.
+        self.history: List[tuple] = []
+
+    @property
+    def eta(self) -> float:
+        return self.ladder[self._level]
+
+    def observe(self, storage: ClusterStorage, now: float) -> SheddingPolicy:
+        """Inspect current pressure; returns the policy to use next interval."""
+        retained = retained_position_count(storage)
+        old_level = self._level
+        if retained > self.max_positions and self._level < len(self.ladder) - 1:
+            self._level += 1
+        elif retained < self.max_positions // 2 and self._level > 0:
+            self._level -= 1
+        if self._level != old_level:
+            self.policy = policy_for_eta(self.ladder[self._level], self.theta_d)
+            self.history.append((now, self.eta))
+        return self.policy
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveShedder(eta={self.eta}, budget={self.max_positions}, "
+            f"{len(self.history)} transitions)"
+        )

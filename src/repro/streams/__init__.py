@@ -1,0 +1,25 @@
+"""Miniature stream-processing engine (the CAPE stand-in).
+
+Defines the continuous-operator contract, the periodic Δ-triggered
+execution loop, result sinks, and per-phase timing metrics.
+"""
+
+from .engine import EngineConfig, StreamEngine
+from .metrics import IntervalStats, RunStats, Timer
+from .operator import ContinuousJoinOperator
+from .results import QueryMatch, match_set
+from .sink import CollectingSink, CountingSink, ResultSink
+
+__all__ = [
+    "CollectingSink",
+    "ContinuousJoinOperator",
+    "CountingSink",
+    "EngineConfig",
+    "IntervalStats",
+    "QueryMatch",
+    "ResultSink",
+    "RunStats",
+    "StreamEngine",
+    "Timer",
+    "match_set",
+]

@@ -1,0 +1,120 @@
+"""Timing and accounting primitives for the stream engine.
+
+The paper's evaluation reports three kinds of cost, and we measure the same
+three: **join time** (the Δ-triggered evaluation), **maintenance time**
+(cluster pre/post-join upkeep — ingest-side clustering plus post-join
+dissolution/relocation), and **memory** (estimated separately in
+:mod:`repro.experiments.memory`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["Timer", "IntervalStats", "RunStats"]
+
+
+class Timer:
+    """A context manager accumulating wall-clock seconds.
+
+    One timer instance can be entered repeatedly; ``seconds`` accumulates
+    across uses, which is how per-tuple ingest cost is summed over a whole
+    interval.
+    """
+
+    __slots__ = ("seconds", "_started")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds += time.perf_counter() - self._started
+
+    def reset(self) -> float:
+        """Return the accumulated seconds and zero the counter."""
+        elapsed = self.seconds
+        self.seconds = 0.0
+        return elapsed
+
+
+@dataclass
+class IntervalStats:
+    """Measured costs of one Δ execution interval."""
+
+    #: Simulation time at which the interval's evaluation fired.
+    t: float
+    #: Seconds spent ingesting tuples (pre-join maintenance phase).
+    ingest_seconds: float
+    #: Seconds spent in the joining phase.
+    join_seconds: float
+    #: Seconds spent in post-join maintenance.
+    maintenance_seconds: float
+    #: Number of (query, object) matches produced.
+    result_count: int
+    #: Number of tuples ingested during the interval.
+    tuple_count: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ingest_seconds + self.join_seconds + self.maintenance_seconds
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics over a whole engine run."""
+
+    intervals: List[IntervalStats] = field(default_factory=list)
+
+    def add(self, stats: IntervalStats) -> None:
+        self.intervals.append(stats)
+
+    @property
+    def interval_count(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def total_join_seconds(self) -> float:
+        return sum(s.join_seconds for s in self.intervals)
+
+    @property
+    def total_ingest_seconds(self) -> float:
+        return sum(s.ingest_seconds for s in self.intervals)
+
+    @property
+    def total_maintenance_seconds(self) -> float:
+        return sum(s.maintenance_seconds for s in self.intervals)
+
+    @property
+    def total_result_count(self) -> int:
+        return sum(s.result_count for s in self.intervals)
+
+    @property
+    def total_tuple_count(self) -> int:
+        return sum(s.tuple_count for s in self.intervals)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.total_seconds for s in self.intervals)
+
+    def mean_join_seconds(self) -> float:
+        """Average join time per interval (0.0 for an empty run)."""
+        if not self.intervals:
+            return 0.0
+        return self.total_join_seconds / len(self.intervals)
+
+    def summary(self) -> str:
+        """One-line human-readable digest, used by examples."""
+        return (
+            f"{self.interval_count} intervals | "
+            f"ingest {self.total_ingest_seconds:.3f}s | "
+            f"join {self.total_join_seconds:.3f}s | "
+            f"maintenance {self.total_maintenance_seconds:.3f}s | "
+            f"{self.total_result_count} results"
+        )

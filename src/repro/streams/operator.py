@@ -1,0 +1,62 @@
+"""The continuous-operator contract.
+
+SCUBA "has been implemented inside our stream processing system CAPE" (§6.1)
+as a continuous operator: tuples flow in at every time unit, and every Δ
+time units the operator evaluates all registered queries and emits answers.
+:class:`ContinuousJoinOperator` captures exactly that contract so the engine
+can drive SCUBA and the regular grid baseline interchangeably — and so a
+user can plug in their own algorithm and reuse the whole harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List
+
+from ..generator import Update
+from .results import QueryMatch
+
+__all__ = ["ContinuousJoinOperator"]
+
+
+class ContinuousJoinOperator(abc.ABC):
+    """A continuous spatio-temporal join over object and query streams."""
+
+    @abc.abstractmethod
+    def on_update(self, update: Update) -> None:
+        """Ingest one location/query update (the pre-join phase).
+
+        Called for every tuple as it arrives, *between* evaluations.  All
+        per-tuple state maintenance (hashing into a grid, incremental
+        clustering, ...) happens here.
+        """
+
+    @abc.abstractmethod
+    def evaluate(self, now: float) -> List[QueryMatch]:
+        """Run one Δ-triggered evaluation and return the current answers.
+
+        Implementations must also perform their post-join maintenance here
+        (advancing cluster positions, dissolving expired state, ...) and
+        record phase timings in :attr:`last_join_seconds` /
+        :attr:`last_maintenance_seconds`.
+        """
+
+    #: Seconds the most recent :meth:`evaluate` spent joining.
+    last_join_seconds: float = 0.0
+    #: Seconds the most recent :meth:`evaluate` spent on post-join upkeep.
+    last_maintenance_seconds: float = 0.0
+
+    def state_roots(self) -> List[Any]:
+        """Objects that constitute the operator's in-memory state.
+
+        The memory experiments deep-size everything reachable from these
+        roots.  The default is the operator itself, which is correct but
+        implementations may narrow it to exclude configuration.
+        """
+        return [self]
+
+    def reset(self) -> None:
+        """Discard all accumulated state (optional operation)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support reset()"
+        )

@@ -1,0 +1,32 @@
+"""Query answers.
+
+A continuous range query's answer at evaluation time ``t`` is the set of
+objects inside its window.  The engine materialises each (query, object)
+pair as a :class:`QueryMatch`; downstream accuracy measurement compares
+*sets* of these pairs, so the class is hashable and order-insensitive
+containers of it compare cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Set, Tuple
+
+__all__ = ["QueryMatch", "match_set"]
+
+
+class QueryMatch(NamedTuple):
+    """Object ``oid`` satisfies query ``qid`` at evaluation time ``t``."""
+
+    qid: int
+    oid: int
+    t: float
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The time-independent (qid, oid) identity of the match."""
+        return (self.qid, self.oid)
+
+
+def match_set(matches: Iterable[QueryMatch]) -> Set[Tuple[int, int]]:
+    """The set of (qid, oid) pairs in ``matches``, for accuracy comparison."""
+    return {m.pair for m in matches}

@@ -1,0 +1,58 @@
+"""Result sinks.
+
+A sink receives the matches produced at each evaluation.  Experiments use
+:class:`CollectingSink` when they need the answers themselves (accuracy
+measurement) and :class:`CountingSink` when only volumes matter (timing
+benchmarks, where retaining millions of matches would distort memory).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .results import QueryMatch
+
+__all__ = ["ResultSink", "CollectingSink", "CountingSink"]
+
+
+class ResultSink:
+    """Base sink: ignores everything (a /dev/null for answers)."""
+
+    def accept(self, matches: List[QueryMatch], t: float) -> None:
+        """Receive the matches of the evaluation that fired at time ``t``."""
+
+
+class CollectingSink(ResultSink):
+    """Retains every match, grouped by evaluation time."""
+
+    def __init__(self) -> None:
+        self.by_interval: Dict[float, List[QueryMatch]] = {}
+
+    def accept(self, matches: List[QueryMatch], t: float) -> None:
+        self.by_interval.setdefault(t, []).extend(matches)
+
+    @property
+    def all_matches(self) -> List[QueryMatch]:
+        """Every match of the run, in evaluation order."""
+        out: List[QueryMatch] = []
+        for t in sorted(self.by_interval):
+            out.extend(self.by_interval[t])
+        return out
+
+    def matches_at(self, t: float) -> List[QueryMatch]:
+        return self.by_interval.get(t, [])
+
+    def clear(self) -> None:
+        self.by_interval.clear()
+
+
+class CountingSink(ResultSink):
+    """Counts matches without retaining them."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.per_interval: List[int] = []
+
+    def accept(self, matches: List[QueryMatch], t: float) -> None:
+        self.total += len(matches)
+        self.per_interval.append(len(matches))

@@ -1,0 +1,11 @@
+"""Trajectory storage: exact polylines vs. cluster-summarised paths.
+
+The cluster store applies the paper's "clusters as summaries" idea to
+historical data: position samples scale with the number of clusters, and
+per-entity state shrinks to membership intervals.
+"""
+
+from .cluster_store import ClusterTrajectoryStore
+from .store import TrajectoryStore
+
+__all__ = ["ClusterTrajectoryStore", "TrajectoryStore"]

@@ -1,0 +1,157 @@
+"""Cluster-summarised trajectory storage.
+
+Moving clusters are summaries of their members (paper §1/§5) — and that
+applies over *time* too: instead of recording every entity's polyline, the
+cluster store records
+
+* one **centroid/radius sample per cluster** per recording tick, and
+* per-entity **membership intervals** (``entity e belonged to cluster c
+  from t_in to t_out``), which only cost writes when membership changes.
+
+A historical "who passed through region R during [t0, t1]?" is answered by
+finding cluster samples whose disc intersects R in the window and
+collecting the entities whose membership interval covers the matching
+sample times.  The answer is *approximate* the same way load shedding is:
+a member is assumed anywhere within its cluster's disc, so answers are a
+superset of the exact store's at the same sampling times — errors are
+false positives, never misses.
+
+The pay-off mirrors the paper's memory argument: position samples scale
+with the number of *clusters*, not entities.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..clustering import ClusterWorld
+from ..generator import EntityKind
+from ..geometry import Circle, Point, Rect
+
+__all__ = ["ClusterTrajectoryStore"]
+
+
+class _Membership:
+    """One entity's stay inside one cluster."""
+
+    __slots__ = ("cid", "t_in", "t_out")
+
+    def __init__(self, cid: int, t_in: float) -> None:
+        self.cid = cid
+        self.t_in = t_in
+        self.t_out: Optional[float] = None  # None = still a member
+
+    def covers(self, t0: float, t1: float) -> bool:
+        """True when the stay overlaps the closed window [t0, t1]."""
+        end = self.t_out if self.t_out is not None else float("inf")
+        return self.t_in <= t1 and end >= t0
+
+
+class ClusterTrajectoryStore:
+    """Records cluster paths + membership intervals from a ClusterWorld."""
+
+    def __init__(self) -> None:
+        # cid -> parallel lists (times ascending, (x, y, radius)).
+        self._times: Dict[int, List[float]] = {}
+        self._samples: Dict[int, List[Tuple[float, float, float]]] = {}
+        # (entity_id, is_object) -> list of stays, newest last.
+        self._memberships: Dict[Tuple[int, bool], List[_Membership]] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, world: ClusterWorld, t: float) -> None:
+        """Snapshot the world's clusters and membership at time ``t``.
+
+        Call once per recording tick (typically per evaluation interval).
+        Membership intervals are maintained by diffing against the last
+        snapshot, so steady membership costs no writes.
+        """
+        for cluster in world.storage:
+            times = self._times.setdefault(cluster.cid, [])
+            if times and t < times[-1]:
+                raise ValueError(f"out-of-order snapshot at t={t}")
+            times.append(t)
+            self._samples.setdefault(cluster.cid, []).append(
+                (cluster.cx, cluster.cy, cluster.radius)
+            )
+        # Membership diff against ClusterHome.
+        current: Dict[Tuple[int, bool], int] = {}
+        for cluster in world.storage:
+            for member in cluster.members():
+                key = (member.entity_id, member.kind is EntityKind.OBJECT)
+                current[key] = cluster.cid
+        for key, cid in current.items():
+            stays = self._memberships.setdefault(key, [])
+            if stays and stays[-1].t_out is None:
+                if stays[-1].cid == cid:
+                    continue  # unchanged membership: no write
+                stays[-1].t_out = t
+            stays.append(_Membership(cid, t))
+        for key, stays in self._memberships.items():
+            if key not in current and stays and stays[-1].t_out is None:
+                stays[-1].t_out = t
+
+    # -- queries -------------------------------------------------------------------
+
+    def passed_through(self, region: Rect, t0: float, t1: float) -> Set[Tuple[int, bool]]:
+        """Entities possibly inside ``region`` during ``[t0, t1]``.
+
+        Keys are ``(entity_id, is_object)``; the answer is a superset of
+        the exact store's at matching sample times.
+        """
+        if t1 < t0:
+            raise ValueError(f"empty time window: [{t0}, {t1}]")
+        # Clusters with an intersecting sample, with the matching times.
+        hit_windows: Dict[int, Tuple[float, float]] = {}
+        for cid, times in self._times.items():
+            lo = bisect.bisect_left(times, t0)
+            hi = bisect.bisect_right(times, t1)
+            samples = self._samples[cid]
+            for i in range(lo, hi):
+                x, y, radius = samples[i]
+                if region.intersects_circle(Circle(Point(x, y), radius)):
+                    first = times[i]
+                    # Extend to the last intersecting sample in the window.
+                    last = first
+                    for j in range(hi - 1, i - 1, -1):
+                        xj, yj, rj = samples[j]
+                        if region.intersects_circle(Circle(Point(xj, yj), rj)):
+                            last = times[j]
+                            break
+                    hit_windows[cid] = (first, last)
+                    break
+        if not hit_windows:
+            return set()
+        hits: Set[Tuple[int, bool]] = set()
+        for key, stays in self._memberships.items():
+            for stay in stays:
+                window = hit_windows.get(stay.cid)
+                if window and stay.covers(window[0], window[1]):
+                    hits.add(key)
+                    break
+        return hits
+
+    def cluster_path(self, cid: int) -> List[Tuple[float, float, float, float]]:
+        """The retained (t, x, y, radius) samples of one cluster."""
+        times = self._times.get(cid, [])
+        samples = self._samples.get(cid, [])
+        return [(t, s[0], s[1], s[2]) for t, s in zip(times, samples)]
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        """Retained cluster position samples (vs. entity samples exactly)."""
+        return sum(len(times) for times in self._times.values())
+
+    @property
+    def membership_interval_count(self) -> int:
+        return sum(len(stays) for stays in self._memberships.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterTrajectoryStore({len(self._times)} clusters, "
+            f"{self.sample_count} samples, "
+            f"{self.membership_interval_count} stays)"
+        )

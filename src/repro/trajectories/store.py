@@ -1,0 +1,103 @@
+"""Exact trajectory storage.
+
+The paper lists trajectory queries among the query types SCUBA's framework
+serves (§1).  The baseline substrate is the obvious one: record every
+entity's sampled positions and answer historical predicates by scanning
+the polylines.  :class:`TrajectoryStore` implements it with a bounded
+retention window so long runs don't grow without limit —
+:class:`~repro.trajectories.cluster_store.ClusterTrajectoryStore` is the
+cluster-summarised alternative this one is compared against.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Set, Tuple
+
+from ..geometry import Rect
+
+__all__ = ["TrajectoryStore"]
+
+
+class TrajectoryStore:
+    """Per-entity sampled trajectories with windowed retention."""
+
+    def __init__(self, max_age: float = float("inf")) -> None:
+        if max_age <= 0:
+            raise ValueError(f"max_age must be positive, got {max_age}")
+        self.max_age = max_age
+        # entity -> parallel lists (times ascending, positions).
+        self._times: Dict[int, List[float]] = {}
+        self._points: Dict[int, List[Tuple[float, float]]] = {}
+        self._latest_t = 0.0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, entity_id: int, t: float, x: float, y: float) -> None:
+        """Append one position sample (samples must arrive in time order)."""
+        times = self._times.setdefault(entity_id, [])
+        if times and t < times[-1]:
+            raise ValueError(
+                f"out-of-order sample for entity {entity_id}: {t} < {times[-1]}"
+            )
+        times.append(t)
+        self._points.setdefault(entity_id, []).append((x, y))
+        if t > self._latest_t:
+            self._latest_t = t
+
+    def prune(self) -> int:
+        """Drop samples older than the retention window; returns count."""
+        cutoff = self._latest_t - self.max_age
+        dropped = 0
+        for entity_id in list(self._times):
+            times = self._times[entity_id]
+            keep_from = bisect.bisect_left(times, cutoff)
+            if keep_from:
+                dropped += keep_from
+                self._times[entity_id] = times[keep_from:]
+                self._points[entity_id] = self._points[entity_id][keep_from:]
+            if not self._times[entity_id]:
+                del self._times[entity_id]
+                del self._points[entity_id]
+        return dropped
+
+    # -- queries -------------------------------------------------------------------
+
+    def passed_through(self, region: Rect, t0: float, t1: float) -> Set[int]:
+        """Entities with a sample inside ``region`` during ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"empty time window: [{t0}, {t1}]")
+        hits: Set[int] = set()
+        for entity_id, times in self._times.items():
+            lo = bisect.bisect_left(times, t0)
+            hi = bisect.bisect_right(times, t1)
+            points = self._points[entity_id]
+            for i in range(lo, hi):
+                x, y = points[i]
+                if region.contains_xy(x, y):
+                    hits.add(entity_id)
+                    break
+        return hits
+
+    def trajectory(self, entity_id: int) -> List[Tuple[float, float, float]]:
+        """The retained (t, x, y) samples of one entity."""
+        times = self._times.get(entity_id, [])
+        points = self._points.get(entity_id, [])
+        return [(t, p[0], p[1]) for t, p in zip(times, points)]
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._times)
+
+    @property
+    def sample_count(self) -> int:
+        """Total retained position samples — the store's memory driver."""
+        return sum(len(times) for times in self._times.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryStore({self.entity_count} entities, "
+            f"{self.sample_count} samples)"
+        )

@@ -1,0 +1,5 @@
+"""Visualisation: SVG rendering of cities, clusters, and answers."""
+
+from .svg import PALETTE, SvgScene
+
+__all__ = ["PALETTE", "SvgScene"]

@@ -1,0 +1,262 @@
+"""SVG rendering of cities, cluster state, and query answers.
+
+The paper explains SCUBA with pictures — road networks (Fig. 1), moving
+clusters with centroids and velocity vectors (Fig. 2), nuclei (Fig. 8),
+the worked join example (Fig. 7).  This module draws the live equivalents
+from actual system state, so an example script (or a failing test being
+debugged) can dump an SVG and *look* at what the clusters are doing.
+
+Everything is standard library: SVG is assembled as text with proper XML
+escaping, and the output parses with ``xml.etree`` (asserted by tests).
+
+Typical use::
+
+    from repro.viz import SvgScene
+
+    scene = SvgScene(network.bounds)
+    scene.draw_network(network)
+    scene.draw_world(scuba.world)       # clusters, nuclei, members
+    scene.save("state.svg")
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+from xml.sax.saxutils import quoteattr
+
+from ..clustering import ClusterWorld, MovingCluster
+from ..generator import EntityKind
+from ..geometry import Rect
+from ..network import RoadClass, RoadNetwork
+
+__all__ = ["SvgScene", "PALETTE"]
+
+#: Default colours, chosen to echo the paper's figures: muted roads, blue
+#: objects, red queries, translucent cluster discs.
+PALETTE = {
+    "background": "#fbfaf7",
+    "road_local": "#d8d4cc",
+    "road_arterial": "#b9b2a5",
+    "road_highway": "#8f8674",
+    "node": "#a09a8c",
+    "cluster_fill": "#7fa8d955",
+    "cluster_stroke": "#4a78b0",
+    "nucleus_fill": "#f2c14e66",
+    "nucleus_stroke": "#c79a2d",
+    "object": "#2a5ca8",
+    "query": "#b03a48",
+    "query_window": "#b03a4833",
+    "velocity": "#4a78b0",
+    "match": "#4caf50",
+}
+
+_ROAD_WIDTHS = {
+    RoadClass.LOCAL: 4.0,
+    RoadClass.ARTERIAL: 8.0,
+    RoadClass.HIGHWAY: 14.0,
+}
+
+
+class SvgScene:
+    """An SVG canvas in *world coordinates* (the bounds' coordinate system).
+
+    The y-axis is flipped so that larger y draws upward, matching the
+    paper's plots.  Elements accumulate in draw order; :meth:`to_svg`
+    assembles the document and :meth:`save` writes it.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        pixel_width: int = 800,
+        palette: Optional[dict] = None,
+    ) -> None:
+        if pixel_width < 1:
+            raise ValueError(f"pixel_width must be positive, got {pixel_width}")
+        self.bounds = bounds
+        self.pixel_width = pixel_width
+        self.palette = dict(PALETTE)
+        if palette:
+            self.palette.update(palette)
+        self._elements: List[str] = []
+
+    # -- low-level drawing -------------------------------------------------------
+
+    def _y(self, y: float) -> float:
+        """Flip the y-axis: world up = screen up."""
+        return self.bounds.max_y + self.bounds.min_y - y
+
+    def add_line(
+        self, x1: float, y1: float, x2: float, y2: float, color: str, width: float
+    ) -> None:
+        """A straight stroke in world coordinates."""
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{self._y(y1):.1f}" '
+            f'x2="{x2:.1f}" y2="{self._y(y2):.1f}" '
+            f'stroke={quoteattr(color)} stroke-width="{width:.1f}" '
+            'stroke-linecap="round"/>'
+        )
+
+    def add_circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "none",
+        stroke: str = "none",
+        stroke_width: float = 1.0,
+    ) -> None:
+        """A circle in world coordinates (radius in world units)."""
+        self._elements.append(
+            f'<circle cx="{cx:.1f}" cy="{self._y(cy):.1f}" r="{max(r, 0.0):.1f}" '
+            f"fill={quoteattr(fill)} stroke={quoteattr(stroke)} "
+            f'stroke-width="{stroke_width:.1f}"/>'
+        )
+
+    def add_rect(
+        self,
+        rect: Rect,
+        fill: str = "none",
+        stroke: str = "none",
+        stroke_width: float = 1.0,
+    ) -> None:
+        """An axis-aligned rectangle in world coordinates."""
+        self._elements.append(
+            f'<rect x="{rect.min_x:.1f}" y="{self._y(rect.max_y):.1f}" '
+            f'width="{rect.width:.1f}" height="{rect.height:.1f}" '
+            f"fill={quoteattr(fill)} stroke={quoteattr(stroke)} "
+            f'stroke-width="{stroke_width:.1f}"/>'
+        )
+
+    def add_text(self, x: float, y: float, text: str, size: float = 80.0) -> None:
+        """A text label in world coordinates."""
+        from xml.sax.saxutils import escape
+
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{self._y(y):.1f}" '
+            f'font-size="{size:.0f}" font-family="sans-serif" '
+            f'fill="#555">{escape(text)}</text>'
+        )
+
+    # -- high-level layers ----------------------------------------------------------
+
+    def draw_network(self, network: RoadNetwork, draw_nodes: bool = True) -> None:
+        """Roads (width/colour by class) and connection nodes."""
+        ordered = sorted(
+            network.edges(), key=lambda e: _ROAD_WIDTHS[e.road_class]
+        )
+        for edge in ordered:
+            a = network.node_location(edge.u)
+            b = network.node_location(edge.v)
+            key = f"road_{edge.road_class.value}"
+            self.add_line(a.x, a.y, b.x, b.y, self.palette[key],
+                          _ROAD_WIDTHS[edge.road_class])
+        if draw_nodes:
+            for node in network.nodes():
+                self.add_circle(
+                    node.location.x, node.location.y, 12.0, fill=self.palette["node"]
+                )
+
+    def draw_cluster(self, cluster: MovingCluster, draw_members: bool = True) -> None:
+        """One moving cluster: disc, nucleus, velocity vector, members."""
+        p = self.palette
+        self.add_circle(
+            cluster.cx,
+            cluster.cy,
+            cluster.radius,
+            fill=p["cluster_fill"],
+            stroke=p["cluster_stroke"],
+            stroke_width=3.0,
+        )
+        nucleus_r = min(cluster.nucleus_radius, cluster.radius)
+        if cluster.shed_count and nucleus_r > 0:
+            self.add_circle(
+                cluster.cx,
+                cluster.cy,
+                nucleus_r,
+                fill=p["nucleus_fill"],
+                stroke=p["nucleus_stroke"],
+                stroke_width=2.0,
+            )
+        velocity = cluster.velocity()
+        speed = math.hypot(velocity.x, velocity.y)
+        if speed > 0:
+            scale = max(cluster.radius, 60.0) / speed
+            self.add_line(
+                cluster.cx,
+                cluster.cy,
+                cluster.cx + velocity.x * scale,
+                cluster.cy + velocity.y * scale,
+                p["velocity"],
+                5.0,
+            )
+        if draw_members:
+            for member in cluster.members():
+                loc = cluster.member_location(member)
+                if loc is None:
+                    continue
+                color = (
+                    p["object"] if member.kind is EntityKind.OBJECT else p["query"]
+                )
+                self.add_circle(loc.x, loc.y, 15.0, fill=color)
+
+    def draw_world(self, world: ClusterWorld, draw_members: bool = True) -> None:
+        """Every live cluster in the world."""
+        for cluster in world.storage.clusters():
+            self.draw_cluster(cluster, draw_members=draw_members)
+
+    def draw_query_window(self, region: Rect) -> None:
+        """A range-query window."""
+        self.add_rect(
+            region,
+            fill=self.palette["query_window"],
+            stroke=self.palette["query"],
+            stroke_width=2.0,
+        )
+
+    def draw_matches(self, world: ClusterWorld, matches: Iterable) -> None:
+        """Highlight matched objects (green halo) from QueryMatch tuples."""
+        for match in matches:
+            cid = world.home.cluster_of(match.oid, EntityKind.OBJECT)
+            if cid is None or cid not in world.storage:
+                continue
+            cluster = world.storage.get(cid)
+            member = cluster.get_member(match.oid, EntityKind.OBJECT)
+            if member is None:
+                continue
+            loc = cluster.member_location(member)
+            if loc is None:
+                continue
+            self.add_circle(
+                loc.x, loc.y, 30.0, stroke=self.palette["match"], stroke_width=4.0
+            )
+
+    # -- output ----------------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        """The assembled SVG document."""
+        b = self.bounds
+        height = round(self.pixel_width * b.height / b.width) if b.width else 1
+        parts = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.pixel_width}" height="{height}" '
+            f'viewBox="{b.min_x:.1f} {b.min_y:.1f} {b.width:.1f} {b.height:.1f}">',
+            f'<rect x="{b.min_x:.1f}" y="{b.min_y:.1f}" width="{b.width:.1f}" '
+            f'height="{b.height:.1f}" fill={quoteattr(self.palette["background"])}/>',
+            *self._elements,
+            "</svg>",
+        ]
+        return "\n".join(parts)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the SVG to ``path``; returns the path."""
+        target = Path(path)
+        target.write_text(self.to_svg(), encoding="utf-8")
+        return target
+
+    @property
+    def element_count(self) -> int:
+        return len(self._elements)

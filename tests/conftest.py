@@ -1,0 +1,54 @@
+"""Shared fixtures: small cities and workload factories.
+
+Tests use deliberately tiny populations — the goal is exercising logic and
+invariants, not throughput.  Fixtures are module-scoped where construction
+is expensive and the object is immutable in practice (road networks are
+append-only and tests never extend them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generator import GeneratorConfig, NetworkBasedGenerator
+from repro.network import DEFAULT_BOUNDS, grid_city
+
+
+@pytest.fixture(scope="session")
+def city():
+    """The default 11x11 lattice city."""
+    return grid_city()
+
+
+@pytest.fixture(scope="session")
+def dense_city():
+    """A denser 21x21 lattice for sparse-traffic scenarios."""
+    return grid_city(rows=21, cols=21)
+
+
+@pytest.fixture
+def make_generator(city):
+    """Factory for generators over the shared city."""
+
+    def factory(
+        num_objects: int = 60,
+        num_queries: int = 60,
+        skew: int = 10,
+        seed: int = 7,
+        **kwargs,
+    ) -> NetworkBasedGenerator:
+        config = GeneratorConfig(
+            num_objects=num_objects,
+            num_queries=num_queries,
+            skew=skew,
+            seed=seed,
+            **kwargs,
+        )
+        return NetworkBasedGenerator(city, config)
+
+    return factory
+
+
+@pytest.fixture
+def bounds():
+    return DEFAULT_BOUNDS

@@ -1,0 +1,107 @@
+"""Smoke tests for the two command-line entry points."""
+
+import pytest
+
+from repro.__main__ import build_parser, main, make_operator
+from repro.core import NaiveJoin, RegularGridJoin, Scuba
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestSimulatorCli:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args([])
+        assert args.operator == "scuba"
+        assert args.objects == 1000
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("scuba", Scuba), ("regular", RegularGridJoin), ("naive", NaiveJoin)],
+    )
+    def test_operator_selection(self, name, cls):
+        args = build_parser().parse_args(["--operator", name])
+        assert isinstance(make_operator(args), cls)
+
+    def test_eta_configures_shedding(self):
+        from repro.shedding import PartialShedding
+
+        args = build_parser().parse_args(["--eta", "0.5"])
+        operator = make_operator(args)
+        assert isinstance(operator.config.shedding, PartialShedding)
+
+    def test_split_flag(self):
+        args = build_parser().parse_args(["--split"])
+        assert make_operator(args).config.split_at_destination
+
+    def test_end_to_end_run(self, capsys):
+        code = main(
+            [
+                "--objects", "60",
+                "--queries", "60",
+                "--skew", "10",
+                "--intervals", "2",
+                "--city", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scuba over" in out
+        assert "2 intervals" in out
+        assert "clusters:" in out
+
+    def test_record_then_replay(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "--objects", "30", "--queries", "30", "--skew", "5",
+                "--intervals", "2", "--city", "7", "--record", str(trace),
+            ]
+        ) == 0
+        assert trace.exists()
+        recorded = capsys.readouterr().out
+        assert "trace recorded" in recorded
+        # Replay the trace through a different operator.
+        assert main(
+            [
+                "--operator", "naive", "--intervals", "2", "--city", "7",
+                "--replay", str(trace),
+            ]
+        ) == 0
+        replayed = capsys.readouterr().out
+        # Result counts per interval match the original run.
+        original_counts = [line.split()[-1] for line in recorded.splitlines()
+                           if line.strip() and line.split()[0].isdigit()]
+        replay_counts = [line.split()[-1] for line in replayed.splitlines()
+                         if line.strip() and line.split()[0].isdigit()]
+        assert original_counts == replay_counts
+
+    def test_record_and_replay_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--record", "a.jsonl", "--replay", "b.jsonl"])
+
+    def test_end_to_end_regular(self, capsys):
+        code = main(
+            [
+                "--operator", "regular",
+                "--objects", "40",
+                "--queries", "40",
+                "--intervals", "1",
+                "--city", "7",
+            ]
+        )
+        assert code == 0
+        assert "regular over" in capsys.readouterr().out
+
+
+class TestExperimentsCli:
+    def test_single_figure_tiny_scale(self, capsys):
+        code = experiments_main(["fig10", "--scale", "0.02", "--intervals", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "skew" in out
+
+    def test_scale_reported(self, capsys):
+        experiments_main(["fig11", "--scale", "0.02", "--intervals", "1"])
+        out = capsys.readouterr().out
+        assert "scale=0.02" in out
+        assert "incremental" in out

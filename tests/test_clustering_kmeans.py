@@ -1,0 +1,118 @@
+"""Unit tests for the offline k-means baseline (paper §6.4)."""
+
+import pytest
+
+from repro.clustering import KMeansClusterer, measure_quality
+from repro.generator import LocationUpdate, QueryUpdate
+from repro.geometry import Point
+
+
+def obj(oid, x, y, cn=1, cn_loc=Point(1000, 0), speed=50.0):
+    return LocationUpdate(oid, Point(x, y), 0.0, speed, cn, cn_loc)
+
+
+class TestKMeansBasics:
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            KMeansClusterer(iterations=0)
+
+    def test_empty_input(self):
+        assert KMeansClusterer().cluster([]) == []
+
+    def test_k_estimated_from_destinations(self):
+        updates = [
+            obj(1, 0, 0, cn=1),
+            obj(2, 10, 0, cn=1),
+            obj(3, 500, 500, cn=2),
+        ]
+        assert KMeansClusterer().estimate_k(updates) == 2
+
+    def test_two_well_separated_blobs(self):
+        updates = [obj(i, i * 2.0, 0, cn=1) for i in range(5)]
+        updates += [obj(10 + i, 900 + i * 2.0, 900, cn=2, cn_loc=Point(0, 0)) for i in range(5)]
+        clusters = KMeansClusterer(iterations=5).cluster(updates)
+        assert len(clusters) == 2
+        sizes = sorted(c.n for c in clusters)
+        assert sizes == [5, 5]
+
+    def test_all_members_assigned_exactly_once(self):
+        updates = [obj(i, (i * 37) % 500, (i * 91) % 500, cn=i % 3) for i in range(30)]
+        clusters = KMeansClusterer(iterations=3).cluster(updates)
+        assigned = [m.entity_id for c in clusters for m in c.members()]
+        assert sorted(assigned) == list(range(30))
+
+    def test_cluster_ids_start_at_next_cid(self):
+        updates = [obj(1, 0, 0), obj(2, 900, 900, cn=2, cn_loc=Point(0, 0))]
+        clusters = KMeansClusterer().cluster(updates, next_cid=100)
+        assert [c.cid for c in clusters] == [100, 101]
+
+    def test_majority_destination_chosen(self):
+        updates = [
+            obj(1, 0, 0, cn=1),
+            obj(2, 5, 0, cn=1),
+            obj(3, 10, 0, cn=2, cn_loc=Point(500, 0)),
+        ]
+        clusters = KMeansClusterer(iterations=1).cluster(updates)
+        # All three co-located points form one cluster; majority cn is 1.
+        merged = max(clusters, key=lambda c: c.n)
+        assert merged.cn_node == 1
+
+    def test_mixed_objects_and_queries(self):
+        updates = [
+            obj(1, 0, 0),
+            QueryUpdate(1, Point(5, 0), 0.0, 50.0, 1, Point(1000, 0), 50.0, 50.0),
+        ]
+        clusters = KMeansClusterer().cluster(updates)
+        assert sum(c.object_count for c in clusters) == 1
+        assert sum(c.query_count for c in clusters) == 1
+
+
+class TestQualityVsIterations:
+    def test_more_iterations_not_worse(self):
+        # SSQ after 8 iterations must be <= SSQ after 1 (Lloyd monotonicity,
+        # modulo identical seeding).
+        import random
+
+        rng = random.Random(0)
+        updates = []
+        for i in range(120):
+            blob = i % 4
+            updates.append(
+                obj(
+                    i,
+                    blob * 2000 + rng.gauss(0, 60),
+                    blob * 1500 + rng.gauss(0, 60),
+                    cn=blob,
+                    cn_loc=Point(blob * 100.0, 0.0),
+                )
+            )
+        ssq_1 = measure_quality(KMeansClusterer(iterations=1).cluster(updates)).ssq
+        ssq_8 = measure_quality(KMeansClusterer(iterations=8).cluster(updates)).ssq
+        assert ssq_8 <= ssq_1 + 1e-6
+
+    def test_converges_early_on_stable_assignment(self):
+        updates = [obj(1, 0, 0, cn=1), obj(2, 900, 900, cn=2, cn_loc=Point(0, 0))]
+        # Trivially separable: many iterations behave identically to few.
+        a = KMeansClusterer(iterations=2).cluster(updates)
+        b = KMeansClusterer(iterations=50).cluster(updates)
+        assert [c.n for c in a] == [c.n for c in b]
+
+
+class TestQualityMetrics:
+    def test_empty_quality(self):
+        q = measure_quality([])
+        assert q.cluster_count == 0
+        assert q.mean_radius == 0.0
+        assert q.singleton_fraction == 0.0
+
+    def test_singleton_fraction(self):
+        updates = [obj(1, 0, 0, cn=1), obj(2, 5000, 5000, cn=2, cn_loc=Point(0, 0))]
+        clusters = KMeansClusterer().cluster(updates)
+        q = measure_quality(clusters)
+        assert q.singleton_fraction == 1.0
+        assert q.mean_members == 1.0
+
+    def test_ssq_zero_for_identical_points(self):
+        updates = [obj(i, 100, 100) for i in range(4)]
+        clusters = KMeansClusterer().cluster(updates)
+        assert measure_quality(clusters).ssq == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,136 @@
+"""Unit tests for ClusterStorage, ClusterHome, ClusterGrid, ClusterWorld."""
+
+import pytest
+
+from repro.clustering import ClusterWorld, MovingCluster
+from repro.clustering.registry import ClusterHome, ClusterStorage
+from repro.generator import EntityKind, LocationUpdate
+from repro.geometry import Point, Rect
+
+BOUNDS = Rect(0, 0, 10_000, 10_000)
+
+
+def obj(oid, x, y, t=0.0, speed=50.0):
+    return LocationUpdate(oid, Point(x, y), t, speed, 1, Point(9000, 9000))
+
+
+class TestClusterStorage:
+    def test_allocate_monotonic_ids(self):
+        storage = ClusterStorage()
+        assert storage.allocate_cid() == 0
+        assert storage.allocate_cid() == 1
+
+    def test_duplicate_cid_rejected(self):
+        storage = ClusterStorage()
+        c = MovingCluster(0, Point(0, 0), 1, Point(1, 1), 0.0)
+        storage.add(c)
+        with pytest.raises(ValueError):
+            storage.add(c)
+
+    def test_clusters_sorted_by_cid(self):
+        storage = ClusterStorage()
+        for cid in (2, 0, 1):
+            storage.add(MovingCluster(cid, Point(0, 0), 1, Point(1, 1), 0.0))
+        assert [c.cid for c in storage.clusters()] == [0, 1, 2]
+
+    def test_contains_and_len(self):
+        storage = ClusterStorage()
+        storage.add(MovingCluster(5, Point(0, 0), 1, Point(1, 1), 0.0))
+        assert 5 in storage
+        assert 6 not in storage
+        assert len(storage) == 1
+
+
+class TestClusterHome:
+    def test_assign_and_release(self):
+        home = ClusterHome()
+        home.assign(1, EntityKind.OBJECT, 10)
+        assert home.cluster_of(1, EntityKind.OBJECT) == 10
+        home.release(1, EntityKind.OBJECT)
+        assert home.cluster_of(1, EntityKind.OBJECT) is None
+
+    def test_kinds_do_not_collide(self):
+        home = ClusterHome()
+        home.assign(1, EntityKind.OBJECT, 10)
+        home.assign(1, EntityKind.QUERY, 20)
+        assert home.cluster_of(1, EntityKind.OBJECT) == 10
+        assert home.cluster_of(1, EntityKind.QUERY) == 20
+        assert len(home) == 2
+
+    def test_release_missing_is_noop(self):
+        home = ClusterHome()
+        home.release(99, EntityKind.OBJECT)  # must not raise
+
+
+class TestClusterWorld:
+    def test_create_registers_everywhere(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(900, 900), 0.0)
+        assert cluster.cid in world.storage
+        assert cluster.grid_cells
+        assert world.cluster_count == 1
+
+    def test_absorb_assigns_home(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(900, 900), 0.0)
+        world.absorb(cluster, obj(1, 500, 500))
+        assert world.home.cluster_of(1, EntityKind.OBJECT) == cluster.cid
+
+    def test_evict_dissolves_empty_cluster(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(900, 900), 0.0)
+        world.absorb(cluster, obj(1, 500, 500))
+        world.evict(cluster, 1, EntityKind.OBJECT)
+        assert cluster.cid not in world.storage
+        assert world.home.cluster_of(1, EntityKind.OBJECT) is None
+
+    def test_evict_keeps_nonempty_cluster(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(900, 900), 0.0)
+        world.absorb(cluster, obj(1, 500, 500))
+        world.absorb(cluster, obj(2, 510, 500))
+        world.evict(cluster, 1, EntityKind.OBJECT)
+        assert cluster.cid in world.storage
+        assert cluster.n == 1
+
+    def test_dissolve_clears_all_members(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(900, 900), 0.0)
+        for i in range(3):
+            world.absorb(cluster, obj(i, 500 + i, 500))
+        world.dissolve(cluster)
+        assert world.cluster_count == 0
+        for i in range(3):
+            assert world.home.cluster_of(i, EntityKind.OBJECT) is None
+
+
+class TestClusterGridSlack:
+    def test_small_drift_keeps_registration(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(9000, 500), 0.0)
+        world.absorb(cluster, obj(1, 500, 500))
+        cells_before = cluster.grid_cells
+        # Nudge within the slack: registration unchanged.
+        cluster.cx += 1.0
+        world.grid.refresh(cluster)
+        assert cluster.grid_cells == cells_before
+
+    def test_large_drift_reregisters(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(9000, 500), 0.0)
+        world.absorb(cluster, obj(1, 500, 500))
+        cluster.cx += 500.0
+        world.grid.refresh(cluster)
+        cell = world.grid.cell_of(cluster.cx, cluster.cy)
+        assert cluster.cid in world.grid.members(cell)
+
+    def test_registration_always_covers_exact_footprint(self):
+        world = ClusterWorld(BOUNDS, 100)
+        cluster = world.create_cluster(Point(500, 500), 1, Point(9000, 500), 0.0)
+        for i in range(10):
+            world.absorb(cluster, obj(i, 500 + 9 * i, 500))
+            exact = cluster.filter_circle()
+            needed = world.grid.cells_for_circle(
+                exact.center.x, exact.center.y, exact.radius
+            )
+            assert set(needed) <= set(cluster.grid_cells)

@@ -1,0 +1,164 @@
+"""Unit tests for cluster splitting at connection nodes (future-work §3.1)."""
+
+import pytest
+
+from repro.clustering import (
+    ClusteringSpec,
+    ClusterWorld,
+    IncrementalClusterer,
+    split_cluster,
+)
+from repro.generator import EntityKind, LocationUpdate, QueryUpdate
+from repro.geometry import Point, Rect
+
+BOUNDS = Rect(0, 0, 10_000, 10_000)
+
+
+def obj(oid, x, y, t=0.0, speed=50.0, cn=1, cn_loc=Point(9000, 0)):
+    return LocationUpdate(oid, Point(x, y), t, speed, cn, cn_loc)
+
+
+def qry(qid, x, y, t=0.0, speed=50.0, cn=1, cn_loc=Point(9000, 0)):
+    return QueryUpdate(qid, Point(x, y), t, speed, cn, cn_loc, 50.0, 50.0)
+
+
+@pytest.fixture
+def setup():
+    world = ClusterWorld(BOUNDS, 100)
+    clusterer = IncrementalClusterer(world, ClusteringSpec())
+    return world, clusterer
+
+
+def build_forked_cluster(world, clusterer):
+    """A 5-member cluster whose members have reported diverging next hops.
+
+    All five joined while heading to node 1; then (via refresh) members
+    1-2 report next destination node 2, members 3-4 report node 3, and
+    member 5 still reports node 1.
+    """
+    for i in range(1, 6):
+        clusterer.ingest(obj(i, 500 + i * 5, 500, t=0.0, cn=1))
+    cluster = world.storage.get(world.home.cluster_of(1, EntityKind.OBJECT))
+    assert cluster.n == 5
+    for i in (1, 2):
+        cluster.absorb(obj(i, 520 + i * 5, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+    for i in (3, 4):
+        cluster.absorb(obj(i, 520 + i * 5, 500, t=1.0, cn=3, cn_loc=Point(9000, 9000)))
+    cluster.absorb(obj(5, 545, 500, t=1.0, cn=1))
+    return cluster
+
+
+class TestSplitCluster:
+    def test_successors_per_destination_group(self, setup):
+        world, clusterer = setup
+        cluster = build_forked_cluster(world, clusterer)
+        successors = split_cluster(world, cluster, now=1.0)
+        assert len(successors) == 2
+        assert {s.cn_node for s in successors} == {2, 3}
+
+    def test_original_cluster_removed(self, setup):
+        world, clusterer = setup
+        cluster = build_forked_cluster(world, clusterer)
+        cid = cluster.cid
+        split_cluster(world, cluster, now=1.0)
+        assert cid not in world.storage
+
+    def test_members_homed_in_successors(self, setup):
+        world, clusterer = setup
+        cluster = build_forked_cluster(world, clusterer)
+        successors = split_cluster(world, cluster, now=1.0)
+        by_cn = {s.cn_node: s for s in successors}
+        for i in (1, 2):
+            assert world.home.cluster_of(i, EntityKind.OBJECT) == by_cn[2].cid
+        for i in (3, 4):
+            assert world.home.cluster_of(i, EntityKind.OBJECT) == by_cn[3].cid
+
+    def test_ungrouped_member_released(self, setup):
+        world, clusterer = setup
+        cluster = build_forked_cluster(world, clusterer)
+        split_cluster(world, cluster, now=1.0)
+        # Member 5 (still heading to the dissolving node) re-clusters later.
+        assert world.home.cluster_of(5, EntityKind.OBJECT) is None
+
+    def test_successor_state_consistent(self, setup):
+        world, clusterer = setup
+        cluster = build_forked_cluster(world, clusterer)
+        successors = split_cluster(world, cluster, now=1.0)
+        for successor in successors:
+            assert successor.n == 2
+            assert successor.avespeed == pytest.approx(50.0, rel=0.01)
+            for member in successor.members():
+                loc = successor.member_location(member)
+                assert loc.distance_to(successor.centroid) <= successor.radius + 1e-9
+            # Registered in the grid at its new footprint.
+            cell = world.grid.cell_of(successor.cx, successor.cy)
+            assert successor.cid in world.grid.members(cell)
+
+    def test_single_member_groups_not_split(self, setup):
+        world, clusterer = setup
+        clusterer.ingest(obj(1, 500, 500, cn=1))
+        clusterer.ingest(obj(2, 510, 500, cn=1))
+        cluster = world.storage.get(world.home.cluster_of(1, EntityKind.OBJECT))
+        # Each member reports a different next hop: both groups are size 1.
+        cluster.absorb(obj(1, 520, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        cluster.absorb(obj(2, 530, 500, t=1.0, cn=3, cn_loc=Point(9000, 9000)))
+        successors = split_cluster(world, cluster, now=1.0)
+        assert successors == []
+        assert world.cluster_count == 0
+
+    def test_queries_follow_their_group(self, setup):
+        world, clusterer = setup
+        clusterer.ingest(obj(1, 500, 500, cn=1))
+        clusterer.ingest(obj(2, 505, 500, cn=1))
+        clusterer.ingest(qry(1, 510, 500, cn=1))
+        cluster = world.storage.get(world.home.cluster_of(1, EntityKind.OBJECT))
+        cluster.absorb(obj(1, 520, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        cluster.absorb(obj(2, 525, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        cluster.absorb(qry(1, 530, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        successors = split_cluster(world, cluster, now=1.0)
+        assert len(successors) == 1
+        assert successors[0].is_mixed
+        assert successors[0].max_query_half_diag > 0
+
+
+class TestSplitInScuba:
+    def test_operator_splits_and_stays_exact(self, make_generator):
+        from repro.core import NaiveJoin, Scuba, ScubaConfig
+        from repro.streams import CollectingSink, EngineConfig, StreamEngine, match_set
+
+        def run(op):
+            generator = make_generator(num_objects=100, num_queries=100, skew=20, seed=12)
+            sink = CollectingSink()
+            StreamEngine(generator, op, sink, EngineConfig()).run(8)
+            return sink
+
+        splitting_op = Scuba(ScubaConfig(split_at_destination=True))
+        split_sink = run(splitting_op)
+        naive_sink = run(NaiveJoin())
+        for t in naive_sink.by_interval:
+            assert match_set(split_sink.by_interval[t]) == match_set(
+                naive_sink.by_interval[t]
+            ), t
+        # Convoys crossing intersections exercised the successor links.
+        assert splitting_op.split_joins > 0
+
+    def test_split_reduces_probe_work(self, make_generator):
+        from repro.core import Scuba, ScubaConfig
+        from repro.streams import EngineConfig, StreamEngine
+
+        def probes(split):
+            generator = make_generator(
+                num_objects=150, num_queries=150, skew=30, seed=5
+            )
+            op = Scuba(ScubaConfig(split_at_destination=split))
+            StreamEngine(generator, op, config=EngineConfig()).run(8)
+            clusterer = op.clusterer
+            # Slow-path updates = everything that neither stayed put nor
+            # followed a successor link.
+            return (
+                clusterer.processed
+                - clusterer.fast_path_hits
+                - clusterer.split_joins
+            )
+
+        assert probes(split=True) < probes(split=False)

@@ -1,0 +1,129 @@
+"""Stateful property test for MovingCluster.
+
+Drives a cluster through arbitrary interleavings of its operations —
+absorb (new member or refresh), remove, rigid advance, lazy-transform
+flush, recentre, radius recompute — while checking the structural
+invariants that the join pipeline's correctness rests on:
+
+* the footprint always covers every member's best-known position;
+* member positions reconstruct exactly to what was last reported, moved
+  only by rigid translation;
+* counters (n, speed sum, query reach) stay consistent with the tables.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.clustering import MovingCluster
+from repro.generator import EntityKind, LocationUpdate, QueryUpdate
+from repro.geometry import Point
+
+COORD = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+SPEED = st.floats(min_value=1.0, max_value=100.0, allow_nan=False)
+DT = st.floats(min_value=0.1, max_value=3.0, allow_nan=False)
+ENTITY = st.integers(min_value=0, max_value=7)
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    @initialize(x=COORD, y=COORD)
+    def setup(self, x, y):
+        self.cluster = MovingCluster(0, Point(x, y), 1, Point(9000, 9000), 0.0)
+        self.now = 0.0
+        # Model state: last reported absolute position per (id, kind), plus
+        # the cluster translation at report time.
+        self.reported = {}
+
+    def _translation(self):
+        return (self.cluster.trans_x, self.cluster.trans_y)
+
+    @rule(oid=ENTITY, x=COORD, y=COORD, speed=SPEED)
+    def absorb_object(self, oid, x, y, speed):
+        self.now += 0.01
+        self.cluster.absorb(
+            LocationUpdate(oid, Point(x, y), self.now, speed, 1, Point(9000, 9000))
+        )
+        self.reported[(oid, EntityKind.OBJECT)] = (x, y, self._translation())
+
+    @rule(qid=ENTITY, x=COORD, y=COORD, speed=SPEED)
+    def absorb_query(self, qid, x, y, speed):
+        self.now += 0.01
+        self.cluster.absorb(
+            QueryUpdate(
+                qid, Point(x, y), self.now, speed, 1, Point(9000, 9000), 50.0, 50.0
+            )
+        )
+        self.reported[(qid, EntityKind.QUERY)] = (x, y, self._translation())
+
+    @rule(oid=ENTITY)
+    def remove_object(self, oid):
+        if (oid, EntityKind.OBJECT) in self.reported and self.cluster.objects.get(oid):
+            self.cluster.remove(oid, EntityKind.OBJECT)
+            del self.reported[(oid, EntityKind.OBJECT)]
+
+    @rule(dt=DT)
+    def advance(self, dt):
+        if self.cluster.is_empty:
+            return
+        before = self._translation()
+        self.cluster.advance(dt)
+        after = self._translation()
+        dx, dy = after[0] - before[0], after[1] - before[1]
+        # Rigid translation moves every reported position along.
+        self.reported = {
+            key: (x + dx, y + dy, (tx + dx, ty + dy))
+            for key, (x, y, (tx, ty)) in self.reported.items()
+        }
+
+    @rule()
+    def flush(self):
+        self.cluster.flush_transform()
+
+    @rule()
+    def recentre_and_tighten(self):
+        self.cluster.flush_transform()
+        self.cluster.recentre()
+        self.cluster.recompute_radius()
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def member_positions_reconstruct_exactly(self):
+        cluster = self.cluster
+        for key, (x, y, (tx, ty)) in self.reported.items():
+            entity_id, kind = key
+            member = cluster.get_member(entity_id, kind)
+            assert member is not None
+            loc = cluster.member_location(member)
+            # Allow float error from rigid-translation bookkeeping only.
+            assert math.isclose(loc.x, x, abs_tol=1e-6), (loc.x, x)
+            assert math.isclose(loc.y, y, abs_tol=1e-6), (loc.y, y)
+
+    @invariant()
+    def radius_covers_members(self):
+        cluster = self.cluster
+        for member in cluster.members():
+            loc = cluster.member_location(member)
+            dist = math.hypot(loc.x - cluster.cx, loc.y - cluster.cy)
+            assert dist <= cluster.radius + 1e-6, (dist, cluster.radius)
+
+    @invariant()
+    def counters_consistent(self):
+        cluster = self.cluster
+        assert cluster.n == len(cluster.objects) + len(cluster.queries)
+        assert cluster.n == len(self.reported)
+        if cluster.n:
+            expected = sum(m.speed for m in cluster.members()) / cluster.n
+            assert math.isclose(cluster.avespeed, expected, rel_tol=1e-9, abs_tol=1e-9)
+        reach = max((q.half_diag for q in cluster.queries.values()), default=0.0)
+        # max_query_half_diag is an upper bound maintained incrementally;
+        # it may exceed the current max after removals but never undershoot.
+        assert cluster.max_query_half_diag >= reach - 1e-9
+
+
+TestClusterMachine = ClusterMachine.TestCase
+TestClusterMachine.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,52 @@
+"""Unit tests for the clustering admission spec."""
+
+import pytest
+
+from repro.clustering import ClusteringSpec
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        spec = ClusteringSpec()
+        assert spec.theta_d == 100.0
+        assert spec.theta_s == 10.0
+        assert spec.require_same_destination
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringSpec(theta_d=-1)
+        with pytest.raises(ValueError):
+            ClusteringSpec(theta_s=-1)
+
+    def test_bad_slack_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringSpec(eviction_slack=0.9)
+
+    def test_frozen(self):
+        spec = ClusteringSpec()
+        with pytest.raises(Exception):
+            spec.theta_d = 50.0
+
+
+class TestAdmits:
+    def test_all_conditions_met(self):
+        spec = ClusteringSpec()
+        assert spec.admits(50.0, 5.0, same_destination=True)
+
+    def test_distance_boundary_inclusive(self):
+        spec = ClusteringSpec()
+        assert spec.admits(100.0, 0.0, True)
+        assert not spec.admits(100.001, 0.0, True)
+
+    def test_speed_boundary_inclusive_and_symmetric(self):
+        spec = ClusteringSpec()
+        assert spec.admits(0.0, 10.0, True)
+        assert spec.admits(0.0, -10.0, True)
+        assert not spec.admits(0.0, 10.001, True)
+        assert not spec.admits(0.0, -10.001, True)
+
+    def test_direction_gate(self):
+        spec = ClusteringSpec()
+        assert not spec.admits(0.0, 0.0, same_destination=False)
+        relaxed = ClusteringSpec(require_same_destination=False)
+        assert relaxed.admits(0.0, 0.0, same_destination=False)

@@ -1,0 +1,104 @@
+"""Unit tests for incremental result production."""
+
+from repro.core import DeltaProducer, DeltaSink
+from repro.streams import QueryMatch
+
+
+def m(q, o, t=0.0):
+    return QueryMatch(q, o, t)
+
+
+class TestDeltaProducer:
+    def test_first_ingest_all_added(self):
+        producer = DeltaProducer()
+        delta = producer.ingest([m(1, 1), m(1, 2)], 2.0)
+        assert {(x.qid, x.oid) for x in delta.added} == {(1, 1), (1, 2)}
+        assert delta.removed == []
+        assert delta.unchanged_count == 0
+
+    def test_steady_state_emits_nothing(self):
+        producer = DeltaProducer()
+        producer.ingest([m(1, 1), m(1, 2)], 2.0)
+        delta = producer.ingest([m(1, 1, 4.0), m(1, 2, 4.0)], 4.0)
+        assert delta.added == []
+        assert delta.removed == []
+        assert delta.unchanged_count == 2
+
+    def test_entering_and_leaving(self):
+        producer = DeltaProducer()
+        producer.ingest([m(1, 1), m(1, 2)], 2.0)
+        delta = producer.ingest([m(1, 2, 4.0), m(1, 3, 4.0)], 4.0)
+        assert {(x.qid, x.oid) for x in delta.added} == {(1, 3)}
+        assert delta.removed == [(1, 1)]
+        assert delta.unchanged_count == 1
+        assert delta.change_count == 2
+
+    def test_duplicates_within_evaluation_collapsed(self):
+        producer = DeltaProducer()
+        delta = producer.ingest([m(1, 1), m(1, 1)], 2.0)
+        assert len(delta.added) == 1
+        assert producer.current_answer == {(1, 1)}
+
+    def test_empty_answer_removes_everything(self):
+        producer = DeltaProducer()
+        producer.ingest([m(1, 1)], 2.0)
+        delta = producer.ingest([], 4.0)
+        assert delta.removed == [(1, 1)]
+        assert producer.current_answer == set()
+
+    def test_reappearing_pair_added_again(self):
+        producer = DeltaProducer()
+        producer.ingest([m(1, 1)], 2.0)
+        producer.ingest([], 4.0)
+        delta = producer.ingest([m(1, 1, 6.0)], 6.0)
+        assert len(delta.added) == 1
+
+    def test_reset(self):
+        producer = DeltaProducer()
+        producer.ingest([m(1, 1)], 2.0)
+        producer.reset()
+        assert producer.current_answer == set()
+
+
+class TestDeltaSink:
+    def test_deltas_recorded(self):
+        sink = DeltaSink()
+        sink.accept([m(1, 1)], 2.0)
+        sink.accept([m(1, 1, 4.0), m(2, 2, 4.0)], 4.0)
+        assert len(sink.deltas) == 2
+        assert sink.total_changes() == 2  # +1 then +1
+        assert sink.total_suppressed() == 1
+        assert sink.current_answer == {(1, 1), (2, 2)}
+
+    def test_delta_stream_reconstructs_full_answer(self):
+        """Applying deltas in order reproduces the final answer set."""
+        sink = DeltaSink()
+        evaluations = [
+            [m(1, 1), m(1, 2)],
+            [m(1, 2, 4.0), m(2, 5, 4.0)],
+            [m(2, 5, 6.0)],
+        ]
+        for i, matches in enumerate(evaluations):
+            sink.accept(matches, 2.0 * (i + 1))
+        reconstructed = set()
+        for delta in sink.deltas:
+            reconstructed |= {(x.qid, x.oid) for x in delta.added}
+            reconstructed -= set(delta.removed)
+        assert reconstructed == {(2, 5)}
+        assert reconstructed == sink.current_answer
+
+
+class TestDeltaWithScuba:
+    def test_end_to_end_delta_mode(self, make_generator):
+        from repro.core import Scuba
+        from repro.streams import EngineConfig, StreamEngine
+
+        # Mixed convoys: queries travel *with* the objects they match, so
+        # matches persist across evaluations and delta mode pays off.
+        generator = make_generator(
+            num_objects=80, num_queries=80, skew=20, mixed_groups=True
+        )
+        sink = DeltaSink()
+        StreamEngine(generator, Scuba(), sink, EngineConfig()).run(4)
+        assert len(sink.deltas) == 4
+        assert sink.total_suppressed() > 0

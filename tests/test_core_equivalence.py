@@ -1,0 +1,145 @@
+"""Equivalence of SCUBA, the regular baseline, and the naive oracle.
+
+The central correctness property of the reproduction: with no load
+shedding, the cluster-based evaluation produces *exactly* the same
+(query, object) matches as individually evaluating every query — boundary
+cases included — across workloads, skews, and evaluation intervals.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import NaiveJoin, RegularGridJoin, RegularConfig, Scuba, ScubaConfig
+from repro.generator import GeneratorConfig, NetworkBasedGenerator
+from repro.network import grid_city
+from repro.streams import CollectingSink, EngineConfig, StreamEngine, match_set
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city()
+
+
+def run(city, operator, *, skew, seed, n=120, intervals=5, delta=2.0):
+    generator = NetworkBasedGenerator(
+        city,
+        GeneratorConfig(num_objects=n, num_queries=n, skew=skew, seed=seed),
+    )
+    sink = CollectingSink()
+    StreamEngine(generator, operator, sink, EngineConfig(delta=delta)).run(intervals)
+    return sink
+
+
+@pytest.mark.parametrize("skew", [1, 7, 40, 120])
+def test_scuba_matches_naive_across_skews(city, skew):
+    scuba = run(city, Scuba(), skew=skew, seed=13)
+    naive = run(city, NaiveJoin(), skew=skew, seed=13)
+    assert set(scuba.by_interval) == set(naive.by_interval)
+    for t in naive.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(naive.by_interval[t])
+
+
+@pytest.mark.parametrize("skew", [1, 40])
+def test_regular_matches_naive(city, skew):
+    regular = run(city, RegularGridJoin(), skew=skew, seed=13)
+    naive = run(city, NaiveJoin(), skew=skew, seed=13)
+    for t in naive.by_interval:
+        assert match_set(regular.by_interval[t]) == match_set(naive.by_interval[t])
+
+
+@pytest.mark.parametrize("grid_size", [25, 60, 140])
+def test_grid_granularity_does_not_change_answers(city, grid_size):
+    scuba = run(city, Scuba(ScubaConfig(grid_size=grid_size)), skew=20, seed=3)
+    regular = run(
+        city, RegularGridJoin(RegularConfig(grid_size=grid_size)), skew=20, seed=3
+    )
+    for t in regular.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(regular.by_interval[t])
+
+
+def test_delta_one_interval(city):
+    scuba = run(city, Scuba(ScubaConfig(delta=1.0)), skew=10, seed=5, delta=1.0)
+    naive = run(city, NaiveJoin(), skew=10, seed=5, delta=1.0)
+    for t in naive.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(naive.by_interval[t])
+
+
+def test_ablation_configs_stay_exact(city):
+    """Disabling each optional mechanism must not change answers."""
+    reference = run(city, NaiveJoin(), skew=15, seed=21)
+    for config in (
+        ScubaConfig(use_between_filter=False),
+        ScubaConfig(recompute_radius=False),
+        ScubaConfig(expire_clusters=False),
+        ScubaConfig(require_same_destination=False),
+    ):
+        scuba = run(city, Scuba(config), skew=15, seed=21)
+        for t in reference.by_interval:
+            assert match_set(scuba.by_interval[t]) == match_set(
+                reference.by_interval[t]
+            ), config
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    skew=st.integers(min_value=1, max_value=60),
+    n=st.integers(min_value=10, max_value=80),
+    query_w=st.sampled_from([20.0, 50.0, 130.0]),
+)
+def test_scuba_matches_naive_property(seed, skew, n, query_w):
+    """Randomised workloads: SCUBA is always exact without shedding."""
+    city = grid_city(rows=7, cols=7)
+    config = GeneratorConfig(
+        num_objects=n,
+        num_queries=n,
+        skew=skew,
+        seed=seed,
+        query_range=(query_w, query_w),
+    )
+
+    def one(operator):
+        generator = NetworkBasedGenerator(city, config)
+        sink = CollectingSink()
+        StreamEngine(generator, operator, sink, EngineConfig()).run(3)
+        return sink
+
+    scuba = one(Scuba())
+    naive = one(NaiveJoin())
+    for t in naive.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(naive.by_interval[t])
+
+
+def test_shedding_rarely_misses(city):
+    """Nucleus approximation is near-conservative.
+
+    The paper's §6.6 counts both false positives and false negatives, so
+    perfect recall is not an invariant — a shed member can drift outside
+    its nucleus between reports.  But misses must stay rare: the nucleus
+    bounds the member's position at shed time and clusters re-centre every
+    interval, so recall should remain very high at every η.
+    """
+    from repro.shedding import policy_for_eta
+
+    reference = run(city, NaiveJoin(), skew=20, seed=8)
+    for eta in (0.25, 0.5, 1.0):
+        shed = run(
+            city,
+            Scuba(ScubaConfig(shedding=policy_for_eta(eta, 100.0))),
+            skew=20,
+            seed=8,
+        )
+        exact_total = 0
+        missed_total = 0
+        for t in reference.by_interval:
+            exact = match_set(reference.by_interval[t])
+            produced = match_set(shed.by_interval[t])
+            exact_total += len(exact)
+            missed_total += len(exact - produced)
+        assert exact_total > 0
+        assert missed_total <= 0.05 * exact_total, (eta, missed_total, exact_total)

@@ -1,0 +1,174 @@
+"""Unit tests for join-between and join-within (paper Algorithms 2-3)."""
+
+import pytest
+
+from repro.clustering import MovingCluster
+from repro.core import ClusterJoinView, join_between, join_within_pair, join_within_self
+from repro.generator import EntityKind, LocationUpdate, QueryUpdate
+from repro.geometry import Point
+from repro.streams import match_set
+
+
+def obj(oid, x, y, speed=50.0, cn=1, cn_loc=Point(1000, 0)):
+    return LocationUpdate(oid, Point(x, y), 0.0, speed, cn, cn_loc)
+
+
+def qry(qid, x, y, w=50.0, h=50.0, speed=50.0, cn=1, cn_loc=Point(1000, 0)):
+    return QueryUpdate(qid, Point(x, y), 0.0, speed, cn, cn_loc, w, h)
+
+
+def cluster_of(cid, updates, at=None):
+    first = updates[0]
+    c = MovingCluster(cid, at or first.loc, first.cn_node, first.cn_loc, 0.0)
+    for u in updates:
+        c.absorb(u)
+    return c
+
+
+class TestJoinBetween:
+    def test_overlapping_clusters_pass(self):
+        left = cluster_of(0, [obj(1, 0, 0), obj(2, 100, 0)])
+        right = cluster_of(1, [qry(1, 120, 0), qry(2, 220, 0)])
+        # Centroids 120 apart, radii 50 + 50, query reach 35: overlap.
+        assert join_between(left, right)
+
+    def test_distant_clusters_pruned(self):
+        left = cluster_of(0, [obj(1, 0, 0)])
+        right = cluster_of(1, [qry(1, 5000, 5000)])
+        assert not join_between(left, right)
+
+    def test_query_reach_inflates_filter(self):
+        # Point clusters 60 apart: circles don't touch, but a 150x150 query
+        # window reaches 75 to each side — must NOT be pruned.
+        left = cluster_of(0, [obj(1, 0, 0)])
+        right = cluster_of(1, [qry(1, 60, 0, w=150.0, h=150.0)])
+        assert left.radius == 0.0 and right.radius == 0.0
+        assert join_between(left, right)
+
+    def test_filter_is_lossless_for_boundary_window(self):
+        # Object exactly on the corner of the query window.
+        left = cluster_of(0, [obj(1, 25.0, 25.0)])
+        right = cluster_of(1, [qry(1, 0, 0, w=50.0, h=50.0)])
+        assert join_between(left, right)
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 1.0, out)
+        assert match_set(out) == {(1, 1)}
+
+    def test_symmetric(self):
+        left = cluster_of(0, [obj(1, 0, 0)])
+        right = cluster_of(1, [qry(1, 60, 0, w=150.0, h=150.0)])
+        assert join_between(left, right) == join_between(right, left)
+
+
+class TestJoinWithinPair:
+    def test_cross_matches_found(self):
+        left = cluster_of(0, [obj(1, 0, 0), obj(2, 40, 0)])
+        right = cluster_of(1, [qry(1, 20, 0)])
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 2.0, out)
+        assert match_set(out) == {(1, 1), (1, 2)}
+        assert all(m.t == 2.0 for m in out)
+
+    def test_non_matching_positions_rejected(self):
+        left = cluster_of(0, [obj(1, 0, 0)])
+        right = cluster_of(1, [qry(1, 100, 100, w=50.0, h=50.0)])
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        assert out == []
+
+    def test_both_directions_joined(self):
+        # Objects and queries on both sides: o(L)xq(R) and o(R)xq(L).
+        left = cluster_of(0, [obj(1, 0, 0), qry(1, 5, 0)])
+        right = cluster_of(1, [obj(2, 10, 0), qry(2, 15, 0)])
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        pairs = match_set(out)
+        assert (2, 1) in pairs  # right query x left object... (qid, oid)
+        assert (1, 2) in pairs  # left query x right object
+
+    def test_window_boundary_inclusive(self):
+        left = cluster_of(0, [obj(1, 25.0, 0.0)])
+        right = cluster_of(1, [qry(1, 0, 0, w=50.0, h=50.0)])
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        assert match_set(out) == {(1, 1)}
+
+    def test_returns_test_count(self):
+        left = cluster_of(0, [obj(1, 0, 0), obj(2, 10, 0)])
+        right = cluster_of(1, [qry(1, 5, 0), qry(2, 15, 0)])
+        out = []
+        tests = join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        assert tests == 4  # 2 objects x 2 queries
+
+
+class TestJoinWithinSelf:
+    def test_internal_matches(self):
+        cluster = cluster_of(0, [obj(1, 0, 0), qry(1, 10, 0), obj(2, 200, 0)])
+        out = []
+        join_within_self(ClusterJoinView(cluster), 3.0, out)
+        assert match_set(out) == {(1, 1)}
+
+    def test_pure_cluster_produces_nothing(self):
+        cluster = cluster_of(0, [obj(1, 0, 0), obj(2, 10, 0)])
+        out = []
+        tests = join_within_self(ClusterJoinView(cluster), 0.0, out)
+        assert out == [] and tests == 0
+
+
+class TestShedJoinSemantics:
+    def _shed(self, cluster, entity_id, kind, nucleus=50.0):
+        member = cluster.get_member(entity_id, kind)
+        member.position_shed = True
+        cluster.shed_count += 1
+        cluster.nucleus_radius = nucleus
+
+    def test_shed_object_matches_via_nucleus(self):
+        left = cluster_of(0, [obj(1, 0, 0), obj(2, 30, 0)])
+        self._shed(left, 1, EntityKind.OBJECT)
+        right = cluster_of(1, [qry(1, 40, 0, w=20.0, h=20.0)])
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        pairs = match_set(out)
+        # Exact object 2 at (30,0) is inside the window; shed object 1 is
+        # approximated by the nucleus around the centroid (15,0) with
+        # radius min(50, cluster radius) — window edge at x=30 is within
+        # reach, so the shed member is (conservatively) reported too.
+        assert (1, 2) in pairs
+        assert (1, 1) in pairs
+
+    def test_shed_object_outside_nucleus_reach_not_matched(self):
+        left = cluster_of(0, [obj(1, 0, 0), obj(2, 10, 0)])
+        self._shed(left, 1, EntityKind.OBJECT, nucleus=5.0)
+        right = cluster_of(1, [qry(1, 300, 0, w=20.0, h=20.0)])
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        assert match_set(out) == set()
+
+    def test_shed_query_group_matches_exact_objects(self):
+        right = cluster_of(1, [qry(1, 0, 0, w=40.0, h=40.0), qry(2, 10, 0, w=40.0, h=40.0)])
+        self._shed(right, 1, EntityKind.QUERY, nucleus=20.0)
+        self._shed(right, 2, EntityKind.QUERY, nucleus=20.0)
+        left = cluster_of(0, [obj(1, 15, 0)])
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        # Both shed queries share one group test; object at 15 is within
+        # window-at-centroid (5,0) +/- 20 plus nucleus slack.
+        assert match_set(out) == {(1, 1), (2, 1)}
+
+    def test_fully_shed_pair_matches_everything_when_overlapping(self):
+        left = cluster_of(0, [obj(1, 0, 0), obj(2, 10, 0)])
+        right = cluster_of(1, [qry(1, 5, 0), qry(2, 15, 0)])
+        for oid in (1, 2):
+            self._shed(left, oid, EntityKind.OBJECT)
+        for qid in (1, 2):
+            self._shed(right, qid, EntityKind.QUERY)
+        out = []
+        tests = join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+        assert match_set(out) == {(1, 1), (1, 2), (2, 1), (2, 2)}
+        assert tests == 1  # a single group-vs-group test replaced 4
+
+    def test_view_approx_radius_clamped_by_cluster_radius(self):
+        cluster = cluster_of(0, [obj(1, 0, 0), obj(2, 10, 0)])
+        self._shed(cluster, 1, EntityKind.OBJECT, nucleus=500.0)
+        view = ClusterJoinView(cluster)
+        assert view.approx_radius <= cluster.radius

@@ -1,0 +1,93 @@
+"""Property tests: join-within against a brute-force oracle.
+
+Random clusters are built from random member sets; ``join_within_pair`` /
+``join_within_self`` must agree exactly with the definition — "object o
+inside query q's window" — computed by direct iteration, and
+``join_between`` must never prune a pair that the brute force matches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import MovingCluster
+from repro.core import ClusterJoinView, join_between, join_within_pair, join_within_self
+from repro.generator import LocationUpdate, QueryUpdate
+from repro.geometry import Point
+from repro.streams import match_set
+
+COORD = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+EXTENT = st.sampled_from([10.0, 50.0, 120.0])
+
+object_specs = st.lists(
+    st.tuples(COORD, COORD), min_size=0, max_size=6
+)
+query_specs = st.lists(
+    st.tuples(COORD, COORD, EXTENT, EXTENT), min_size=0, max_size=6
+)
+
+
+def build_cluster(cid, objects, queries, cn=1):
+    anchor = (
+        objects[0][:2]
+        if objects
+        else (queries[0][:2] if queries else (0.0, 0.0))
+    )
+    cluster = MovingCluster(cid, Point(*anchor), cn, Point(5000, 5000), 0.0)
+    for i, (x, y) in enumerate(objects):
+        cluster.absorb(LocationUpdate(i, Point(x, y), 0.0, 50.0, cn, Point(5000, 5000)))
+    for i, (x, y, w, h) in enumerate(queries):
+        cluster.absorb(
+            QueryUpdate(i, Point(x, y), 0.0, 50.0, cn, Point(5000, 5000), w, h)
+        )
+    return cluster
+
+
+def brute_force(objects, queries):
+    expected = set()
+    for qid, (qx, qy, w, h) in enumerate(queries):
+        for oid, (ox, oy) in enumerate(objects):
+            if abs(ox - qx) <= w / 2 and abs(oy - qy) <= h / 2:
+                expected.add((qid, oid))
+    return expected
+
+
+class TestJoinWithinProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(objects=object_specs, queries=query_specs)
+    def test_self_join_matches_brute_force(self, objects, queries):
+        cluster = build_cluster(0, objects, queries)
+        out = []
+        join_within_self(ClusterJoinView(cluster), 1.0, out)
+        assert match_set(out) == brute_force(objects, queries)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        left_objects=object_specs,
+        right_queries=query_specs,
+        right_objects=object_specs,
+        left_queries=query_specs,
+    )
+    def test_pair_join_matches_brute_force(
+        self, left_objects, right_queries, right_objects, left_queries
+    ):
+        left = build_cluster(0, left_objects, left_queries, cn=1)
+        right = build_cluster(1, right_objects, right_queries, cn=2)
+        out = []
+        join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 1.0, out)
+        expected = brute_force(left_objects, right_queries) | brute_force(
+            right_objects, left_queries
+        )
+        assert match_set(out) == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        left_objects=st.lists(st.tuples(COORD, COORD), min_size=1, max_size=5),
+        right_queries=st.lists(
+            st.tuples(COORD, COORD, EXTENT, EXTENT), min_size=1, max_size=5
+        ),
+    )
+    def test_between_filter_never_prunes_a_match(self, left_objects, right_queries):
+        left = build_cluster(0, left_objects, [], cn=1)
+        right = build_cluster(1, [], right_queries, cn=2)
+        if brute_force(left_objects, right_queries):
+            assert join_between(left, right)

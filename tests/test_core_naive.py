@@ -1,0 +1,52 @@
+"""Unit tests for the naive nested-loop oracle."""
+
+from repro.core import NaiveJoin
+from repro.generator import LocationUpdate, QueryUpdate
+from repro.geometry import Point
+from repro.streams import match_set
+
+
+def obj(oid, x, y, t=0.0):
+    return LocationUpdate(oid, Point(x, y), t, 50.0, 1, Point(9000, 0))
+
+
+def qry(qid, x, y, w=50.0, h=50.0, t=0.0):
+    return QueryUpdate(qid, Point(x, y), t, 50.0, 1, Point(9000, 0), w, h)
+
+
+class TestNaiveJoin:
+    def test_cartesian_semantics(self):
+        op = NaiveJoin()
+        op.on_update(obj(1, 0, 0))
+        op.on_update(obj(2, 100, 0))
+        op.on_update(qry(1, 10, 0))
+        op.on_update(qry(2, 90, 0))
+        assert match_set(op.evaluate(2.0)) == {(1, 1), (2, 2)}
+
+    def test_latest_update_wins(self):
+        op = NaiveJoin()
+        op.on_update(obj(1, 0, 0))
+        op.on_update(qry(1, 10, 0))
+        op.on_update(obj(1, 500, 500, t=1.0))
+        assert op.evaluate(2.0) == []
+
+    def test_asymmetric_window(self):
+        op = NaiveJoin()
+        op.on_update(obj(1, 30, 0))
+        op.on_update(qry(1, 0, 0, w=80.0, h=10.0))
+        assert match_set(op.evaluate(2.0)) == {(1, 1)}
+        op.on_update(obj(1, 0, 30, t=1.0))
+        assert op.evaluate(2.0) == []
+
+    def test_reset(self):
+        op = NaiveJoin()
+        op.on_update(obj(1, 0, 0))
+        op.reset()
+        assert not op.objects
+
+    def test_state_roots(self):
+        op = NaiveJoin()
+        assert op.objects in op.state_roots()
+
+    def test_empty_evaluation(self):
+        assert NaiveJoin().evaluate(2.0) == []

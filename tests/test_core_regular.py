@@ -1,0 +1,97 @@
+"""Unit tests for the regular grid-based baseline."""
+
+import pytest
+
+from repro.core import RegularConfig, RegularGridJoin
+from repro.generator import LocationUpdate, QueryUpdate
+from repro.geometry import Point
+from repro.streams import match_set
+
+
+def obj(oid, x, y, t=0.0):
+    return LocationUpdate(oid, Point(x, y), t, 50.0, 1, Point(9000, 0))
+
+
+def qry(qid, x, y, w=50.0, h=50.0, t=0.0):
+    return QueryUpdate(qid, Point(x, y), t, 50.0, 1, Point(9000, 0), w, h)
+
+
+class TestIngest:
+    def test_object_hashed_into_single_cell(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 150, 150))
+        assert op.object_grid.entry_count == 1
+
+    def test_query_hashed_into_window_cells(self):
+        op = RegularGridJoin(RegularConfig(grid_size=100))  # 100-unit cells
+        op.on_update(qry(1, 100, 100))  # window straddles 4 cells
+        assert op.query_grid.entry_count == 4
+
+    def test_moving_object_relocated(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 50, 50))
+        first_cell = op.objects[1].cell
+        op.on_update(obj(1, 5000, 5000, t=1.0))
+        assert op.objects[1].cell != first_cell
+        assert op.object_grid.entry_count == 1
+
+    def test_update_within_cell_keeps_entry(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 50, 50))
+        op.on_update(obj(1, 60, 60, t=1.0))
+        assert op.objects[1].x == 60
+        assert op.object_grid.entry_count == 1
+
+
+class TestEvaluate:
+    def test_basic_match(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 100, 100))
+        op.on_update(qry(1, 110, 100))
+        assert match_set(op.evaluate(2.0)) == {(1, 1)}
+
+    def test_boundary_inclusive(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 125.0, 100.0))
+        op.on_update(qry(1, 100, 100))  # half-width 25
+        assert match_set(op.evaluate(2.0)) == {(1, 1)}
+
+    def test_miss(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 200, 200))
+        op.on_update(qry(1, 100, 100))
+        assert op.evaluate(2.0) == []
+
+    def test_no_duplicates_for_multi_cell_query(self):
+        op = RegularGridJoin()
+        op.on_update(qry(1, 100, 100, w=300.0, h=300.0))
+        op.on_update(obj(1, 110, 100))
+        op.on_update(obj(2, 150, 150))
+        matches = op.evaluate(2.0)
+        assert len(matches) == len(match_set(matches)) == 2
+
+    def test_latest_position_wins(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 100, 100))
+        op.on_update(qry(1, 100, 100))
+        op.on_update(obj(1, 5000, 5000, t=1.0))
+        assert op.evaluate(2.0) == []
+
+    def test_pair_tests_counter(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 100, 100))
+        op.on_update(qry(1, 110, 100))
+        op.evaluate(2.0)
+        assert op.pair_tests >= 1
+
+    def test_reset(self):
+        op = RegularGridJoin()
+        op.on_update(obj(1, 100, 100))
+        op.reset()
+        assert not op.objects
+        assert op.object_grid.entry_count == 0
+
+    def test_state_roots(self):
+        op = RegularGridJoin()
+        roots = op.state_roots()
+        assert op.objects in roots and op.queries in roots

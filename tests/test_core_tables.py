@@ -1,0 +1,56 @@
+"""Unit tests for ObjectsTable / QueriesTable."""
+
+from repro.core import ObjectsTable, QueriesTable
+
+
+class TestEntityAttributeTable:
+    def test_record_and_lookup(self):
+        table = ObjectsTable()
+        table.record(1, {"type": "child"}, t=0.0)
+        assert table.attrs(1) == {"type": "child"}
+        assert 1 in table
+        assert len(table) == 1
+
+    def test_record_without_attrs_creates_empty(self):
+        table = ObjectsTable()
+        table.record(1, None, t=0.0)
+        assert table.attrs(1) == {}
+
+    def test_empty_update_preserves_existing_attrs(self):
+        table = ObjectsTable()
+        table.record(1, {"color": "red"}, t=0.0)
+        table.record(1, None, t=1.0)
+        assert table.attrs(1) == {"color": "red"}
+
+    def test_attrs_overwritten_by_new_values(self):
+        table = ObjectsTable()
+        table.record(1, {"color": "red"}, t=0.0)
+        table.record(1, {"color": "blue"}, t=1.0)
+        assert table.attrs(1) == {"color": "blue"}
+
+    def test_last_seen_tracks_latest(self):
+        table = ObjectsTable()
+        table.record(1, None, t=0.0)
+        table.record(1, None, t=5.0)
+        assert table.last_seen(1) == 5.0
+        assert table.last_seen(99) is None
+
+    def test_iteration(self):
+        table = QueriesTable()
+        table.record(1, {"w": 50}, t=0.0)
+        table.record(2, {"w": 60}, t=0.0)
+        assert dict(table) == {1: {"w": 50}, 2: {"w": 60}}
+
+    def test_evict_stale(self):
+        table = ObjectsTable()
+        table.record(1, None, t=0.0)
+        table.record(2, None, t=10.0)
+        evicted = table.evict_stale(cutoff=5.0)
+        assert evicted == 1
+        assert 1 not in table
+        assert 2 in table
+
+    def test_evict_stale_nothing_to_do(self):
+        table = ObjectsTable()
+        table.record(1, None, t=10.0)
+        assert table.evict_stale(cutoff=5.0) == 0

@@ -1,0 +1,124 @@
+"""Smoke tests for the figure harnesses at tiny scale.
+
+These verify that every harness runs end to end, produces the declared
+columns, and exhibits the *robust* qualitative properties (the full shape
+assertions live in the benchmark suite, which runs at a larger scale).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    fig09_grid_size,
+    fig10_skew,
+    fig11_clustering,
+    fig12_maintenance,
+    fig13_load_shedding,
+    format_table,
+)
+
+TINY = 0.02  # 200 + 200 entities
+
+
+@pytest.fixture(scope="module")
+def fig09():
+    return fig09_grid_size(scale=TINY, intervals=2, grid_sizes=(50, 100))
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_skew(scale=TINY, intervals=2, skews=(1, 20))
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_clustering(scale=TINY, intervals=2, kmeans_iterations=(1, 3))
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_maintenance(scale=TINY, intervals=2, skews=(20, 4))
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return fig13_load_shedding(scale=TINY, intervals=2, etas=(0.0, 0.5, 1.0))
+
+
+class TestFig09:
+    def test_rows_and_columns(self, fig09):
+        assert len(fig09.rows) == 2
+        for row in fig09.rows:
+            assert set(row) == set(fig09.columns)
+
+    def test_grid_entries_positive(self, fig09):
+        assert all(row["scuba_grid_entries"] > 0 for row in fig09.rows)
+
+    def test_scuba_fewer_grid_entries(self, fig09):
+        for row in fig09.rows:
+            assert row["scuba_grid_entries"] < row["regular_grid_entries"]
+
+
+class TestFig10:
+    def test_rows(self, fig10):
+        assert [row["skew"] for row in fig10.rows] == [1, 20]
+
+    def test_cluster_count_falls_with_skew(self, fig10):
+        assert fig10.rows[0]["scuba_clusters"] > fig10.rows[1]["scuba_clusters"]
+
+    def test_times_non_negative(self, fig10):
+        for row in fig10.rows:
+            assert row["scuba_join_s"] >= 0.0
+            assert row["regular_join_s"] >= 0.0
+
+
+class TestFig11:
+    def test_incremental_row_first(self, fig11):
+        assert fig11.rows[0]["variant"] == "incremental"
+        assert fig11.rows[0]["clustering_s"] == 0.0
+
+    def test_kmeans_clustering_time_grows_with_iterations(self, fig11):
+        k1 = next(r for r in fig11.rows if r["variant"] == "kmeans-iter1")
+        k3 = next(r for r in fig11.rows if r["variant"] == "kmeans-iter3")
+        assert k3["clustering_s"] > k1["clustering_s"]
+
+    def test_incremental_total_beats_offline(self, fig11):
+        incremental = fig11.rows[0]["total_s"]
+        for row in fig11.rows[1:]:
+            assert incremental < row["total_s"]
+
+
+class TestFig12:
+    def test_columns(self, fig12):
+        for row in fig12.rows:
+            assert row["scuba_total_s"] == pytest.approx(
+                row["maintenance_s"] + row["scuba_join_s"]
+            )
+
+    def test_cluster_counts_reported(self, fig12):
+        assert all(row["clusters"] > 0 for row in fig12.rows)
+
+
+class TestFig13:
+    def test_reference_row_perfect(self, fig13):
+        assert fig13.rows[0]["eta_pct"] == 0
+        assert fig13.rows[0]["accuracy"] == 1.0
+
+    def test_tests_fall_with_eta(self, fig13):
+        tests = [row["within_tests"] for row in fig13.rows]
+        assert tests == sorted(tests, reverse=True)
+
+    def test_accuracy_falls_with_eta(self, fig13):
+        accuracies = [row["accuracy"] for row in fig13.rows]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+
+class TestFormatting:
+    def test_registry_complete(self):
+        assert set(ALL_FIGURES) == {"fig09", "fig10", "fig11", "fig12", "fig13"}
+
+    def test_format_table_renders(self, fig10):
+        text = format_table(fig10)
+        assert "fig10" in text
+        assert "skew" in text
+        assert str(fig10.rows[0]["skew"]) in text

@@ -1,0 +1,97 @@
+"""Unit tests for the deep-size memory estimator."""
+
+import sys
+
+from repro.experiments import deep_sizeof, operator_state_bytes
+
+
+class Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+class SlottedChild(Slotted):
+    __slots__ = ("c",)
+
+    def __init__(self, a, b, c):
+        super().__init__(a, b)
+        self.c = c
+
+
+class TestDeepSizeof:
+    def test_atomic_sized_once(self):
+        # Roots themselves are walked; the roots *container* is not state.
+        x = 123456789
+        assert deep_sizeof([x]) == sys.getsizeof(x)
+
+    def test_shared_objects_counted_once(self):
+        shared = [1.5] * 1
+        a = [shared, shared]
+        single = deep_sizeof([shared])
+        total = deep_sizeof([a])
+        # Having the list twice adds only the outer list, not 2x contents.
+        assert total < 2 * single + sys.getsizeof(a)
+
+    def test_dict_keys_and_values_walked(self):
+        d = {"key": [1.0, 2.0]}
+        assert deep_sizeof([d]) > sys.getsizeof(d)
+
+    def test_slots_walked(self):
+        obj = Slotted(10**10, 2.5)
+        assert deep_sizeof([obj]) >= (
+            sys.getsizeof(obj) + sys.getsizeof(10**10) + sys.getsizeof(2.5)
+        )
+
+    def test_inherited_slots_walked(self):
+        obj = SlottedChild(10**10, 2.5, "payload-string-here")
+        size_with_c = deep_sizeof([obj])
+        assert size_with_c > sys.getsizeof(obj) + sys.getsizeof("payload-string-here") - 1
+
+    def test_classes_and_functions_skipped(self):
+        assert deep_sizeof([Slotted]) == 0
+        assert deep_sizeof([deep_sizeof]) == 0
+
+    def test_empty_roots(self):
+        assert deep_sizeof([]) == 0
+
+    def test_cycles_terminate(self):
+        a = []
+        a.append(a)
+        assert deep_sizeof([a]) == sys.getsizeof(a)
+
+    def test_unset_slot_tolerated(self):
+        obj = Slotted.__new__(Slotted)
+        obj.a = 1
+        # obj.b never set: the walker must not raise.
+        assert deep_sizeof([obj]) >= sys.getsizeof(obj)
+
+
+class TestOperatorStateBytes:
+    def test_scuba_state_grows_with_population(self):
+        from repro.core import Scuba
+        from repro.generator import LocationUpdate
+        from repro.geometry import Point
+
+        op = Scuba()
+        empty = operator_state_bytes(op)
+        for i in range(100):
+            op.on_update(
+                LocationUpdate(i, Point(100 + i, 100), 0.0, 50.0, 1, Point(9000, 0))
+            )
+        assert operator_state_bytes(op) > empty
+
+    def test_regular_state_grows_with_population(self):
+        from repro.core import RegularGridJoin
+        from repro.generator import LocationUpdate
+        from repro.geometry import Point
+
+        op = RegularGridJoin()
+        empty = operator_state_bytes(op)
+        for i in range(100):
+            op.on_update(
+                LocationUpdate(i, Point(100 + i, 100), 0.0, 50.0, 1, Point(9000, 0))
+            )
+        assert operator_state_bytes(op) > empty

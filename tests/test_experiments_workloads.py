@@ -1,0 +1,111 @@
+"""Unit tests for workload construction and the experiment runner."""
+
+import pytest
+
+from repro.core import NaiveJoin, Scuba
+from repro.experiments import (
+    PAPER_DEFAULTS,
+    WorkloadSpec,
+    bench_scale,
+    build_workload,
+    run_experiment,
+)
+
+
+class TestWorkloadSpec:
+    def test_paper_defaults(self):
+        assert PAPER_DEFAULTS.num_objects == 10_000
+        assert PAPER_DEFAULTS.num_queries == 10_000
+        assert PAPER_DEFAULTS.update_fraction == 1.0
+
+    def test_scaled_population(self):
+        spec = WorkloadSpec().scaled(0.1)
+        assert spec.num_objects == 1000
+        assert spec.num_queries == 1000
+
+    def test_scaled_city_follows_sqrt(self):
+        spec = WorkloadSpec().scaled(0.25)
+        # 41 * 0.5 = 20.5 -> 21 (odd-forced).
+        assert spec.city_rows == 21
+        assert spec.city_cols == 21
+
+    def test_scaled_city_always_odd(self):
+        for scale in (0.05, 0.1, 0.37, 1.0):
+            spec = WorkloadSpec().scaled(scale)
+            assert spec.city_rows % 2 == 1
+
+    def test_skew_not_scaled(self):
+        from dataclasses import replace
+
+        spec = replace(WorkloadSpec(), skew=150).scaled(0.1)
+        assert spec.skew == 150
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec().scaled(0.0)
+
+    def test_generator_config_round_trip(self):
+        spec = WorkloadSpec(num_objects=5, num_queries=7, skew=3, seed=11)
+        config = spec.generator_config()
+        assert config.num_objects == 5
+        assert config.num_queries == 7
+        assert config.skew == 3
+        assert config.seed == 11
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("SCUBA_BENCH_SCALE", raising=False)
+        assert bench_scale() == 0.1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("SCUBA_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("SCUBA_BENCH_SCALE", "lots")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("SCUBA_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestBuildWorkload:
+    def test_identical_specs_produce_identical_streams(self):
+        spec = WorkloadSpec(num_objects=30, num_queries=30, skew=5).scaled(1.0)
+        _, gen_a = build_workload(spec)
+        _, gen_b = build_workload(spec)
+        ups_a = gen_a.tick(1.0)
+        ups_b = gen_b.tick(1.0)
+        assert [(u.kind, u.entity_id, u.loc.x, u.loc.y) for u in ups_a] == [
+            (u.kind, u.entity_id, u.loc.x, u.loc.y) for u in ups_b
+        ]
+
+    def test_city_is_connected(self):
+        network, _ = build_workload(WorkloadSpec().scaled(0.02))
+        assert network.is_connected()
+
+
+class TestRunExperiment:
+    def test_result_fields_populated(self):
+        spec = WorkloadSpec(num_objects=40, num_queries=40, skew=8).scaled(1.0)
+        result = run_experiment(spec, Scuba(), intervals=2, label="unit")
+        assert result.label == "unit"
+        assert result.intervals == 2
+        assert result.tuple_count == 2 * 2 * 80  # 2 intervals x 2 ticks x 80
+        assert result.memory_bytes > 0
+        assert result.cluster_count >= 0
+        assert result.total_seconds >= result.join_seconds
+
+    def test_collect_matches_keeps_sink(self):
+        spec = WorkloadSpec(num_objects=20, num_queries=20, skew=4).scaled(1.0)
+        result = run_experiment(spec, NaiveJoin(), intervals=1, collect_matches=True)
+        assert result.sink is not None
+        assert result.result_count == len(result.sink.all_matches)
+
+    def test_row_is_flat(self):
+        spec = WorkloadSpec(num_objects=10, num_queries=10).scaled(1.0)
+        result = run_experiment(spec, NaiveJoin(), intervals=1)
+        row = result.row()
+        assert set(row) >= {"label", "join_s", "memory_mb", "results"}

@@ -1,0 +1,87 @@
+"""Unit tests for location-update records."""
+
+import math
+
+import pytest
+
+from repro.generator import EntityKind, LocationUpdate, QueryUpdate
+from repro.geometry import Point
+
+
+def make_object_update(**overrides):
+    defaults = dict(
+        oid=1, loc=Point(10, 20), t=5.0, speed=30.0, cn_node=7, cn_loc=Point(100, 20)
+    )
+    defaults.update(overrides)
+    return LocationUpdate(**defaults)
+
+
+def make_query_update(**overrides):
+    defaults = dict(
+        qid=2,
+        loc=Point(50, 50),
+        t=5.0,
+        speed=20.0,
+        cn_node=3,
+        cn_loc=Point(0, 50),
+        range_width=40.0,
+        range_height=30.0,
+    )
+    defaults.update(overrides)
+    return QueryUpdate(**defaults)
+
+
+class TestLocationUpdate:
+    def test_kind(self):
+        assert make_object_update().kind is EntityKind.OBJECT
+
+    def test_entity_id_aliases_oid(self):
+        u = make_object_update(oid=42)
+        assert u.entity_id == 42
+
+    def test_default_attrs_empty_mapping(self):
+        u = make_object_update()
+        assert dict(u.attrs) == {}
+
+    def test_attrs_preserved(self):
+        u = make_object_update(attrs={"color": "red"})
+        assert u.attrs["color"] == "red"
+
+    def test_default_attrs_shared(self):
+        # The empty-attrs default must be shared, not allocated per update:
+        # millions of updates flow through the system.
+        assert make_object_update().attrs is make_object_update().attrs
+
+
+class TestQueryUpdate:
+    def test_kind(self):
+        assert make_query_update().kind is EntityKind.QUERY
+
+    def test_entity_id_aliases_qid(self):
+        assert make_query_update(qid=9).entity_id == 9
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_query_update(range_width=-1.0)
+
+    def test_region_centered_on_location(self):
+        u = make_query_update()
+        region = u.region()
+        assert region.center == u.loc
+        assert region.width == 40.0
+        assert region.height == 30.0
+
+    def test_region_at_other_point(self):
+        u = make_query_update()
+        region = u.region_at(Point(0, 0))
+        assert region.center == Point(0, 0)
+        assert region.width == 40.0
+
+    def test_half_diagonal(self):
+        u = make_query_update(range_width=6.0, range_height=8.0)
+        assert math.isclose(u.half_diag if hasattr(u, "half_diag") else u.half_diagonal, 5.0)
+
+    def test_half_diagonal_reaches_window_corner(self):
+        u = make_query_update()
+        corner = Point(u.loc.x + u.range_width / 2, u.loc.y + u.range_height / 2)
+        assert math.isclose(u.loc.distance_to(corner), u.half_diagonal)

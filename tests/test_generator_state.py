@@ -1,0 +1,149 @@
+"""Unit tests for moving-entity simulation state."""
+
+import pytest
+
+from repro.generator import DestinationPlan, EntityKind, MovingEntity
+from repro.network import EdgePosition, Router, grid_city
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(rows=5, cols=5)
+
+
+@pytest.fixture
+def router(city):
+    return Router(city)
+
+
+def make_entity(city, router, kind=EntityKind.OBJECT, speed_factor=0.5):
+    plan = DestinationPlan("test-plan", [n.node_id for n in city.nodes()])
+    path = router.route(0, 24)
+    edge = city.find_edge(path[0], path[1])
+    return MovingEntity(
+        entity_id=0,
+        kind=kind,
+        position=EdgePosition(edge, path[0], 0.0),
+        route=list(path[2:]),
+        speed_factor=speed_factor,
+        plan=plan,
+        router=router,
+        range_width=50.0 if kind is EntityKind.QUERY else 0.0,
+        range_height=50.0 if kind is EntityKind.QUERY else 0.0,
+    )
+
+
+class TestDestinationPlan:
+    def test_deterministic(self, city):
+        nodes = [n.node_id for n in city.nodes()]
+        a = DestinationPlan("seed-1", nodes)
+        b = DestinationPlan("seed-1", nodes)
+        assert [a.next_destination(i, 0) for i in range(10)] == [
+            b.next_destination(i, 0) for i in range(10)
+        ]
+
+    def test_different_seeds_diverge(self, city):
+        nodes = [n.node_id for n in city.nodes()]
+        a = DestinationPlan("seed-1", nodes)
+        b = DestinationPlan("seed-2", nodes)
+        assert [a.next_destination(i, 0) for i in range(10)] != [
+            b.next_destination(i, 0) for i in range(10)
+        ]
+
+    def test_never_returns_current_node(self, city):
+        nodes = [n.node_id for n in city.nodes()]
+        plan = DestinationPlan("seed", nodes)
+        for leg in range(30):
+            for current in (0, 5, 12):
+                assert plan.next_destination(leg, current) != current
+
+    def test_empty_node_set_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationPlan("seed", [])
+
+
+class TestMovingEntityMotion:
+    def test_advance_moves_along_edge(self, city, router):
+        entity = make_entity(city, router)
+        start = entity.location(city)
+        entity.advance(1.0, city)
+        moved = entity.location(city)
+        assert start.distance_to(moved) == pytest.approx(entity.speed, rel=0.3)
+
+    def test_speed_respects_edge_limit(self, city, router):
+        entity = make_entity(city, router, speed_factor=0.5)
+        assert entity.speed == 0.5 * entity.position.edge.speed_limit
+
+    def test_cnloc_stable_until_node_reached(self, city, router):
+        entity = make_entity(city, router, speed_factor=0.1)
+        cn_before = entity.cn_node
+        # Tiny step: cannot possibly reach the next node.
+        entity.advance(0.01, city)
+        assert entity.cn_node == cn_before
+
+    def test_node_crossing_switches_edge(self, city, router):
+        entity = make_entity(city, router, speed_factor=1.0)
+        first_edge = entity.position.edge.edge_id
+        # Advance far enough to guarantee a node crossing.
+        needed = entity.position.edge.length / entity.speed + 0.1
+        entity.advance(needed, city)
+        assert entity.position.edge.edge_id != first_edge
+        assert entity.position.offset >= 0.0
+
+    def test_distance_travelled_accumulates(self, city, router):
+        entity = make_entity(city, router)
+        entity.advance(1.0, city)
+        entity.advance(1.0, city)
+        assert entity.distance_travelled == pytest.approx(2.0 * entity.speed, rel=0.3)
+
+    def test_negative_dt_rejected(self, city, router):
+        entity = make_entity(city, router)
+        with pytest.raises(ValueError):
+            entity.advance(-1.0, city)
+
+    def test_long_run_stays_on_network(self, city, router):
+        entity = make_entity(city, router, speed_factor=0.9)
+        for _ in range(200):
+            entity.advance(1.0, city)
+            loc = entity.location(city)
+            assert city.bounds.contains_point(loc)
+            # The position is always on its current edge.
+            assert 0.0 <= entity.position.offset <= entity.position.edge.length
+
+
+class TestMovingEntityUpdates:
+    def test_object_update_fields(self, city, router):
+        entity = make_entity(city, router)
+        update = entity.make_update(3.0, city)
+        assert update.kind is EntityKind.OBJECT
+        assert update.t == 3.0
+        assert update.speed == entity.speed
+        assert update.cn_node == entity.cn_node
+        assert update.cn_loc == city.node_location(entity.cn_node)
+
+    def test_query_update_has_range(self, city, router):
+        entity = make_entity(city, router, kind=EntityKind.QUERY)
+        update = entity.make_update(1.0, city)
+        assert update.kind is EntityKind.QUERY
+        assert update.range_width == 50.0
+
+    def test_query_without_range_rejected(self, city, router):
+        with pytest.raises(ValueError):
+            plan = DestinationPlan("p", [n.node_id for n in city.nodes()])
+            path = router.route(0, 24)
+            edge = city.find_edge(path[0], path[1])
+            MovingEntity(
+                entity_id=0,
+                kind=EntityKind.QUERY,
+                position=EdgePosition(edge, path[0], 0.0),
+                route=[],
+                speed_factor=0.5,
+                plan=plan,
+                router=router,
+            )
+
+    def test_invalid_speed_factor_rejected(self, city, router):
+        with pytest.raises(ValueError):
+            make_entity(city, router, speed_factor=0.0)
+        with pytest.raises(ValueError):
+            make_entity(city, router, speed_factor=1.5)

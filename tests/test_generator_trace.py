@@ -1,0 +1,129 @@
+"""Unit tests for workload trace recording and replay."""
+
+import json
+
+import pytest
+
+from repro.core import NaiveJoin, Scuba
+from repro.generator import (
+    EntityKind,
+    GeneratorConfig,
+    LocationUpdate,
+    NetworkBasedGenerator,
+    QueryUpdate,
+    TraceRecorder,
+    TraceReplayer,
+    update_from_dict,
+    update_to_dict,
+)
+from repro.geometry import Point
+from repro.streams import CollectingSink, EngineConfig, StreamEngine, match_set
+
+
+class TestUpdateSerialisation:
+    def test_object_round_trip(self):
+        update = LocationUpdate(
+            7, Point(10.5, 20.25), 3.0, 42.0, 5, Point(900, 0), attrs={"type": "bus"}
+        )
+        back = update_from_dict(update_to_dict(update))
+        assert back.kind is EntityKind.OBJECT
+        assert back.oid == 7
+        assert back.loc == update.loc
+        assert back.speed == 42.0
+        assert back.cn_node == 5
+        assert back.attrs == {"type": "bus"}
+
+    def test_query_round_trip(self):
+        update = QueryUpdate(3, Point(1, 2), 4.0, 10.0, 2, Point(0, 0), 60.0, 40.0)
+        back = update_from_dict(update_to_dict(update))
+        assert back.kind is EntityKind.QUERY
+        assert back.range_width == 60.0
+        assert back.range_height == 40.0
+
+    def test_dict_is_json_compatible(self):
+        update = LocationUpdate(1, Point(0, 0), 0.0, 1.0, 0, Point(1, 1))
+        assert json.loads(json.dumps(update_to_dict(update)))
+
+
+class TestRecordReplay:
+    @pytest.fixture
+    def trace_path(self, tmp_path, city):
+        generator = NetworkBasedGenerator(
+            city, GeneratorConfig(num_objects=40, num_queries=40, skew=8, seed=3)
+        )
+        path = tmp_path / "workload.jsonl"
+        with TraceRecorder(generator, path) as recorder:
+            for _ in range(6):
+                recorder.tick(1.0)
+        return path
+
+    def test_replay_reproduces_stream_exactly(self, trace_path, city):
+        generator = NetworkBasedGenerator(
+            city, GeneratorConfig(num_objects=40, num_queries=40, skew=8, seed=3)
+        )
+        replayer = TraceReplayer(trace_path)
+        for _ in range(6):
+            live = generator.tick(1.0)
+            replayed = replayer.tick(1.0)
+            assert replayer.time == generator.time
+            assert [
+                (u.kind, u.entity_id, u.loc.x, u.loc.y, u.speed, u.cn_node)
+                for u in live
+            ] == [
+                (u.kind, u.entity_id, u.loc.x, u.loc.y, u.speed, u.cn_node)
+                for u in replayed
+            ]
+
+    def test_replay_through_engine_matches_live_run(self, trace_path, city):
+        def live_run():
+            generator = NetworkBasedGenerator(
+                city, GeneratorConfig(num_objects=40, num_queries=40, skew=8, seed=3)
+            )
+            sink = CollectingSink()
+            StreamEngine(generator, Scuba(), sink, EngineConfig()).run(3)
+            return sink
+
+        replay_sink = CollectingSink()
+        StreamEngine(
+            TraceReplayer(trace_path), NaiveJoin(), replay_sink, EngineConfig()
+        ).run(3)
+        live_sink = live_run()
+        for t in live_sink.by_interval:
+            assert match_set(live_sink.by_interval[t]) == match_set(
+                replay_sink.by_interval[t]
+            ), t
+
+    def test_replay_exhaustion(self, trace_path):
+        replayer = TraceReplayer(trace_path)
+        for _ in range(6):
+            replayer.tick()
+        assert replayer.ticks_remaining == 0
+        with pytest.raises(StopIteration):
+            replayer.tick()
+
+    def test_snapshot_holds_latest_positions(self, trace_path):
+        replayer = TraceReplayer(trace_path)
+        replayer.tick()
+        replayer.tick()
+        snapshot = replayer.snapshot()
+        assert len(snapshot) == 80
+        assert all(u.t <= replayer.time for u in snapshot)
+
+    def test_closed_recorder_rejects_ticks(self, tmp_path, city):
+        generator = NetworkBasedGenerator(
+            city, GeneratorConfig(num_objects=5, num_queries=5, seed=1)
+        )
+        recorder = TraceRecorder(generator, tmp_path / "t.jsonl")
+        recorder.close()
+        with pytest.raises(ValueError):
+            recorder.tick()
+
+    def test_bad_trace_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError):
+            TraceReplayer(path)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            TraceReplayer(empty)

@@ -1,0 +1,110 @@
+"""Unit and property tests for circles and the overlap predicate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Point, circles_overlap
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+radius = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+class TestCircleBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_zero_radius_allowed(self):
+        assert Circle(Point(0, 0), 0.0).radius == 0.0
+
+    def test_equality_and_hash(self):
+        a = Circle(Point(1, 2), 3.0)
+        b = Circle(Point(1, 2), 3.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != Circle(Point(1, 2), 4.0)
+        assert a != "circle"
+
+    def test_expanded(self):
+        c = Circle(Point(5, 5), 2.0).expanded(3.0)
+        assert c.radius == 5.0 and c.center == Point(5, 5)
+
+
+class TestContainsPoint:
+    def test_center_inside(self):
+        assert Circle(Point(0, 0), 1.0).contains_point(Point(0, 0))
+
+    def test_boundary_inclusive(self):
+        assert Circle(Point(0, 0), 5.0).contains_point(Point(3, 4))
+
+    def test_outside(self):
+        assert not Circle(Point(0, 0), 4.9).contains_point(Point(3, 4))
+
+    def test_zero_radius_contains_only_center(self):
+        c = Circle(Point(1, 1), 0.0)
+        assert c.contains_point(Point(1, 1))
+        assert not c.contains_point(Point(1, 1.001))
+
+
+class TestOverlap:
+    def test_identical_circles_overlap(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.overlaps(c)
+
+    def test_tangent_circles_overlap(self):
+        assert Circle(Point(0, 0), 1.0).overlaps(Circle(Point(2, 0), 1.0))
+
+    def test_separated_circles_do_not_overlap(self):
+        assert not Circle(Point(0, 0), 1.0).overlaps(Circle(Point(2.01, 0), 1.0))
+
+    def test_contained_circle_overlaps(self):
+        assert Circle(Point(0, 0), 10.0).overlaps(Circle(Point(1, 0), 1.0))
+
+    def test_zero_radius_points(self):
+        a = Circle(Point(0, 0), 0.0)
+        assert a.overlaps(Circle(Point(0, 0), 0.0))
+        assert not a.overlaps(Circle(Point(0.001, 0), 0.0))
+
+
+class TestContainsCircle:
+    """The literal (typo'd) predicate of the paper's Algorithm 2."""
+
+    def test_strictly_inside(self):
+        assert Circle(Point(0, 0), 10.0).contains_circle(Circle(Point(2, 0), 3.0))
+
+    def test_overlapping_but_not_contained(self):
+        big = Circle(Point(0, 0), 5.0)
+        near = Circle(Point(4, 0), 3.0)
+        assert big.overlaps(near)
+        assert not big.contains_circle(near)
+
+    def test_larger_circle_never_contained(self):
+        assert not Circle(Point(0, 0), 1.0).contains_circle(Circle(Point(0, 0), 2.0))
+
+    def test_containment_implies_overlap(self):
+        # The key asymmetry: containment is strictly stronger than overlap,
+        # which is why the literal Algorithm 2 test would lose results.
+        big = Circle(Point(0, 0), 10.0)
+        small = Circle(Point(1, 1), 2.0)
+        assert big.contains_circle(small)
+        assert big.overlaps(small)
+
+
+class TestRawOverlap:
+    @given(coord, coord, radius, coord, coord, radius)
+    def test_matches_object_api(self, ax, ay, ar, bx, by, br):
+        expected = Circle(Point(ax, ay), ar).overlaps(Circle(Point(bx, by), br))
+        assert circles_overlap(ax, ay, ar, bx, by, br) == expected
+
+    @given(coord, coord, radius, coord, coord, radius)
+    def test_symmetry(self, ax, ay, ar, bx, by, br):
+        assert circles_overlap(ax, ay, ar, bx, by, br) == circles_overlap(
+            bx, by, br, ax, ay, ar
+        )
+
+    @given(coord, coord, radius, coord, coord, radius, st.floats(0, 100))
+    def test_monotone_in_radius(self, ax, ay, ar, bx, by, br, extra):
+        # Growing a circle can only create overlap, never destroy it —
+        # the property the lossless join-between inflation relies on.
+        if circles_overlap(ax, ay, ar, bx, by, br):
+            assert circles_overlap(ax, ay, ar + extra, bx, by, br)

@@ -1,0 +1,114 @@
+"""Unit and property tests for points and vectors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, distance, distance_sq, midpoint
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPointBasics:
+    def test_coordinates_are_floats(self):
+        p = Point(1, 2)
+        assert isinstance(p.x, float)
+        assert isinstance(p.y, float)
+
+    def test_immutable(self):
+        p = Point(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.x = 3.0
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+
+    def test_equality_against_other_type(self):
+        assert Point(0, 0) != "origin"
+
+    def test_iteration_unpacks(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_repr_mentions_coordinates(self):
+        assert "3" in repr(Point(3, 4)) and "4" in repr(Point(3, 4))
+
+
+class TestPointArithmetic:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_division(self):
+        assert Point(4, 6) / 2 == Point(2, 3)
+
+    def test_negation(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+
+class TestPointGeometry:
+    def test_distance_345(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_sq(self):
+        assert Point(0, 0).distance_sq_to(Point(3, 4)) == 25.0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_normalized_unit_length(self):
+        n = Point(3, 4).normalized()
+        assert math.isclose(n.norm(), 1.0)
+
+    def test_normalized_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).normalized()
+
+    def test_is_close(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-12, 1 - 1e-12))
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(4, 6)) == Point(2, 3)
+
+
+class TestRawHelpers:
+    def test_distance_matches_method(self):
+        assert distance(0, 0, 3, 4) == Point(0, 0).distance_to(Point(3, 4))
+
+    def test_distance_sq_matches_method(self):
+        assert distance_sq(1, 1, 4, 5) == Point(1, 1).distance_sq_to(Point(4, 5))
+
+
+class TestPointProperties:
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(finite, finite, finite, finite)
+    def test_add_then_subtract_roundtrip(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert ((a + b) - b).is_close(a, tol=1e-6)
+
+    @given(finite, finite)
+    def test_distance_to_self_is_zero(self, x, y):
+        p = Point(x, y)
+        assert p.distance_to(p) == 0.0

@@ -1,0 +1,62 @@
+"""Unit and property tests for polar coordinates."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, PolarCoord, to_cartesian, to_polar
+
+coord = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+class TestToPolar:
+    def test_pole_itself(self):
+        assert to_polar(Point(5, 5), Point(5, 5)) == PolarCoord(0.0, 0.0)
+
+    def test_east(self):
+        p = to_polar(Point(3, 0), Point(0, 0))
+        assert math.isclose(p.r, 3.0) and math.isclose(p.theta, 0.0)
+
+    def test_north(self):
+        p = to_polar(Point(0, 2), Point(0, 0))
+        assert math.isclose(p.r, 2.0) and math.isclose(p.theta, math.pi / 2)
+
+    def test_west(self):
+        p = to_polar(Point(-1, 0), Point(0, 0))
+        assert math.isclose(p.theta, math.pi)
+
+    def test_south_normalised_to_three_half_pi(self):
+        # atan2 gives -pi/2; the canonical form is 3*pi/2.
+        p = to_polar(Point(0, -1), Point(0, 0))
+        assert math.isclose(p.theta, 3 * math.pi / 2)
+
+    def test_angle_range(self):
+        for x, y in [(1, 1), (-1, 1), (-1, -1), (1, -1)]:
+            p = to_polar(Point(x, y), Point(0, 0))
+            assert 0.0 <= p.theta < 2 * math.pi
+
+
+class TestRoundTrip:
+    @given(coord, coord, coord, coord)
+    def test_polar_cartesian_round_trip(self, px, py, qx, qy):
+        pole = Point(px, py)
+        point = Point(qx, qy)
+        back = to_cartesian(to_polar(point, pole), pole)
+        scale = max(abs(qx), abs(qy), abs(px), abs(py), 1.0)
+        assert back.is_close(point, tol=1e-8 * scale)
+
+    @given(coord, coord, st.floats(min_value=0, max_value=1e4),
+           st.floats(min_value=0, max_value=2 * math.pi - 1e-9))
+    def test_cartesian_polar_round_trip_radius(self, px, py, r, theta):
+        pole = Point(px, py)
+        point = PolarCoord(r, theta).to_point(pole)
+        back = to_polar(point, pole)
+        assert math.isclose(back.r, r, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(coord, coord, coord, coord)
+    def test_radius_equals_distance(self, px, py, qx, qy):
+        pole, point = Point(px, py), Point(qx, qy)
+        assert math.isclose(
+            to_polar(point, pole).r, pole.distance_to(point), rel_tol=1e-12
+        )

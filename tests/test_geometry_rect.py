@@ -1,0 +1,110 @@
+"""Unit and property tests for axis-aligned rectangles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Point, Rect
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+extent = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+class TestRectConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_zero_area_allowed(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0.0
+
+    def test_centered_geometry(self):
+        r = Rect.centered(Point(10, 20), 4.0, 6.0)
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (8.0, 17.0, 12.0, 23.0)
+        assert r.center == Point(10, 20)
+        assert r.width == 4.0 and r.height == 6.0
+
+    def test_equality_and_hash(self):
+        assert Rect(0, 0, 1, 1) == Rect(0, 0, 1, 1)
+        assert Rect(0, 0, 1, 1) != Rect(0, 0, 1, 2)
+        assert hash(Rect(0, 0, 1, 1)) == hash(Rect(0, 0, 1, 1))
+        assert Rect(0, 0, 1, 1) != "rect"
+
+
+class TestContains:
+    def test_interior(self):
+        assert Rect(0, 0, 10, 10).contains_point(Point(5, 5))
+
+    def test_boundary_inclusive(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(10, 10))
+        assert r.contains_xy(10, 0)
+
+    def test_outside(self):
+        assert not Rect(0, 0, 10, 10).contains_point(Point(10.001, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(2, 2, 11, 8))
+
+
+class TestIntersects:
+    def test_overlapping(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(4, 4, 9, 9))
+
+    def test_touching_edge_counts(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 0, 9, 5))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 5, 5).intersects(Rect(6, 6, 9, 9))
+
+    @given(coord, coord, extent, extent, coord, coord, extent, extent)
+    def test_symmetry(self, ax, ay, aw, ah, bx, by, bw, bh):
+        a = Rect(ax, ay, ax + aw, ay + ah)
+        b = Rect(bx, by, bx + bw, by + bh)
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestIntersectsCircle:
+    def test_circle_center_inside(self):
+        assert Rect(0, 0, 10, 10).intersects_circle(Circle(Point(5, 5), 1.0))
+
+    def test_circle_reaching_edge(self):
+        assert Rect(0, 0, 10, 10).intersects_circle(Circle(Point(12, 5), 2.0))
+
+    def test_circle_near_corner_misses(self):
+        # Distance from (11, 11) to corner (10, 10) is sqrt(2) > 1.4.
+        assert not Rect(0, 0, 10, 10).intersects_circle(Circle(Point(11, 11), 1.4))
+
+    def test_circle_near_corner_hits(self):
+        assert Rect(0, 0, 10, 10).intersects_circle(Circle(Point(11, 11), 1.5))
+
+    @given(coord, coord, extent, extent, coord, coord, extent)
+    def test_contained_center_always_intersects(self, rx, ry, w, h, cx, cy, r):
+        rect = Rect(rx, ry, rx + w, ry + h)
+        if rect.contains_xy(cx, cy):
+            assert rect.intersects_circle(Circle(Point(cx, cy), r))
+
+
+class TestHelpers:
+    def test_clamp_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp_point(Point(-5, 5)) == Point(0, 5)
+        assert r.clamp_point(Point(5, 15)) == Point(5, 10)
+        assert r.clamp_point(Point(3, 4)) == Point(3, 4)
+
+    def test_expanded(self):
+        r = Rect(0, 0, 10, 10).expanded(2.0)
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (-2, -2, 12, 12)
+
+    @given(coord, coord, extent, extent, coord, coord)
+    def test_clamped_point_is_inside(self, rx, ry, w, h, px, py):
+        rect = Rect(rx, ry, rx + w, ry + h)
+        clamped = rect.clamp_point(Point(px, py))
+        assert rect.contains_point(clamped)

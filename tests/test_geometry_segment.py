@@ -1,0 +1,73 @@
+"""Unit tests for line segments (road-edge geometry)."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Segment
+
+
+class TestSegmentBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == 5.0
+
+    def test_zero_length_segment(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.length == 0.0
+        assert s.point_at(0.0) == Point(1, 1)
+        assert s.point_at(10.0) == Point(1, 1)
+
+    def test_reversed(self):
+        s = Segment(Point(0, 0), Point(1, 0)).reversed()
+        assert s.start == Point(1, 0) and s.end == Point(0, 0)
+
+
+class TestPointAt:
+    def test_start_and_end(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.point_at(0.0) == Point(0, 0)
+        assert s.point_at(10.0) == Point(10, 0)
+
+    def test_midpoint(self):
+        s = Segment(Point(0, 0), Point(10, 10))
+        mid = s.point_at(s.length / 2)
+        assert mid.is_close(Point(5, 5))
+
+    def test_offset_clamped_beyond_end(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.point_at(11.0) == Point(10, 0)
+
+    def test_offset_clamped_before_start(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.point_at(-1.0) == Point(0, 0)
+
+
+class TestPointAtFraction:
+    def test_quarter(self):
+        s = Segment(Point(0, 0), Point(8, 0))
+        assert s.point_at_fraction(0.25) == Point(2, 0)
+
+    def test_out_of_range_rejected(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        with pytest.raises(ValueError):
+            s.point_at_fraction(1.1)
+        with pytest.raises(ValueError):
+            s.point_at_fraction(-0.1)
+
+
+class TestDistanceToPoint:
+    def test_perpendicular_foot_inside(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert math.isclose(s.distance_to_point(Point(5, 3)), 3.0)
+
+    def test_nearest_is_endpoint(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert math.isclose(s.distance_to_point(Point(13, 4)), 5.0)
+
+    def test_point_on_segment(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(4, 0)) == 0.0
+
+    def test_degenerate_segment(self):
+        s = Segment(Point(2, 2), Point(2, 2))
+        assert math.isclose(s.distance_to_point(Point(5, 6)), 5.0)

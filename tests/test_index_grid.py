@@ -1,0 +1,153 @@
+"""Unit and property tests for the uniform spatial grid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.index import SpatialGrid
+
+BOUNDS = Rect(0, 0, 1000, 1000)
+
+in_bounds = st.floats(min_value=0, max_value=1000, allow_nan=False)
+any_coord = st.floats(min_value=-500, max_value=1500, allow_nan=False)
+radius = st.floats(min_value=0, max_value=300, allow_nan=False)
+
+
+class TestCellOf:
+    def test_origin_in_first_cell(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        assert grid.cell_of(0, 0) == 0
+
+    def test_interior_cell(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        # Cell (row 2, col 3): 100-unit cells.
+        assert grid.cell_of(350, 250) == 2 * 10 + 3
+
+    def test_max_corner_clamped_to_last_cell(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        assert grid.cell_of(1000, 1000) == 99
+
+    def test_out_of_bounds_clamped(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        assert grid.cell_of(-50, -50) == 0
+        assert grid.cell_of(2000, 2000) == 99
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(BOUNDS, 0)
+
+    @given(any_coord, any_coord)
+    def test_cell_always_valid(self, x, y):
+        grid = SpatialGrid(BOUNDS, 7)
+        assert 0 <= grid.cell_of(x, y) < 49
+
+
+class TestCellsForCircle:
+    def test_point_circle_single_cell(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        assert grid.cells_for_circle(550, 550, 0.0) == [grid.cell_of(550, 550)]
+
+    def test_small_circle_mid_cell(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        assert grid.cells_for_circle(550, 550, 10.0) == [grid.cell_of(550, 550)]
+
+    def test_circle_straddling_four_cells(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        cells = grid.cells_for_circle(500, 500, 10.0)
+        assert len(cells) == 4
+
+    def test_circle_cut_corner_excluded(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        # Circle near a cell corner but not reaching the diagonal cell.
+        cells = set(grid.cells_for_circle(495, 480, 6.0))
+        # Touches cells (4,4) and (4,5)... but not row 5 (480+6 < 500).
+        assert grid.cell_of(495, 480) in cells
+        assert grid.cell_of(502, 480) in cells
+        assert grid.cell_of(502, 502) not in cells
+
+    def test_negative_radius_rejected(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        with pytest.raises(ValueError):
+            grid.cells_for_circle(0, 0, -1)
+
+    @given(in_bounds, in_bounds, radius)
+    def test_center_cell_always_included(self, x, y, r):
+        grid = SpatialGrid(BOUNDS, 10)
+        assert grid.cell_of(x, y) in grid.cells_for_circle(x, y, r)
+
+    @given(in_bounds, in_bounds, radius, st.floats(min_value=0, max_value=100))
+    def test_monotone_in_radius(self, x, y, r, extra):
+        grid = SpatialGrid(BOUNDS, 10)
+        smaller = set(grid.cells_for_circle(x, y, r))
+        larger = set(grid.cells_for_circle(x, y, r + extra))
+        assert smaller <= larger
+
+
+class TestCellsForRect:
+    def test_rect_within_one_cell(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        assert grid.cells_for_rect(Rect(110, 110, 190, 190)) == [
+            grid.cell_of(150, 150)
+        ]
+
+    def test_rect_spanning_rows_and_cols(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        cells = grid.cells_for_rect(Rect(150, 150, 350, 250))
+        assert len(cells) == 3 * 2  # 3 columns x 2 rows
+
+    def test_whole_world(self):
+        grid = SpatialGrid(BOUNDS, 4)
+        assert len(grid.cells_for_rect(BOUNDS)) == 16
+
+    @given(in_bounds, in_bounds, in_bounds, in_bounds)
+    def test_contained_point_cell_included(self, x1, y1, x2, y2):
+        grid = SpatialGrid(BOUNDS, 10)
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        cells = grid.cells_for_rect(rect)
+        assert grid.cell_of(rect.center.x, rect.center.y) in cells
+
+
+class TestMembership:
+    def test_insert_and_lookup(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        grid.insert("a", [0, 1])
+        assert grid.members(0) == {"a"}
+        assert grid.members(1) == {"a"}
+        assert grid.members(2) == set()
+
+    def test_remove_deletes_empty_cells(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        grid.insert("a", [0])
+        grid.remove("a", [0])
+        assert grid.occupied_cell_count == 0
+
+    def test_remove_from_vacant_cell_is_noop(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        grid.remove("ghost", [5])
+        assert grid.occupied_cell_count == 0
+
+    def test_relocate_moves_only_difference(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        grid.insert("a", [0, 1])
+        grid.relocate("a", [0, 1], [1, 2])
+        assert grid.members(0) == set()
+        assert grid.members(1) == {"a"}
+        assert grid.members(2) == {"a"}
+
+    def test_entry_count(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        grid.insert("a", [0, 1])
+        grid.insert("b", [1])
+        assert grid.entry_count == 3
+
+    def test_occupied_cells_sorted(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        grid.insert("a", [5, 2, 9])
+        assert [cell for cell, _ in grid.occupied_cells()] == [2, 5, 9]
+
+    def test_clear(self):
+        grid = SpatialGrid(BOUNDS, 10)
+        grid.insert("a", [0, 1, 2])
+        grid.clear()
+        assert grid.entry_count == 0

@@ -1,0 +1,76 @@
+"""Property tests for the spatial grid's geometric cell mapping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.index import SpatialGrid
+
+BOUNDS = Rect(0, 0, 1000, 1000)
+
+in_bounds = st.floats(min_value=0, max_value=1000, allow_nan=False)
+radius = st.floats(min_value=0, max_value=400, allow_nan=False)
+grid_sizes = st.integers(min_value=1, max_value=25)
+
+
+def brute_force_circle_cells(grid, cx, cy, r):
+    """Reference: test every cell rectangle against the disc."""
+    cells = set()
+    cell_w = grid.bounds.width / grid.nx
+    cell_h = grid.bounds.height / grid.ny
+    for row in range(grid.ny):
+        for col in range(grid.nx):
+            min_x = grid.bounds.min_x + col * cell_w
+            min_y = grid.bounds.min_y + row * cell_h
+            near_x = min(max(cx, min_x), min_x + cell_w)
+            near_y = min(max(cy, min_y), min_y + cell_h)
+            if (cx - near_x) ** 2 + (cy - near_y) ** 2 <= r * r:
+                cells.add(row * grid.nx + col)
+    return cells
+
+
+class TestCellsForCircleProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(nx=grid_sizes, cx=in_bounds, cy=in_bounds, r=radius)
+    def test_matches_brute_force(self, nx, cx, cy, r):
+        grid = SpatialGrid(BOUNDS, nx)
+        expected = brute_force_circle_cells(grid, cx, cy, r)
+        got = set(grid.cells_for_circle(cx, cy, r))
+        # The fast sweep must cover the brute-force answer; for r == 0 it
+        # additionally includes the centre's (clamped) own cell.
+        assert expected <= got
+        assert got - expected <= {grid.cell_of(cx, cy)}
+
+    @settings(max_examples=80, deadline=None)
+    @given(nx=grid_sizes, cx=in_bounds, cy=in_bounds, r=radius,
+           px=in_bounds, py=in_bounds)
+    def test_contained_point_cell_covered(self, nx, cx, cy, r, px, py):
+        # Any point inside the disc lies in a returned cell.
+        if (px - cx) ** 2 + (py - cy) ** 2 <= r * r:
+            grid = SpatialGrid(BOUNDS, nx)
+            assert grid.cell_of(px, py) in grid.cells_for_circle(cx, cy, r)
+
+
+class TestCellsForRectProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(nx=grid_sizes,
+           x1=in_bounds, y1=in_bounds, x2=in_bounds, y2=in_bounds,
+           px=in_bounds, py=in_bounds)
+    def test_contained_point_cell_covered(self, nx, x1, y1, x2, y2, px, py):
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        if rect.contains_xy(px, py):
+            grid = SpatialGrid(BOUNDS, nx)
+            assert grid.cell_of(px, py) in grid.cells_for_rect(rect)
+
+    @settings(max_examples=80, deadline=None)
+    @given(nx=grid_sizes, x1=in_bounds, y1=in_bounds, x2=in_bounds, y2=in_bounds)
+    def test_cell_count_matches_span(self, nx, x1, y1, x2, y2):
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        grid = SpatialGrid(BOUNDS, nx)
+        cells = grid.cells_for_rect(rect)
+        # Cells form a dense row x col block.
+        cols = {c % grid.nx for c in cells}
+        rows = {c // grid.nx for c in cells}
+        assert len(cells) == len(cols) * len(rows)
+        assert cols == set(range(min(cols), max(cols) + 1))
+        assert rows == set(range(min(rows), max(rows) + 1))

@@ -1,0 +1,121 @@
+"""Integration: exactness and stability across city topologies.
+
+The default experiments run on the lattice city; these tests confirm the
+whole pipeline — generation, clustering, joining, maintenance — behaves
+identically on the other builders (ring-and-spoke, seeded random), on
+uneven populations, and over long runs.
+"""
+
+import pytest
+
+from repro.core import NaiveJoin, Scuba
+from repro.generator import GeneratorConfig, NetworkBasedGenerator
+from repro.network import grid_city, radial_city, random_city
+from repro.streams import CollectingSink, EngineConfig, StreamEngine, match_set
+
+
+def run(city, operator, config, intervals=5):
+    generator = NetworkBasedGenerator(city, config)
+    sink = CollectingSink()
+    StreamEngine(generator, operator, sink, EngineConfig()).run(intervals)
+    return sink
+
+
+@pytest.mark.parametrize(
+    "city_factory",
+    [
+        lambda: radial_city(rings=4, spokes=8),
+        lambda: random_city(node_count=60, seed=2),
+        lambda: grid_city(rows=5, cols=5),
+    ],
+    ids=["radial", "random", "small-grid"],
+)
+def test_scuba_exact_on_all_topologies(city_factory):
+    city = city_factory()
+    config = GeneratorConfig(num_objects=100, num_queries=100, skew=12, seed=6)
+    scuba = run(city, Scuba(), config)
+    naive = run(city, NaiveJoin(), config)
+    for t in naive.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(naive.by_interval[t]), t
+
+
+def test_uneven_population():
+    city = grid_city()
+    config = GeneratorConfig(num_objects=150, num_queries=30, skew=7, seed=9)
+    scuba = run(city, Scuba(), config)
+    naive = run(city, NaiveJoin(), config)
+    for t in naive.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(naive.by_interval[t])
+
+
+def test_objects_only_workload_produces_nothing():
+    city = grid_city()
+    config = GeneratorConfig(num_objects=120, num_queries=0, skew=10, seed=1)
+    scuba = run(city, Scuba(), config, intervals=3)
+    assert scuba.all_matches == []
+
+
+def test_queries_only_workload_produces_nothing():
+    city = grid_city()
+    config = GeneratorConfig(num_objects=0, num_queries=120, skew=10, seed=1)
+    scuba = run(city, Scuba(), config, intervals=3)
+    assert scuba.all_matches == []
+
+
+def test_long_run_stays_exact_and_bounded():
+    """20 intervals (= 40 time units): no drift, no state explosion."""
+    city = grid_city()
+    config = GeneratorConfig(num_objects=120, num_queries=120, skew=15, seed=14)
+    scuba_op = Scuba()
+    scuba = run(city, scuba_op, config, intervals=20)
+    naive = run(city, NaiveJoin(), config, intervals=20)
+    for t in naive.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(naive.by_interval[t]), t
+    # Clusters remain bounded by the population.
+    assert scuba_op.cluster_count <= 240
+    # The grid holds only live clusters.
+    live = {c.cid for c in scuba_op.world.storage}
+    for _cell, members in scuba_op.world.grid.occupied_cells():
+        assert set(members) <= live
+
+
+def test_mixed_group_workload_exact():
+    city = grid_city()
+    config = GeneratorConfig(
+        num_objects=100, num_queries=100, skew=20, seed=3, mixed_groups=True
+    )
+    scuba = run(city, Scuba(), config)
+    naive = run(city, NaiveJoin(), config)
+    for t in naive.by_interval:
+        assert match_set(scuba.by_interval[t]) == match_set(naive.by_interval[t])
+
+
+def test_heterogeneous_query_ranges_exact():
+    """Two generators' streams interleaved: different window sizes coexist."""
+    from repro.generator import QueryUpdate
+    from repro.geometry import Point
+
+    city = grid_city()
+    generator = NetworkBasedGenerator(
+        city, GeneratorConfig(num_objects=80, num_queries=80, skew=10, seed=5)
+    )
+    scuba, naive = Scuba(), NaiveJoin()
+    for interval in range(4):
+        for _ in range(2):
+            for update in generator.tick(1.0):
+                if update.kind.value == "query" and update.qid % 3 == 0:
+                    # Rewrite every third query with a much bigger window.
+                    update = QueryUpdate(
+                        update.qid,
+                        update.loc,
+                        update.t,
+                        update.speed,
+                        update.cn_node,
+                        update.cn_loc,
+                        300.0,
+                        180.0,
+                    )
+                scuba.on_update(update)
+                naive.on_update(update)
+        now = generator.time
+        assert match_set(scuba.evaluate(now)) == match_set(naive.evaluate(now))

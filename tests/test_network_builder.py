@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic city builders."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.network import RoadClass, grid_city, radial_city, random_city
+
+
+class TestGridCity:
+    def test_default_dimensions(self):
+        net = grid_city()
+        assert net.node_count == 121  # 11 x 11
+        # 10 non-highway rows x 10 horizontal edges, same vertically, plus
+        # the two express highways: interchanges at {0, 4, 5, 8, 10} give 4
+        # spans each.
+        assert net.edge_count == 100 + 100 + 4 + 4
+
+    def test_highway_edges_are_express_spans(self):
+        net = grid_city()
+        highways = [e for e in net.edges() if e.road_class is RoadClass.HIGHWAY]
+        assert highways, "grid city must contain highways"
+        # Express spans are longer than a single lattice step (1000 units).
+        lattice_step = 1000.0
+        assert all(e.length >= lattice_step for e in highways)
+        assert any(e.length > lattice_step for e in highways)
+
+    def test_connected(self):
+        assert grid_city().is_connected()
+
+    def test_contains_all_road_classes(self):
+        classes = {e.road_class for e in grid_city().edges()}
+        assert classes == {RoadClass.HIGHWAY, RoadClass.ARTERIAL, RoadClass.LOCAL}
+
+    def test_custom_bounds_respected(self):
+        bounds = Rect(0, 0, 500, 300)
+        net = grid_city(rows=3, cols=4, bounds=bounds)
+        for node in net.nodes():
+            assert bounds.contains_point(node.location)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_city(rows=1, cols=5)
+
+    def test_nodes_on_lattice(self):
+        net = grid_city(rows=3, cols=3, bounds=Rect(0, 0, 100, 100))
+        xs = sorted({n.location.x for n in net.nodes()})
+        assert xs == [0.0, 50.0, 100.0]
+
+
+class TestRadialCity:
+    def test_node_count(self):
+        net = radial_city(rings=3, spokes=6)
+        assert net.node_count == 1 + 3 * 6
+
+    def test_connected(self):
+        assert radial_city().is_connected()
+
+    def test_center_degree_equals_spokes(self):
+        net = radial_city(rings=2, spokes=5)
+        # Node 0 is the center.
+        assert net.degree(0) == 5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            radial_city(rings=0)
+        with pytest.raises(ValueError):
+            radial_city(spokes=2)
+
+    def test_all_nodes_in_bounds(self):
+        net = radial_city()
+        for node in net.nodes():
+            assert net.bounds.contains_point(node.location)
+
+
+class TestRandomCity:
+    def test_connected_for_multiple_seeds(self):
+        for seed in range(5):
+            assert random_city(node_count=40, seed=seed).is_connected()
+
+    def test_deterministic_for_seed(self):
+        a = random_city(node_count=30, seed=3)
+        b = random_city(node_count=30, seed=3)
+        assert [tuple(n.location) for n in a.nodes()] == [
+            tuple(n.location) for n in b.nodes()
+        ]
+        assert [(e.u, e.v) for e in a.edges()] == [(e.u, e.v) for e in b.edges()]
+
+    def test_different_seeds_differ(self):
+        a = random_city(node_count=30, seed=1)
+        b = random_city(node_count=30, seed=2)
+        assert [tuple(n.location) for n in a.nodes()] != [
+            tuple(n.location) for n in b.nodes()
+        ]
+
+    def test_has_fast_roads(self):
+        classes = {e.road_class for e in random_city().edges()}
+        assert RoadClass.HIGHWAY in classes
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_city(node_count=1)

@@ -1,0 +1,147 @@
+"""Unit tests for the road-network graph and edge positions."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.network import EdgePosition, RoadClass, RoadNetwork
+
+BOUNDS = Rect(0, 0, 1000, 1000)
+
+
+@pytest.fixture
+def triangle():
+    """Three nodes in a triangle with two edges (no a-c edge)."""
+    net = RoadNetwork(BOUNDS)
+    a = net.add_node(Point(0, 0))
+    b = net.add_node(Point(100, 0))
+    c = net.add_node(Point(100, 100))
+    net.add_edge(a.node_id, b.node_id, RoadClass.HIGHWAY)
+    net.add_edge(b.node_id, c.node_id)
+    return net, a, b, c
+
+
+class TestConstruction:
+    def test_node_ids_sequential(self, triangle):
+        net, a, b, c = triangle
+        assert (a.node_id, b.node_id, c.node_id) == (0, 1, 2)
+
+    def test_node_outside_bounds_rejected(self):
+        net = RoadNetwork(BOUNDS)
+        with pytest.raises(ValueError):
+            net.add_node(Point(-1, 0))
+
+    def test_edge_length_derived_from_nodes(self, triangle):
+        net, a, b, _ = triangle
+        edge = net.find_edge(a.node_id, b.node_id)
+        assert edge.length == 100.0
+
+    def test_edge_to_missing_node_rejected(self, triangle):
+        net, a, _, _ = triangle
+        with pytest.raises(KeyError):
+            net.add_edge(a.node_id, 99)
+
+    def test_self_loop_rejected(self, triangle):
+        net, a, _, _ = triangle
+        with pytest.raises(ValueError):
+            net.add_edge(a.node_id, a.node_id)
+
+    def test_counts(self, triangle):
+        net, *_ = triangle
+        assert net.node_count == 3
+        assert net.edge_count == 2
+
+
+class TestTopology:
+    def test_neighbors(self, triangle):
+        net, a, b, c = triangle
+        assert set(net.neighbors(b.node_id)) == {a.node_id, c.node_id}
+        assert net.neighbors(a.node_id) == [b.node_id]
+
+    def test_degree(self, triangle):
+        net, a, b, _ = triangle
+        assert net.degree(a.node_id) == 1
+        assert net.degree(b.node_id) == 2
+
+    def test_find_edge_missing(self, triangle):
+        net, a, _, c = triangle
+        assert net.find_edge(a.node_id, c.node_id) is None
+
+    def test_incident_edges(self, triangle):
+        net, _, b, _ = triangle
+        assert len(net.incident_edges(b.node_id)) == 2
+
+    def test_is_connected(self, triangle):
+        net, *_ = triangle
+        assert net.is_connected()
+
+    def test_disconnected_detected(self):
+        net = RoadNetwork(BOUNDS)
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(10, 0))
+        net.add_node(Point(500, 500))  # isolated
+        net.add_edge(a.node_id, b.node_id)
+        assert not net.is_connected()
+
+    def test_empty_network_connected(self):
+        assert RoadNetwork(BOUNDS).is_connected()
+
+    def test_nearest_node(self, triangle):
+        net, a, _, c = triangle
+        assert net.nearest_node(Point(1, 2)).node_id == a.node_id
+        assert net.nearest_node(Point(99, 99)).node_id == c.node_id
+
+    def test_nearest_node_empty_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(BOUNDS).nearest_node(Point(0, 0))
+
+
+class TestEdgePosition:
+    def test_destination_and_remaining(self, triangle):
+        net, a, b, _ = triangle
+        edge = net.find_edge(a.node_id, b.node_id)
+        pos = EdgePosition(edge, a.node_id, 30.0)
+        assert pos.destination == b.node_id
+        assert pos.remaining == 70.0
+
+    def test_invalid_origin_rejected(self, triangle):
+        net, a, b, c = triangle
+        edge = net.find_edge(a.node_id, b.node_id)
+        with pytest.raises(ValueError):
+            EdgePosition(edge, c.node_id, 0.0)
+
+    def test_offset_out_of_range_rejected(self, triangle):
+        net, a, b, _ = triangle
+        edge = net.find_edge(a.node_id, b.node_id)
+        with pytest.raises(ValueError):
+            EdgePosition(edge, a.node_id, 101.0)
+
+    def test_position_location(self, triangle):
+        net, a, b, _ = triangle
+        edge = net.find_edge(a.node_id, b.node_id)
+        loc = net.position_location(EdgePosition(edge, a.node_id, 25.0))
+        assert loc.is_close(Point(25, 0))
+
+    def test_position_location_reverse_direction(self, triangle):
+        net, a, b, _ = triangle
+        edge = net.find_edge(a.node_id, b.node_id)
+        loc = net.position_location(EdgePosition(edge, b.node_id, 25.0))
+        assert loc.is_close(Point(75, 0))
+
+    def test_other_endpoint_error(self, triangle):
+        net, a, b, _ = triangle
+        edge = net.find_edge(a.node_id, b.node_id)
+        with pytest.raises(ValueError):
+            edge.other_endpoint(42)
+
+
+class TestRoadClass:
+    def test_speed_limits_ordering(self):
+        assert (
+            RoadClass.HIGHWAY.speed_limit
+            > RoadClass.ARTERIAL.speed_limit
+            > RoadClass.LOCAL.speed_limit
+        )
+
+    def test_min_speed_below_limit(self):
+        for rc in RoadClass:
+            assert rc.min_speed < rc.speed_limit

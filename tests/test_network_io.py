@@ -1,0 +1,57 @@
+"""Round-trip tests for road-network serialisation."""
+
+import pytest
+
+from repro.network import (
+    grid_city,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    radial_city,
+    random_city,
+    save_network,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: grid_city(rows=4, cols=5),
+        lambda: radial_city(rings=2, spokes=5),
+        lambda: random_city(node_count=25, seed=3),
+    ],
+)
+def test_dict_round_trip(factory):
+    original = factory()
+    rebuilt = network_from_dict(network_to_dict(original))
+    assert rebuilt.node_count == original.node_count
+    assert rebuilt.edge_count == original.edge_count
+    assert rebuilt.bounds == original.bounds
+    for a, b in zip(original.nodes(), rebuilt.nodes()):
+        assert a.location == b.location
+    for a, b in zip(original.edges(), rebuilt.edges()):
+        assert (a.u, a.v, a.road_class) == (b.u, b.v, b.road_class)
+        assert a.length == pytest.approx(b.length)
+
+
+def test_file_round_trip(tmp_path):
+    original = grid_city(rows=3, cols=3)
+    path = tmp_path / "city.json"
+    save_network(original, path)
+    rebuilt = load_network(path)
+    assert rebuilt.node_count == original.node_count
+    assert rebuilt.is_connected()
+
+
+def test_unknown_version_rejected():
+    data = network_to_dict(grid_city(rows=2, cols=2))
+    data["version"] = 99
+    with pytest.raises(ValueError):
+        network_from_dict(data)
+
+
+def test_serialised_form_is_json_compatible():
+    import json
+
+    data = network_to_dict(grid_city(rows=2, cols=2))
+    assert json.loads(json.dumps(data)) == data

@@ -1,0 +1,125 @@
+"""Unit and cross-validation tests for shortest-path routing."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.network import Router, grid_city, path_length, random_city, shortest_path
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(rows=7, cols=7)
+
+
+def _nx_graph(net, weight):
+    g = nx.Graph()
+    for e in net.edges():
+        cost = e.length if weight == "distance" else e.length / e.speed_limit
+        # Parallel edges: keep the cheaper one, like Dijkstra would.
+        if g.has_edge(e.u, e.v):
+            cost = min(cost, g[e.u][e.v]["w"])
+        g.add_edge(e.u, e.v, w=cost)
+    return g
+
+
+class TestShortestPath:
+    def test_trivial_self_path(self, city):
+        assert shortest_path(city, 0, 0) == [0]
+
+    def test_adjacent_nodes(self, city):
+        path = shortest_path(city, 0, 1, weight="distance")
+        assert path == [0, 1]
+
+    def test_path_is_connected_walk(self, city):
+        path = shortest_path(city, 0, 48)
+        for u, v in zip(path, path[1:]):
+            assert city.find_edge(u, v) is not None
+
+    def test_unknown_weight_rejected(self, city):
+        with pytest.raises(ValueError):
+            shortest_path(city, 0, 1, weight="hops")
+
+    def test_unreachable_returns_none(self):
+        from repro.geometry import Point, Rect
+        from repro.network import RoadNetwork
+
+        net = RoadNetwork(Rect(0, 0, 100, 100))
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(50, 50))
+        assert shortest_path(net, a.node_id, b.node_id) is None
+
+    @pytest.mark.parametrize("weight", ["distance", "time"])
+    def test_cost_matches_networkx(self, city, weight):
+        g = _nx_graph(city, weight)
+        rng = random.Random(0)
+        nodes = [n.node_id for n in city.nodes()]
+        for _ in range(25):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            path = shortest_path(city, s, t, weight=weight)
+            expected = nx.shortest_path_length(g, s, t, weight="w")
+            actual = sum(
+                (
+                    city.find_edge(u, v).length
+                    if weight == "distance"
+                    else city.find_edge(u, v).length / city.find_edge(u, v).speed_limit
+                )
+                for u, v in zip(path, path[1:])
+            )
+            assert actual == pytest.approx(expected)
+
+    def test_cost_matches_networkx_random_city(self):
+        net = random_city(node_count=50, seed=11)
+        g = _nx_graph(net, "time")
+        rng = random.Random(1)
+        nodes = [n.node_id for n in net.nodes()]
+        for _ in range(15):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            path = shortest_path(net, s, t)
+            expected = nx.shortest_path_length(g, s, t, weight="w")
+            actual = sum(
+                net.find_edge(u, v).length / net.find_edge(u, v).speed_limit
+                for u, v in zip(path, path[1:])
+            )
+            assert actual == pytest.approx(expected)
+
+
+class TestPathLength:
+    def test_sums_edge_lengths(self, city):
+        path = shortest_path(city, 0, 2, weight="distance")
+        assert path_length(city, path) == pytest.approx(
+            sum(
+                city.find_edge(u, v).length for u, v in zip(path, path[1:])
+            )
+        )
+
+    def test_invalid_path_rejected(self, city):
+        with pytest.raises(ValueError):
+            path_length(city, [0, 48])  # not adjacent
+
+
+class TestRouter:
+    def test_route_matches_direct_call(self, city):
+        router = Router(city)
+        assert router.route(0, 10) == shortest_path(city, 0, 10)
+
+    def test_cache_hit_returns_copy(self, city):
+        router = Router(city)
+        first = router.route(0, 10)
+        first.append(999)  # mutate the returned list
+        second = router.route(0, 10)
+        assert 999 not in second
+
+    def test_cache_size_grows_once_per_pair(self, city):
+        router = Router(city)
+        router.route(0, 5)
+        router.route(0, 5)
+        router.route(5, 0)
+        assert router.cache_size() == 2
+
+    def test_clear_cache(self, city):
+        router = Router(city)
+        router.route(0, 5)
+        router.clear_cache()
+        assert router.cache_size() == 0

@@ -1,0 +1,87 @@
+"""The paper's Algorithm 2 pseudocode quirk, demonstrated.
+
+Algorithm 2 (DoBetweenClusterJoin) literally tests
+
+    (mL.x - mR.x)^2 + (mL.y - mR.y)^2 < (mL.R - mR.R)^2
+
+which is the condition for one circle to lie strictly *inside* the other,
+not for the circles to overlap.  Taken literally, the pre-filter would
+prune almost every joinable cluster pair — including the paper's own
+worked example (Fig. 7), where M1 and M2 merely intersect and the
+join-between is said to "return a positive overlap".
+
+These tests document the discrepancy and pin our implementation to the
+evidently intended overlap semantics (see repro/geometry/circle.py).
+"""
+
+from repro.clustering import MovingCluster
+from repro.core import ClusterJoinView, join_between, join_within_pair
+from repro.generator import LocationUpdate, QueryUpdate
+from repro.geometry import Circle, Point
+from repro.streams import match_set
+
+
+def literal_algorithm2(left: MovingCluster, right: MovingCluster) -> bool:
+    """The paper's pseudocode, verbatim."""
+    d_sq = (left.cx - right.cx) ** 2 + (left.cy - right.cy) ** 2
+    return d_sq < (left.radius - right.radius) ** 2
+
+
+def build(cid, entries, cn=1):
+    cluster = MovingCluster(cid, Point(*entries[0][1:3]), cn, Point(5000, 0), 0.0)
+    for i, (kind, x, y) in enumerate(entries):
+        entity_id = cid * 10 + i
+        if kind == "o":
+            cluster.absorb(
+                LocationUpdate(entity_id, Point(x, y), 0.0, 50.0, cn, Point(5000, 0))
+            )
+        else:
+            cluster.absorb(
+                QueryUpdate(
+                    entity_id, Point(x, y), 0.0, 50.0, cn, Point(5000, 0), 60.0, 60.0
+                )
+            )
+    return cluster
+
+
+def test_intersecting_clusters_with_real_matches():
+    """Two overlapping clusters produce a match our filter must keep."""
+    left = build(0, [("o", 100, 0), ("o", 200, 0)], cn=1)      # radius 50
+    right = build(1, [("q", 180, 0), ("q", 280, 0)], cn=2)     # radius 50
+    out = []
+    join_within_pair(ClusterJoinView(left), ClusterJoinView(right), 0.0, out)
+    assert match_set(out)  # the pair genuinely joins (o at 200 in q at 180)
+
+    # The literal pseudocode prunes it: equal radii make (R_L - R_R)^2 = 0.
+    assert not literal_algorithm2(left, right)
+    # Our corrected filter keeps it.
+    assert join_between(left, right)
+
+
+def test_literal_predicate_is_containment():
+    """What Algorithm 2's formula actually computes is containment."""
+    big = Circle(Point(0, 0), 100.0)
+    small = Circle(Point(20, 0), 30.0)
+    # Literal formula "fires" exactly when the small circle is inside.
+    d_sq = (big.center.x - small.center.x) ** 2 + (big.center.y - small.center.y) ** 2
+    literal = d_sq < (big.radius - small.radius) ** 2
+    assert literal == big.contains_circle(small) is True
+
+
+def test_figure7_style_scenario():
+    """Fig. 7's narrative: M1 and M2 intersect and join-between passes.
+
+    M1 holds objects, M2 holds queries; their circles overlap at the
+    boundary.  The worked example requires a positive overlap; the literal
+    containment test would return FALSE and lose (Q2, O3)-style results.
+    """
+    # The object at 160 sits within the 60x60 window of the query at 185:
+    # the clusters' circles overlap at the boundary and a real match spans
+    # them.
+    m1 = build(0, [("o", 0, 0), ("o", 160, 0)], cn=1)          # radius 80
+    m2 = build(1, [("q", 185, 0), ("q", 325, 0)], cn=2)        # radius 70
+    assert join_between(m1, m2)            # overlap semantics: joinable
+    assert not literal_algorithm2(m1, m2)  # literal pseudocode: pruned
+    out = []
+    join_within_pair(ClusterJoinView(m1), ClusterJoinView(m2), 0.0, out)
+    assert match_set(out)  # and there really are results to lose

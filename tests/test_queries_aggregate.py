@@ -1,0 +1,92 @@
+"""Unit tests for cluster-summary aggregate queries."""
+
+import pytest
+
+from repro.clustering import ClusterWorld, ClusteringSpec, IncrementalClusterer
+from repro.generator import EntityKind, LocationUpdate
+from repro.geometry import Point, Rect
+from repro.queries import exact_aggregate, summary_aggregate
+
+BOUNDS = Rect(0, 0, 10_000, 10_000)
+
+
+def obj(oid, x, y, cn=1, cn_loc=Point(9000, 0), speed=50.0):
+    return LocationUpdate(oid, Point(x, y), 0.0, speed, cn, cn_loc)
+
+
+def build_world(updates):
+    world = ClusterWorld(BOUNDS, 100)
+    clusterer = IncrementalClusterer(world, ClusteringSpec())
+    for update in updates:
+        clusterer.ingest(update)
+    return world
+
+
+class TestExactAggregate:
+    def test_count_and_speed(self):
+        world = build_world(
+            [obj(1, 100, 100, speed=40.0), obj(2, 150, 100, speed=48.0),
+             obj(3, 5000, 5000, speed=90.0, cn=2, cn_loc=Point(0, 0))]
+        )
+        agg = exact_aggregate(world, Rect(0, 0, 300, 300))
+        assert agg.count == 2
+        assert agg.average_speed == pytest.approx(44.0)
+
+    def test_empty_region(self):
+        world = build_world([obj(1, 100, 100)])
+        agg = exact_aggregate(world, Rect(8000, 8000, 9000, 9000))
+        assert agg.count == 0
+        assert agg.average_speed is None
+
+    def test_shed_members_invisible_to_exact(self):
+        world = build_world([obj(1, 100, 100), obj(2, 120, 100)])
+        cluster = world.storage.get(world.home.cluster_of(1, EntityKind.OBJECT))
+        member = cluster.get_member(1, EntityKind.OBJECT)
+        member.position_shed = True
+        cluster.shed_count += 1
+        agg = exact_aggregate(world, Rect(0, 0, 300, 300))
+        assert agg.count == 1
+
+
+class TestSummaryAggregate:
+    def test_fully_contained_cluster_counts_all(self):
+        world = build_world([obj(1, 100, 100), obj(2, 150, 100)])
+        agg = summary_aggregate(world, Rect(0, 0, 1000, 1000))
+        assert agg.count == pytest.approx(2.0)
+        assert agg.average_speed == pytest.approx(50.0)
+
+    def test_disjoint_cluster_counts_zero(self):
+        world = build_world([obj(1, 100, 100)])
+        agg = summary_aggregate(world, Rect(5000, 5000, 6000, 6000))
+        assert agg.count == 0.0
+
+    def test_partial_overlap_is_fractional(self):
+        world = build_world([obj(1, 100, 100), obj(2, 180, 100)])
+        # Region covering roughly the left half of the cluster.
+        agg = summary_aggregate(world, Rect(0, 0, 140, 1000))
+        assert 0.0 < agg.count < 2.0
+
+    def test_point_cluster_in_or_out(self):
+        world = build_world([obj(1, 100, 100)])
+        inside = summary_aggregate(world, Rect(0, 0, 200, 200))
+        outside = summary_aggregate(world, Rect(300, 300, 400, 400))
+        assert inside.count == pytest.approx(1.0)
+        assert outside.count == 0.0
+
+    def test_summary_close_to_exact_for_contained_clusters(self):
+        updates = [obj(i, 100 + i * 7, 100 + (i % 3) * 9) for i in range(12)]
+        world = build_world(updates)
+        region = Rect(0, 0, 500, 500)
+        exact = exact_aggregate(world, region)
+        summary = summary_aggregate(world, region)
+        assert summary.count == pytest.approx(exact.count, rel=0.2)
+
+    def test_summary_works_under_full_shedding(self):
+        world = build_world([obj(1, 100, 100, speed=60.0), obj(2, 120, 100, speed=60.0)])
+        cluster = world.storage.get(world.home.cluster_of(1, EntityKind.OBJECT))
+        for member in cluster.members():
+            member.position_shed = True
+            cluster.shed_count += 1
+        agg = summary_aggregate(world, Rect(0, 0, 1000, 1000))
+        assert agg.count == pytest.approx(2.0)
+        assert agg.average_speed == pytest.approx(60.0)

@@ -1,0 +1,115 @@
+"""Unit tests for cluster-based kNN queries."""
+
+import math
+
+import pytest
+
+from repro.clustering import ClusterWorld, ClusteringSpec, IncrementalClusterer
+from repro.generator import EntityKind, LocationUpdate
+from repro.geometry import Point, Rect
+from repro.queries import evaluate_knn, knn_containing_cluster_fast_path
+
+BOUNDS = Rect(0, 0, 10_000, 10_000)
+
+
+def obj(oid, x, y, cn=1, cn_loc=Point(9000, 0), speed=50.0):
+    return LocationUpdate(oid, Point(x, y), 0.0, speed, cn, cn_loc)
+
+
+def build_world(updates):
+    world = ClusterWorld(BOUNDS, 100)
+    clusterer = IncrementalClusterer(world, ClusteringSpec())
+    for update in updates:
+        clusterer.ingest(update)
+    return world
+
+
+def naive_knn(updates, point, k):
+    ranked = sorted(updates, key=lambda u: point.distance_sq_to(u.loc))
+    return [u.oid for u in ranked[:k]]
+
+
+class TestEvaluateKnn:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            evaluate_knn(build_world([]), Point(0, 0), 0)
+
+    def test_empty_world(self):
+        assert evaluate_knn(build_world([]), Point(0, 0), 3) == []
+
+    def test_single_cluster_exact(self):
+        updates = [obj(i, 100 + i * 10, 100) for i in range(5)]
+        world = build_world(updates)
+        answer = evaluate_knn(world, Point(100, 100), 3)
+        assert [n.entity_id for n in answer] == [0, 1, 2]
+        assert answer[0].distance == pytest.approx(0.0)
+        assert not answer[0].approximate
+
+    def test_matches_naive_across_clusters(self):
+        updates = [
+            obj(0, 100, 100, cn=1),
+            obj(1, 400, 100, cn=2, cn_loc=Point(0, 0)),
+            obj(2, 150, 100, cn=1),
+            obj(3, 5000, 5000, cn=3, cn_loc=Point(0, 9000)),
+            obj(4, 180, 300, cn=4, cn_loc=Point(9000, 9000)),
+        ]
+        world = build_world(updates)
+        for k in (1, 3, 5):
+            for probe in (Point(100, 100), Point(1000, 1000), Point(4900, 4900)):
+                expected = naive_knn(updates, probe, k)
+                got = [n.entity_id for n in evaluate_knn(world, probe, k)]
+                assert got == expected, (k, probe)
+
+    def test_fewer_than_k_members(self):
+        world = build_world([obj(0, 100, 100), obj(1, 120, 100)])
+        answer = evaluate_knn(world, Point(0, 0), 10)
+        assert len(answer) == 2
+
+    def test_distances_sorted_ascending(self):
+        updates = [obj(i, (i * 617) % 3000, (i * 389) % 3000, cn=i % 4,
+                       cn_loc=Point(100.0 * (i % 4), 0.0)) for i in range(25)]
+        world = build_world(updates)
+        answer = evaluate_knn(world, Point(1500, 1500), 10)
+        distances = [n.distance for n in answer]
+        assert distances == sorted(distances)
+
+    def test_shed_members_flagged_approximate(self):
+        updates = [obj(0, 100, 100), obj(1, 110, 100)]
+        world = build_world(updates)
+        cluster = world.storage.get(world.home.cluster_of(0, EntityKind.OBJECT))
+        member = cluster.get_member(0, EntityKind.OBJECT)
+        member.position_shed = True
+        cluster.shed_count += 1
+        cluster.nucleus_radius = 20.0
+        answer = evaluate_knn(world, Point(100, 100), 2)
+        approximates = {n.entity_id: n.approximate for n in answer}
+        assert approximates[0] is True
+        assert approximates[1] is False
+
+
+class TestFastPath:
+    def test_isolated_cluster_qualifies(self):
+        updates = [obj(i, 100 + i * 10, 100) for i in range(5)]
+        updates.append(obj(99, 9000, 9000, cn=2, cn_loc=Point(0, 0)))
+        world = build_world(updates)
+        cluster = knn_containing_cluster_fast_path(world, Point(120, 100), 3)
+        assert cluster is not None
+        assert cluster.object_count == 5
+
+    def test_too_few_members_disqualifies(self):
+        world = build_world([obj(0, 100, 100), obj(1, 110, 100)])
+        assert knn_containing_cluster_fast_path(world, Point(105, 100), 5) is None
+
+    def test_point_outside_any_cluster(self):
+        world = build_world([obj(0, 100, 100)])
+        assert knn_containing_cluster_fast_path(world, Point(5000, 5000), 1) is None
+
+    def test_overlapping_clusters_disqualify(self):
+        # Two adjacent clusters with overlapping circles.
+        updates = [obj(i, 100 + i * 20, 100, cn=1) for i in range(4)]
+        updates += [
+            obj(10 + i, 150 + i * 20, 100, cn=2, cn_loc=Point(0, 0)) for i in range(4)
+        ]
+        world = build_world(updates)
+        assert world.cluster_count == 2
+        assert knn_containing_cluster_fast_path(world, Point(150, 100), 2) is None

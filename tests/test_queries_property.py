@@ -1,0 +1,104 @@
+"""Property tests for snapshot queries against naive oracles.
+
+Random cluster worlds are built from random update batches; the snapshot
+range probe, the cluster-pruned kNN, and the exact aggregate must agree
+with direct computation over the same member positions.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import ClusteringSpec, ClusterWorld, IncrementalClusterer
+from repro.generator import EntityKind, LocationUpdate
+from repro.geometry import Point, Rect
+from repro.queries import evaluate_knn, evaluate_range, exact_aggregate
+
+BOUNDS = Rect(0, 0, 2000, 2000)
+
+COORD = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+SPEED = st.floats(min_value=10.0, max_value=90.0, allow_nan=False)
+
+update_batches = st.lists(
+    st.tuples(COORD, COORD, SPEED, st.integers(min_value=1, max_value=3)),
+    min_size=0,
+    max_size=25,
+)
+
+CN_LOCS = {1: Point(1900, 1000), 2: Point(1000, 1900), 3: Point(100, 100)}
+
+
+def build_world(batch):
+    world = ClusterWorld(BOUNDS, 20)
+    clusterer = IncrementalClusterer(world, ClusteringSpec())
+    positions = {}
+    for oid, (x, y, speed, cn) in enumerate(batch):
+        clusterer.ingest(
+            LocationUpdate(oid, Point(x, y), 0.0, speed, cn, CN_LOCS[cn])
+        )
+        positions[oid] = (x, y, speed)
+    return world, positions
+
+
+class TestRangeProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(batch=update_batches, rx=COORD, ry=COORD,
+           w=st.floats(min_value=1, max_value=800), h=st.floats(min_value=1, max_value=800))
+    def test_range_matches_naive(self, batch, rx, ry, w, h):
+        world, positions = build_world(batch)
+        region = Rect.centered(Point(rx, ry), w, h)
+        answer = evaluate_range(world, region)
+        expected = {
+            oid
+            for oid, (x, y, _s) in positions.items()
+            if region.contains_xy(x, y)
+        }
+        assert answer.exact_ids == expected
+        assert not answer.possible_ids  # nothing shed
+
+
+class TestKnnProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(batch=update_batches, px=COORD, py=COORD,
+           k=st.integers(min_value=1, max_value=8))
+    def test_knn_matches_naive(self, batch, px, py, k):
+        world, positions = build_world(batch)
+        probe = Point(px, py)
+        got = [n.entity_id for n in evaluate_knn(world, probe, k)]
+        expected = sorted(
+            positions,
+            key=lambda oid: (
+                math.hypot(positions[oid][0] - px, positions[oid][1] - py)
+            ),
+        )[:k]
+        # Distances must agree; id order may differ only on exact ties.
+        got_d = [
+            math.hypot(positions[o][0] - px, positions[o][1] - py) for o in got
+        ]
+        exp_d = [
+            math.hypot(positions[o][0] - px, positions[o][1] - py) for o in expected
+        ]
+        assert len(got) == len(expected)
+        for a, b in zip(got_d, exp_d):
+            assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestAggregateProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(batch=update_batches, rx=COORD, ry=COORD,
+           w=st.floats(min_value=1, max_value=800), h=st.floats(min_value=1, max_value=800))
+    def test_exact_aggregate_matches_naive(self, batch, rx, ry, w, h):
+        world, positions = build_world(batch)
+        region = Rect.centered(Point(rx, ry), w, h)
+        agg = exact_aggregate(world, region)
+        inside = [
+            s for (x, y, s) in positions.values() if region.contains_xy(x, y)
+        ]
+        assert agg.count == len(inside)
+        if inside:
+            assert math.isclose(
+                agg.average_speed, sum(inside) / len(inside), rel_tol=1e-9
+            )
+        else:
+            assert agg.average_speed is None

@@ -1,0 +1,74 @@
+"""Unit tests for snapshot range probes over cluster state."""
+
+import pytest
+
+from repro.clustering import ClusterWorld, ClusteringSpec, IncrementalClusterer
+from repro.generator import EntityKind, LocationUpdate, QueryUpdate
+from repro.geometry import Point, Rect
+from repro.queries import evaluate_range
+
+BOUNDS = Rect(0, 0, 10_000, 10_000)
+
+
+def obj(oid, x, y, cn=1, cn_loc=Point(9000, 0), speed=50.0):
+    return LocationUpdate(oid, Point(x, y), 0.0, speed, cn, cn_loc)
+
+
+def qry(qid, x, y, cn=1, cn_loc=Point(9000, 0)):
+    return QueryUpdate(qid, Point(x, y), 0.0, 50.0, cn, cn_loc, 50.0, 50.0)
+
+
+@pytest.fixture
+def world():
+    world = ClusterWorld(BOUNDS, 100)
+    clusterer = IncrementalClusterer(world, ClusteringSpec())
+    for update in [
+        obj(1, 100, 100),
+        obj(2, 150, 100),
+        obj(3, 5000, 5000),
+        qry(1, 120, 100),
+    ]:
+        clusterer.ingest(update)
+    return world
+
+
+class TestEvaluateRange:
+    def test_finds_objects_inside(self, world):
+        answer = evaluate_range(world, Rect(0, 0, 200, 200))
+        assert answer.exact_ids == {1, 2}
+        assert answer.possible_ids == set()
+
+    def test_misses_objects_outside(self, world):
+        answer = evaluate_range(world, Rect(0, 0, 50, 50))
+        assert answer.all_ids == set()
+
+    def test_kind_selects_queries(self, world):
+        answer = evaluate_range(world, Rect(0, 0, 200, 200), kind=EntityKind.QUERY)
+        assert answer.exact_ids == {1}
+
+    def test_boundary_inclusive(self, world):
+        answer = evaluate_range(world, Rect(100, 100, 150, 150))
+        assert 1 in answer.exact_ids and 2 in answer.exact_ids
+
+    def test_far_cluster_not_inspected(self, world):
+        answer = evaluate_range(world, Rect(4900, 4900, 5100, 5100))
+        assert answer.exact_ids == {3}
+
+    def test_shed_members_reported_as_possible(self, world):
+        # Shed object 1's position: region probes report it as possible
+        # when the nucleus intersects the region.
+        cid = world.home.cluster_of(1, EntityKind.OBJECT)
+        cluster = world.storage.get(cid)
+        member = cluster.get_member(1, EntityKind.OBJECT)
+        member.position_shed = True
+        cluster.shed_count += 1
+        cluster.nucleus_radius = 50.0
+        answer = evaluate_range(world, Rect(0, 0, 200, 200))
+        assert 1 in answer.possible_ids
+        assert 2 in answer.exact_ids
+        assert answer.all_ids == {1, 2}
+
+    def test_empty_world(self):
+        world = ClusterWorld(BOUNDS, 100)
+        answer = evaluate_range(world, Rect(0, 0, 1000, 1000))
+        assert answer.all_ids == set()

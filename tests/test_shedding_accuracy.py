@@ -1,0 +1,95 @@
+"""Unit and property tests for result-accuracy measurement (paper §6.6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.shedding import AccuracyReport, compare_results
+from repro.streams import QueryMatch
+
+
+def matches(pairs, t=2.0):
+    return [QueryMatch(q, o, t) for q, o in pairs]
+
+
+class TestCompareResults:
+    def test_identical_sets_perfect(self):
+        ref = matches([(1, 1), (1, 2)])
+        report = compare_results(ref, ref)
+        assert report.accuracy == 1.0
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_false_positive_counted(self):
+        ref = matches([(1, 1), (2, 2)])
+        produced = matches([(1, 1), (2, 2), (3, 3)])
+        report = compare_results(ref, produced)
+        assert report.false_positives == 1
+        assert report.false_negatives == 0
+        assert report.accuracy == pytest.approx(0.5)
+
+    def test_false_negative_counted(self):
+        ref = matches([(1, 1), (2, 2)])
+        produced = matches([(1, 1)])
+        report = compare_results(ref, produced)
+        assert report.false_negatives == 1
+        assert report.recall == pytest.approx(0.5)
+
+    def test_accuracy_floored_at_zero(self):
+        ref = matches([(1, 1)])
+        produced = matches([(2, 2), (3, 3), (4, 4)])
+        assert compare_results(ref, produced).accuracy == 0.0
+
+    def test_timestamps_ignored(self):
+        ref = matches([(1, 1)], t=2.0)
+        produced = matches([(1, 1)], t=4.0)
+        assert compare_results(ref, produced).accuracy == 1.0
+
+    def test_empty_reference_empty_produced(self):
+        report = compare_results([], [])
+        assert report.accuracy == 1.0
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+
+    def test_empty_reference_with_output(self):
+        report = compare_results([], matches([(1, 1)]))
+        assert report.accuracy == 0.0
+        assert report.precision == 0.0
+
+    def test_empty_produced_with_reference(self):
+        report = compare_results(matches([(1, 1)]), [])
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_str_mentions_counts(self):
+        report = compare_results(matches([(1, 1)]), matches([(1, 1), (2, 2)]))
+        assert "FP 1" in str(report)
+
+
+pair = st.tuples(st.integers(0, 30), st.integers(0, 30))
+
+
+class TestAccuracyProperties:
+    @given(st.sets(pair, max_size=40), st.sets(pair, max_size=40))
+    def test_counts_are_consistent(self, ref_pairs, got_pairs):
+        report = compare_results(matches(ref_pairs), matches(got_pairs))
+        assert report.true_positives + report.false_negatives == len(ref_pairs)
+        assert report.true_positives + report.false_positives == len(got_pairs)
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        assert 0.0 <= report.f1 <= 1.0
+        assert 0.0 <= report.accuracy <= 1.0
+
+    @given(st.sets(pair, min_size=1, max_size=40))
+    def test_self_comparison_perfect(self, pairs):
+        report = compare_results(matches(pairs), matches(pairs))
+        assert report.accuracy == 1.0 and report.f1 == 1.0
+
+    @given(st.sets(pair, min_size=2, max_size=40))
+    def test_subset_has_perfect_precision(self, pairs):
+        subset = matches(list(pairs)[: len(pairs) // 2])
+        report = compare_results(matches(pairs), subset)
+        assert report.precision == 1.0
+        assert report.false_positives == 0

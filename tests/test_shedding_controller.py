@@ -1,0 +1,84 @@
+"""Unit tests for the adaptive shedding controller."""
+
+import pytest
+
+from repro.clustering import ClusterStorage, MovingCluster
+from repro.generator import LocationUpdate
+from repro.geometry import Point
+from repro.shedding import (
+    AdaptiveShedder,
+    FullShedding,
+    NoShedding,
+    PartialShedding,
+    retained_position_count,
+)
+
+
+def storage_with_members(count, shed=0):
+    storage = ClusterStorage()
+    cluster = MovingCluster(0, Point(0, 0), 1, Point(100, 0), 0.0)
+    for i in range(count):
+        cluster.absorb(LocationUpdate(i, Point(i * 1.0, 0), 0.0, 50.0, 1, Point(100, 0)))
+    members = list(cluster.members())
+    for member in members[:shed]:
+        member.position_shed = True
+        cluster.shed_count += 1
+    storage.add(cluster)
+    return storage
+
+
+class TestRetainedPositionCount:
+    def test_counts_unshed_members(self):
+        storage = storage_with_members(10, shed=3)
+        assert retained_position_count(storage) == 7
+
+    def test_empty_storage(self):
+        assert retained_position_count(ClusterStorage()) == 0
+
+
+class TestAdaptiveShedder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveShedder(100.0, max_positions=0)
+        with pytest.raises(ValueError):
+            AdaptiveShedder(100.0, max_positions=10, ladder=[0.5, 0.2])
+        with pytest.raises(ValueError):
+            AdaptiveShedder(100.0, max_positions=10, ladder=[])
+
+    def test_starts_at_no_shedding(self):
+        shedder = AdaptiveShedder(100.0, max_positions=100)
+        assert isinstance(shedder.policy, NoShedding)
+        assert shedder.eta == 0.0
+
+    def test_escalates_under_pressure(self):
+        shedder = AdaptiveShedder(100.0, max_positions=5)
+        storage = storage_with_members(10)
+        policy = shedder.observe(storage, now=2.0)
+        assert isinstance(policy, PartialShedding)
+        assert shedder.eta == 0.25
+        assert shedder.history == [(2.0, 0.25)]
+
+    def test_escalates_to_full_eventually(self):
+        shedder = AdaptiveShedder(100.0, max_positions=5)
+        storage = storage_with_members(10)
+        for t in range(2, 12, 2):
+            shedder.observe(storage, now=float(t))
+        assert isinstance(shedder.policy, FullShedding)
+        assert shedder.eta == 1.0
+
+    def test_deescalates_when_pressure_drops(self):
+        shedder = AdaptiveShedder(100.0, max_positions=100)
+        heavy = storage_with_members(150)
+        shedder.observe(heavy, now=2.0)
+        assert shedder.eta > 0.0
+        light = storage_with_members(10)
+        shedder.observe(light, now=4.0)
+        assert shedder.eta == 0.0
+
+    def test_stable_in_deadband(self):
+        # Between half-budget and budget: no transitions either way.
+        shedder = AdaptiveShedder(100.0, max_positions=100)
+        storage = storage_with_members(70)
+        shedder.observe(storage, now=2.0)
+        assert shedder.eta == 0.0
+        assert shedder.history == []

@@ -1,0 +1,165 @@
+"""Unit tests for the stream engine, metrics, and sinks."""
+
+import time
+
+import pytest
+
+from repro.generator import Update
+from repro.streams import (
+    CollectingSink,
+    ContinuousJoinOperator,
+    CountingSink,
+    EngineConfig,
+    IntervalStats,
+    QueryMatch,
+    RunStats,
+    StreamEngine,
+    Timer,
+    match_set,
+)
+
+
+class RecordingOperator(ContinuousJoinOperator):
+    """Test double: records every call the engine makes."""
+
+    def __init__(self):
+        self.updates = []
+        self.evaluations = []
+        self.last_join_seconds = 0.0
+        self.last_maintenance_seconds = 0.0
+
+    def on_update(self, update: Update) -> None:
+        self.updates.append(update)
+
+    def evaluate(self, now: float):
+        self.evaluations.append(now)
+        self.last_join_seconds = 0.001
+        self.last_maintenance_seconds = 0.0005
+        return [QueryMatch(1, 2, now)]
+
+
+class TestEngineConfig:
+    def test_defaults_match_paper(self):
+        config = EngineConfig()
+        assert config.delta == 2.0
+        assert config.tick == 1.0
+        assert config.ticks_per_interval == 2
+
+    def test_non_divisible_delta_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(delta=2.5, tick=1.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(delta=0.0)
+        with pytest.raises(ValueError):
+            EngineConfig(tick=-1.0)
+
+
+class TestStreamEngine:
+    def test_interval_feeds_all_tick_updates(self, make_generator):
+        gen = make_generator(num_objects=10, num_queries=10)
+        op = RecordingOperator()
+        engine = StreamEngine(gen, op, config=EngineConfig(delta=2.0))
+        engine.run_interval()
+        # 2 ticks x 20 entities at 100% update rate.
+        assert len(op.updates) == 40
+
+    def test_evaluation_fires_once_per_interval(self, make_generator):
+        gen = make_generator(num_objects=5, num_queries=5)
+        op = RecordingOperator()
+        engine = StreamEngine(gen, op, config=EngineConfig(delta=2.0))
+        engine.run(3)
+        assert op.evaluations == [2.0, 4.0, 6.0]
+
+    def test_sink_receives_matches(self, make_generator):
+        gen = make_generator(num_objects=5, num_queries=5)
+        sink = CollectingSink()
+        engine = StreamEngine(gen, RecordingOperator(), sink)
+        engine.run(2)
+        assert len(sink.all_matches) == 2
+        assert sink.matches_at(2.0) == [QueryMatch(1, 2, 2.0)]
+
+    def test_stats_capture_phase_timings(self, make_generator):
+        gen = make_generator(num_objects=5, num_queries=5)
+        engine = StreamEngine(gen, RecordingOperator())
+        stats = engine.run(2)
+        assert stats.interval_count == 2
+        assert stats.total_join_seconds == pytest.approx(0.002)
+        assert stats.total_maintenance_seconds == pytest.approx(0.001)
+        assert stats.total_result_count == 2
+        assert stats.total_tuple_count == 40
+
+    def test_negative_intervals_rejected(self, make_generator):
+        engine = StreamEngine(make_generator(), RecordingOperator())
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+    def test_zero_intervals_noop(self, make_generator):
+        engine = StreamEngine(make_generator(), RecordingOperator())
+        stats = engine.run(0)
+        assert stats.interval_count == 0
+
+
+class TestTimer:
+    def test_accumulates_across_uses(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.02
+
+    def test_reset_returns_and_zeroes(self):
+        timer = Timer()
+        with timer:
+            pass
+        elapsed = timer.reset()
+        assert elapsed >= 0.0
+        assert timer.seconds == 0.0
+
+
+class TestRunStats:
+    def test_empty_run_means(self):
+        stats = RunStats()
+        assert stats.mean_join_seconds() == 0.0
+        assert stats.total_seconds == 0.0
+
+    def test_summary_mentions_counts(self):
+        stats = RunStats()
+        stats.add(
+            IntervalStats(
+                t=2.0,
+                ingest_seconds=0.1,
+                join_seconds=0.2,
+                maintenance_seconds=0.05,
+                result_count=7,
+                tuple_count=40,
+            )
+        )
+        summary = stats.summary()
+        assert "1 intervals" in summary
+        assert "7 results" in summary
+
+    def test_interval_total(self):
+        s = IntervalStats(2.0, 0.1, 0.2, 0.05, 1, 10)
+        assert s.total_seconds == pytest.approx(0.35)
+
+
+class TestSinks:
+    def test_counting_sink(self):
+        sink = CountingSink()
+        sink.accept([QueryMatch(1, 1, 0.0)] * 3, 2.0)
+        sink.accept([QueryMatch(1, 2, 0.0)], 4.0)
+        assert sink.total == 4
+        assert sink.per_interval == [3, 1]
+
+    def test_collecting_sink_clear(self):
+        sink = CollectingSink()
+        sink.accept([QueryMatch(1, 1, 2.0)], 2.0)
+        sink.clear()
+        assert sink.all_matches == []
+
+    def test_match_set_ignores_time(self):
+        matches = [QueryMatch(1, 2, 2.0), QueryMatch(1, 2, 4.0)]
+        assert match_set(matches) == {(1, 2)}

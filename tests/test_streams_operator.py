@@ -1,0 +1,52 @@
+"""Unit tests for the operator base contract and default behaviours."""
+
+import pytest
+
+from repro.streams import ContinuousJoinOperator, QueryMatch, ResultSink
+
+
+class MinimalOperator(ContinuousJoinOperator):
+    """Smallest legal implementation: ignores input, answers nothing."""
+
+    def on_update(self, update):
+        pass
+
+    def evaluate(self, now):
+        return []
+
+
+class TestDefaults:
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            ContinuousJoinOperator()
+
+    def test_default_timing_attributes(self):
+        op = MinimalOperator()
+        assert op.last_join_seconds == 0.0
+        assert op.last_maintenance_seconds == 0.0
+
+    def test_default_state_roots_is_self(self):
+        op = MinimalOperator()
+        assert op.state_roots() == [op]
+
+    def test_default_reset_not_supported(self):
+        op = MinimalOperator()
+        with pytest.raises(NotImplementedError):
+            op.reset()
+
+
+class TestResultSinkBase:
+    def test_base_sink_discards(self):
+        sink = ResultSink()
+        # Must accept without error and retain nothing observable.
+        sink.accept([QueryMatch(1, 2, 3.0)], 3.0)
+
+    def test_engine_runs_with_default_sink(self, make_generator):
+        from repro.streams import EngineConfig, StreamEngine
+
+        engine = StreamEngine(
+            make_generator(num_objects=10, num_queries=10), MinimalOperator(),
+            config=EngineConfig(),
+        )
+        stats = engine.run(2)
+        assert stats.interval_count == 2

@@ -1,0 +1,156 @@
+"""Unit tests for trajectory stores (exact vs. cluster-summarised)."""
+
+import pytest
+
+from repro.clustering import ClusteringSpec, ClusterWorld, IncrementalClusterer
+from repro.generator import EntityKind, GeneratorConfig, LocationUpdate, NetworkBasedGenerator
+from repro.geometry import Point, Rect
+from repro.trajectories import ClusterTrajectoryStore, TrajectoryStore
+
+BOUNDS = Rect(0, 0, 10_000, 10_000)
+
+
+class TestTrajectoryStore:
+    def test_record_and_read_back(self):
+        store = TrajectoryStore()
+        store.record(1, 0.0, 10, 20)
+        store.record(1, 1.0, 15, 20)
+        assert store.trajectory(1) == [(0.0, 10, 20), (1.0, 15, 20)]
+        assert store.entity_count == 1
+        assert store.sample_count == 2
+
+    def test_out_of_order_rejected(self):
+        store = TrajectoryStore()
+        store.record(1, 5.0, 0, 0)
+        with pytest.raises(ValueError):
+            store.record(1, 4.0, 0, 0)
+
+    def test_passed_through_time_window(self):
+        store = TrajectoryStore()
+        store.record(1, 0.0, 100, 100)
+        store.record(1, 5.0, 900, 900)
+        region = Rect(0, 0, 200, 200)
+        assert store.passed_through(region, 0.0, 1.0) == {1}
+        assert store.passed_through(region, 4.0, 6.0) == set()
+
+    def test_passed_through_region_filter(self):
+        store = TrajectoryStore()
+        store.record(1, 0.0, 100, 100)
+        store.record(2, 0.0, 500, 500)
+        assert store.passed_through(Rect(0, 0, 200, 200), 0.0, 1.0) == {1}
+
+    def test_empty_window_rejected(self):
+        store = TrajectoryStore()
+        with pytest.raises(ValueError):
+            store.passed_through(Rect(0, 0, 1, 1), 5.0, 4.0)
+
+    def test_prune_drops_old_samples(self):
+        store = TrajectoryStore(max_age=2.0)
+        store.record(1, 0.0, 0, 0)
+        store.record(1, 1.0, 1, 0)
+        store.record(1, 5.0, 5, 0)
+        dropped = store.prune()
+        assert dropped == 2
+        assert store.trajectory(1) == [(5.0, 5, 0)]
+
+    def test_prune_removes_silent_entities(self):
+        store = TrajectoryStore(max_age=1.0)
+        store.record(1, 0.0, 0, 0)
+        store.record(2, 10.0, 0, 0)
+        store.prune()
+        assert store.entity_count == 1
+
+    def test_invalid_max_age(self):
+        with pytest.raises(ValueError):
+            TrajectoryStore(max_age=0)
+
+
+def _world_with_convoy():
+    world = ClusterWorld(BOUNDS, 100)
+    clusterer = IncrementalClusterer(world, ClusteringSpec())
+    return world, clusterer
+
+
+def _obj(oid, x, y, t, cn=1, cn_loc=Point(9000, 0)):
+    return LocationUpdate(oid, Point(x, y), t, 50.0, cn, cn_loc)
+
+
+class TestClusterTrajectoryStore:
+    def test_records_cluster_samples(self):
+        world, clusterer = _world_with_convoy()
+        clusterer.ingest(_obj(1, 100, 100, 0.0))
+        clusterer.ingest(_obj(2, 120, 100, 0.0))
+        store = ClusterTrajectoryStore()
+        store.record(world, 0.0)
+        assert store.sample_count == 1  # one cluster, one snapshot
+        cid = world.home.cluster_of(1, EntityKind.OBJECT)
+        path = store.cluster_path(cid)
+        assert len(path) == 1 and path[0][0] == 0.0
+
+    def test_membership_interval_written_once_while_stable(self):
+        world, clusterer = _world_with_convoy()
+        store = ClusterTrajectoryStore()
+        for t in (0.0, 1.0, 2.0):
+            clusterer.ingest(_obj(1, 100 + t, 100, t))
+            clusterer.ingest(_obj(2, 120 + t, 100, t))
+            store.record(world, t)
+        assert store.membership_interval_count == 2  # one stay per entity
+
+    def test_membership_change_closes_interval(self):
+        world, clusterer = _world_with_convoy()
+        store = ClusterTrajectoryStore()
+        clusterer.ingest(_obj(1, 100, 100, 0.0))
+        clusterer.ingest(_obj(2, 120, 100, 0.0))
+        store.record(world, 0.0)
+        # Entity 2 diverges to a new destination: new cluster.
+        clusterer.ingest(_obj(2, 130, 100, 1.0, cn=2, cn_loc=Point(0, 0)))
+        store.record(world, 1.0)
+        assert store.membership_interval_count == 3
+
+    def test_passed_through_superset_of_exact(self, city):
+        generator = NetworkBasedGenerator(
+            city, GeneratorConfig(num_objects=80, num_queries=0, skew=20, seed=3)
+        )
+        world = ClusterWorld(city.bounds, 100)
+        clusterer = IncrementalClusterer(world, ClusteringSpec())
+        exact = TrajectoryStore()
+        summary = ClusterTrajectoryStore()
+        for _ in range(6):
+            for update in generator.tick(1.0):
+                clusterer.ingest(update)
+                exact.record(update.oid, update.t, update.loc.x, update.loc.y)
+            summary.record(world, generator.time)
+        region = Rect(2000, 2000, 8000, 8000)
+        exact_hits = exact.passed_through(region, 0.0, 6.0)
+        summary_hits = {
+            eid for (eid, is_object) in summary.passed_through(region, 0.0, 6.0)
+            if is_object
+        }
+        assert exact_hits <= summary_hits
+
+    def test_summary_stores_fewer_samples(self, city):
+        generator = NetworkBasedGenerator(
+            city, GeneratorConfig(num_objects=100, num_queries=0, skew=25, seed=5)
+        )
+        world = ClusterWorld(city.bounds, 100)
+        clusterer = IncrementalClusterer(world, ClusteringSpec())
+        exact = TrajectoryStore()
+        summary = ClusterTrajectoryStore()
+        for _ in range(6):
+            for update in generator.tick(1.0):
+                clusterer.ingest(update)
+                exact.record(update.oid, update.t, update.loc.x, update.loc.y)
+            summary.record(world, generator.time)
+        assert summary.sample_count < exact.sample_count
+
+    def test_no_hits_in_empty_region(self):
+        world, clusterer = _world_with_convoy()
+        clusterer.ingest(_obj(1, 100, 100, 0.0))
+        store = ClusterTrajectoryStore()
+        store.record(world, 0.0)
+        assert store.passed_through(Rect(8000, 8000, 9000, 9000), 0.0, 1.0) == set()
+
+    def test_empty_window_rejected(self):
+        store = ClusterTrajectoryStore()
+        with pytest.raises(ValueError):
+            store.passed_through(Rect(0, 0, 1, 1), 2.0, 1.0)

@@ -1,0 +1,137 @@
+"""Unit tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.clustering import ClusteringSpec, ClusterWorld, IncrementalClusterer
+from repro.generator import EntityKind, LocationUpdate, QueryUpdate
+from repro.geometry import Point, Rect
+from repro.network import grid_city
+from repro.streams import QueryMatch
+from repro.viz import SvgScene
+
+BOUNDS = Rect(0, 0, 1000, 1000)
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+def small_world():
+    world = ClusterWorld(BOUNDS, 10)
+    clusterer = IncrementalClusterer(world, ClusteringSpec())
+    clusterer.ingest(
+        LocationUpdate(1, Point(100, 100), 0.0, 50.0, 1, Point(900, 100))
+    )
+    clusterer.ingest(
+        LocationUpdate(2, Point(120, 100), 0.0, 50.0, 1, Point(900, 100))
+    )
+    clusterer.ingest(
+        QueryUpdate(1, Point(110, 110), 0.0, 50.0, 1, Point(900, 100), 50.0, 50.0)
+    )
+    return world
+
+
+class TestSceneBasics:
+    def test_empty_scene_is_valid_xml(self):
+        root = parse(SvgScene(BOUNDS).to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("viewBox") == "0.0 0.0 1000.0 1000.0"
+
+    def test_invalid_pixel_width(self):
+        with pytest.raises(ValueError):
+            SvgScene(BOUNDS, pixel_width=0)
+
+    def test_aspect_ratio_preserved(self):
+        scene = SvgScene(Rect(0, 0, 1000, 500), pixel_width=800)
+        root = parse(scene.to_svg())
+        assert root.get("width") == "800"
+        assert root.get("height") == "400"
+
+    def test_palette_override(self):
+        scene = SvgScene(BOUNDS, palette={"background": "#000000"})
+        assert "#000000" in scene.to_svg()
+
+    def test_y_axis_flipped(self):
+        scene = SvgScene(BOUNDS)
+        scene.add_circle(100, 0, 5, fill="#fff")  # world bottom
+        root = parse(scene.to_svg())
+        circle = root.find(f"{SVG_NS}circle")
+        assert float(circle.get("cy")) == 1000.0  # drawn at screen bottom
+
+    def test_text_escaped(self):
+        scene = SvgScene(BOUNDS)
+        scene.add_text(10, 10, "<clusters & queries>")
+        root = parse(scene.to_svg())  # would raise on bad escaping
+        text = root.find(f"{SVG_NS}text")
+        assert text.text == "<clusters & queries>"
+
+    def test_save(self, tmp_path):
+        scene = SvgScene(BOUNDS)
+        scene.add_circle(1, 1, 1, fill="#fff")
+        path = scene.save(tmp_path / "scene.svg")
+        assert path.exists()
+        parse(path.read_text())
+
+
+class TestLayers:
+    def test_network_layer_counts(self):
+        city = grid_city(rows=3, cols=3, bounds=BOUNDS)
+        scene = SvgScene(BOUNDS)
+        scene.draw_network(city)
+        root = parse(scene.to_svg())
+        lines = root.findall(f"{SVG_NS}line")
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(lines) == city.edge_count
+        assert len(circles) == city.node_count
+
+    def test_world_layer_draws_clusters_and_members(self):
+        world = small_world()
+        scene = SvgScene(BOUNDS)
+        scene.draw_world(world)
+        root = parse(scene.to_svg())
+        circles = root.findall(f"{SVG_NS}circle")
+        # 1 cluster disc + 3 member dots (velocity line separate).
+        assert len(circles) == 4
+        assert len(root.findall(f"{SVG_NS}line")) == 1  # velocity vector
+
+    def test_shed_members_skipped_but_nucleus_drawn(self):
+        world = small_world()
+        cluster = next(iter(world.storage))
+        member = cluster.get_member(1, EntityKind.OBJECT)
+        member.position_shed = True
+        cluster.shed_count += 1
+        cluster.nucleus_radius = 30.0
+        scene = SvgScene(BOUNDS)
+        scene.draw_world(world)
+        root = parse(scene.to_svg())
+        circles = root.findall(f"{SVG_NS}circle")
+        # 1 disc + 1 nucleus + 2 visible members.
+        assert len(circles) == 4
+
+    def test_query_window_layer(self):
+        scene = SvgScene(BOUNDS)
+        scene.draw_query_window(Rect(100, 100, 200, 180))
+        root = parse(scene.to_svg())
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 2  # background + window
+        window = rects[1]
+        assert float(window.get("width")) == 100.0
+        assert float(window.get("height")) == 80.0
+
+    def test_matches_layer(self):
+        world = small_world()
+        scene = SvgScene(BOUNDS)
+        scene.draw_matches(world, [QueryMatch(1, 1, 2.0), QueryMatch(1, 99, 2.0)])
+        root = parse(scene.to_svg())
+        # Only the existing object gets a halo; unknown oid 99 skipped.
+        assert len(root.findall(f"{SVG_NS}circle")) == 1
+
+    def test_element_count_accumulates(self):
+        scene = SvgScene(BOUNDS)
+        assert scene.element_count == 0
+        scene.add_circle(1, 1, 1)
+        scene.add_line(0, 0, 1, 1, "#000", 1.0)
+        assert scene.element_count == 2
