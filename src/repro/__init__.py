@@ -54,6 +54,12 @@ from .generator import (
 )
 from .geometry import Circle, Point, Rect
 from .network import DEFAULT_BOUNDS, RoadNetwork, grid_city, radial_city, random_city
+from .parallel import (
+    RegularShardFactory,
+    ScubaShardFactory,
+    ShardPlan,
+    ShardedEngine,
+)
 from .streams import (
     CollectingSink,
     CountingSink,

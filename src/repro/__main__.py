@@ -8,6 +8,7 @@ per-interval cost breakdown — the quickest way to poke at the system:
     python -m repro --operator regular --intervals 10
     python -m repro --eta 0.5 --query-range 300    # with load shedding
     python -m repro --split                        # cluster splitting on
+    python -m repro --shards 4 --executor process  # sharded parallel run
 """
 
 from __future__ import annotations
@@ -55,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record the update stream to a JSONL trace file")
     parser.add_argument("--replay", metavar="TRACE",
                         help="replay a recorded trace instead of generating")
+    parser.add_argument("--shards", type=int, default=1, metavar="K",
+                        help="spatial shards for parallel execution (1=off)")
+    parser.add_argument("--executor", choices=["serial", "process"],
+                        default="serial",
+                        help="where shard operators run (with --shards > 1)")
     return parser
 
 
@@ -75,11 +81,35 @@ def make_operator(args: argparse.Namespace):
     return Scuba(config)
 
 
+def make_shard_factory(args: argparse.Namespace):
+    """Per-shard operator factory mirroring :func:`make_operator`."""
+    from .parallel import NaiveShardFactory, RegularShardFactory, ScubaShardFactory
+
+    extent = (args.query_range, args.query_range)
+    if args.operator == "regular":
+        from .core import RegularConfig
+
+        return RegularShardFactory(
+            RegularConfig(grid_size=args.grid), max_query_extent=extent
+        )
+    if args.operator == "naive":
+        return NaiveShardFactory(max_query_extent=extent)
+    config = ScubaConfig(
+        grid_size=args.grid,
+        delta=args.delta,
+        shedding=policy_for_eta(args.eta, 100.0),
+        split_at_destination=args.split,
+    )
+    return ScubaShardFactory(config, max_query_extent=extent)
+
+
 def main(argv=None) -> int:
     """Entry point: run the configured workload and print the breakdown."""
     args = build_parser().parse_args(argv)
     if args.record and args.replay:
         raise SystemExit("--record and --replay are mutually exclusive")
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     city = grid_city(rows=args.city, cols=args.city)
     if args.replay:
         from .generator import TraceReplayer
@@ -101,14 +131,31 @@ def main(argv=None) -> int:
         from .generator import TraceRecorder
 
         generator = TraceRecorder(generator, args.record)
-    operator = make_operator(args)
+    sharded = args.shards > 1 or args.executor == "process"
     sink = CountingSink()
-    engine = StreamEngine(
-        generator, operator, sink, EngineConfig(delta=args.delta, tick=1.0)
-    )
+    operator = None
+    if sharded:
+        from .parallel import ShardedEngine
+
+        engine = ShardedEngine(
+            generator,
+            make_shard_factory(args),
+            shards=args.shards,
+            sink=sink,
+            config=EngineConfig(delta=args.delta, tick=1.0),
+            executor=args.executor,
+        )
+    else:
+        operator = make_operator(args)
+        engine = StreamEngine(
+            generator, operator, sink, EngineConfig(delta=args.delta, tick=1.0)
+        )
     print(f"{args.operator} over {city}")
     print(f"{args.objects} objects + {args.queries} queries, skew {args.skew}, "
           f"Δ={args.delta}, η={args.eta}")
+    if sharded:
+        print(f"{engine.num_shards} shards ({args.executor} executor), "
+              f"halo margin {engine.plan.halo_margin:.1f}")
     print()
     header = f"{'t':>6}  {'ingest':>8}  {'join':>8}  {'maint':>8}  {'results':>8}"
     print(header)
@@ -128,6 +175,8 @@ def main(argv=None) -> int:
               f"between {operator.between_hits}/{operator.between_tests} | "
               f"within tests {operator.within_tests} | "
               f"split joins {operator.split_joins}")
+    if sharded:
+        engine.close()
     if args.record:
         generator.close()
         print(f"trace recorded to {args.record}")

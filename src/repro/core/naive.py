@@ -36,6 +36,11 @@ class NaiveJoin(ContinuousJoinOperator):
                 update.range_height / 2.0,
             )
 
+    def retract(self, entity_id: int, kind: EntityKind) -> None:
+        """Drop one entity (sharded halo hand-off)."""
+        table = self.objects if kind is EntityKind.OBJECT else self.queries
+        table.pop(entity_id, None)
+
     def evaluate(self, now: float) -> List[QueryMatch]:
         results: List[QueryMatch] = []
         timer = Timer()

@@ -123,6 +123,17 @@ class RegularGridJoin(ContinuousJoinOperator):
                 qentry.hw = update.range_width / 2.0
                 qentry.hh = update.range_height / 2.0
 
+    def retract(self, entity_id: int, kind: EntityKind) -> None:
+        """Drop one entity from the index (sharded halo hand-off)."""
+        if kind is EntityKind.OBJECT:
+            entry = self.objects.pop(entity_id, None)
+            if entry is not None:
+                self.object_grid.remove(entity_id, (entry.cell,))
+        else:
+            qentry = self.queries.pop(entity_id, None)
+            if qentry is not None:
+                self.query_grid.remove(entity_id, qentry.cells)
+
     # -- evaluation ---------------------------------------------------------------
 
     def evaluate(self, now: float) -> List[QueryMatch]:

@@ -131,6 +131,22 @@ class Scuba(ContinuousJoinOperator):
             dist = hypot(update.loc.x - cluster.cx, update.loc.y - cluster.cy)
             self.config.shedding.apply(cluster, update, dist)
 
+    def retract(self, entity_id: int, kind: EntityKind) -> None:
+        """Forget one entity: evict it from its cluster and its table.
+
+        Used by sharded execution when an entity's reported position leaves
+        this operator's halo region.  Eviction reuses the clusterer's
+        membership pathway, so cluster invariants (home/grid consistency,
+        dissolution of emptied clusters) hold exactly as for re-clustering.
+        """
+        cid = self.world.home.cluster_of(entity_id, kind)
+        if cid is not None:
+            self.world.evict(self.world.storage.get(cid), entity_id, kind)
+        table = (
+            self.objects_table if kind is EntityKind.OBJECT else self.queries_table
+        )
+        table.evict(entity_id)
+
     # -- phases 2 + 3: joining and post-join maintenance --------------------------
 
     def evaluate(self, now: float) -> List[QueryMatch]:

@@ -45,6 +45,12 @@ class EntityAttributeTable:
     def __iter__(self) -> Iterator[Tuple[int, Mapping[str, Any]]]:
         return iter(self._attrs.items())
 
+    def evict(self, entity_id: int) -> bool:
+        """Drop one entity's row (sharded hand-off); True if it existed."""
+        existed = self._attrs.pop(entity_id, None) is not None
+        self._last_seen.pop(entity_id, None)
+        return existed
+
     def evict_stale(self, cutoff: float) -> int:
         """Drop entities not heard from since ``cutoff``; returns count.
 

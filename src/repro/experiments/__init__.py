@@ -11,7 +11,7 @@ from .figures import (
     format_table,
 )
 from .memory import deep_sizeof, operator_state_bytes
-from .runner import RunResult, run_experiment
+from .runner import RunResult, run_experiment, run_sharded_experiment
 from .workloads import PAPER_DEFAULTS, WorkloadSpec, bench_scale, build_workload
 
 __all__ = [
@@ -31,4 +31,5 @@ __all__ = [
     "format_table",
     "operator_state_bytes",
     "run_experiment",
+    "run_sharded_experiment",
 ]

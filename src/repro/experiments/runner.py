@@ -22,7 +22,7 @@ from ..streams import (
 from .memory import operator_state_bytes
 from .workloads import WorkloadSpec, build_workload
 
-__all__ = ["RunResult", "run_experiment"]
+__all__ = ["RunResult", "run_experiment", "run_sharded_experiment"]
 
 
 @dataclass
@@ -95,3 +95,52 @@ def run_experiment(
         cluster_count=operator.cluster_count if isinstance(operator, Scuba) else 0,
         sink=sink if collect_matches else None,
     )
+
+
+def run_sharded_experiment(
+    spec: WorkloadSpec,
+    operator_factory,
+    shards: int = 2,
+    executor: str = "serial",
+    intervals: int = 5,
+    delta: float = 2.0,
+    label: str = "",
+    collect_matches: bool = False,
+):
+    """Sharded counterpart of :func:`run_experiment`.
+
+    Runs ``operator_factory`` (e.g. a :class:`~repro.parallel.ScubaShardFactory`)
+    over ``shards`` spatial shards and returns ``(RunResult, ShardedRunStats)``
+    — the flat result row for figure tables, plus the full sharded stats with
+    load-imbalance and replication metrics.
+    """
+    from ..parallel import ShardedEngine
+
+    _network, generator = build_workload(spec)
+    sink: ResultSink = CollectingSink() if collect_matches else CountingSink()
+    with ShardedEngine(
+        generator,
+        operator_factory,
+        shards=shards,
+        sink=sink,
+        config=EngineConfig(delta=delta, tick=1.0),
+        executor=executor,
+    ) as engine:
+        stats = engine.run(intervals)
+    if isinstance(sink, CollectingSink):
+        result_count = len(sink.all_matches)
+    else:
+        result_count = sink.total  # type: ignore[union-attr]
+    result = RunResult(
+        label=label or f"{type(operator_factory).__name__}[K={shards},{executor}]",
+        intervals=intervals,
+        ingest_seconds=stats.total_ingest_seconds,
+        join_seconds=stats.total_join_seconds,
+        maintenance_seconds=stats.total_maintenance_seconds,
+        result_count=result_count,
+        tuple_count=stats.total_tuple_count,
+        memory_bytes=0,  # operator state lives in the executor (maybe off-process)
+        cluster_count=0,
+        sink=sink if collect_matches else None,
+    )
+    return result, stats

@@ -42,6 +42,13 @@ class Point:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Point is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks the default slot-state unpickling
+        # path; rebuilding through the constructor keeps points (and every
+        # update record carrying them) picklable for process-based shard
+        # executors.
+        return (Point, (self.x, self.y))
+
     # -- arithmetic ---------------------------------------------------------
 
     def __add__(self, other: "Point") -> "Point":

@@ -55,6 +55,26 @@ class SpatialGrid:
         """The cell containing point ``(x, y)`` (clamped to the border)."""
         return self._row(y) * self.nx + self._col(x)
 
+    def _low_col(self, x: float) -> int:
+        """Leftmost column whose *closed* rectangle contains ``x``.
+
+        Binning is half-open, but cell rectangles are closed: a coordinate
+        sitting exactly on a cell's lower edge also touches the cell below.
+        Range scans must start there or boundary-touching geometry loses
+        its lower neighbour.
+        """
+        col = self._col(x)
+        if col > 0 and x <= self.bounds.min_x + col * self._cell_w:
+            col -= 1
+        return col
+
+    def _low_row(self, y: float) -> int:
+        """Bottom row whose closed rectangle contains ``y`` (see _low_col)."""
+        row = self._row(y)
+        if row > 0 and y <= self.bounds.min_y + row * self._cell_h:
+            row -= 1
+        return row
+
     def cells_for_circle(self, cx: float, cy: float, radius: float) -> List[CellKey]:
         """All cells whose rectangle intersects the closed disc.
 
@@ -63,9 +83,9 @@ class SpatialGrid:
         """
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
-        col_lo = self._col(cx - radius)
+        col_lo = self._low_col(cx - radius)
         col_hi = self._col(cx + radius)
-        row_lo = self._row(cy - radius)
+        row_lo = self._low_row(cy - radius)
         row_hi = self._row(cy + radius)
         r_sq = radius * radius
         keys: List[CellKey] = []
@@ -86,9 +106,9 @@ class SpatialGrid:
 
     def cells_for_rect(self, rect: Rect) -> List[CellKey]:
         """All cells intersecting ``rect``."""
-        col_lo = self._col(rect.min_x)
+        col_lo = self._low_col(rect.min_x)
         col_hi = self._col(rect.max_x)
-        row_lo = self._row(rect.min_y)
+        row_lo = self._low_row(rect.min_y)
         row_hi = self._row(rect.max_y)
         return [
             row * self.nx + col

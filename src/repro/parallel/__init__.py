@@ -1,0 +1,63 @@
+"""Sharded parallel execution of continuous spatio-temporal queries.
+
+SCUBA's cluster-based join is embarrassingly parallel across disjoint
+regions of the ClusterGrid.  This package partitions the workspace into K
+spatial shards with halo replication at the borders, runs one operator per
+shard (in-process or in worker processes), and merges the per-shard
+answers back into a single exact result stream:
+
+* :class:`ShardPlan` / :class:`SpatialPartitioner` — tiling, routing,
+  halo replication, retract hand-offs;
+* :class:`SerialExecutor` / :class:`ProcessExecutor` — where shard
+  operators run;
+* :class:`ResultMerger` — owner-filtered deduplication of halo-duplicated
+  matches;
+* :class:`ShardedEngine` — the drop-in ``StreamEngine`` counterpart, with
+  :class:`ShardedRunStats` reporting per-shard timing, load imbalance and
+  halo replication factor.
+"""
+
+from .engine import (
+    NaiveShardFactory,
+    RegularShardFactory,
+    ScubaShardFactory,
+    ShardedEngine,
+    ShardedIntervalStats,
+    ShardedRunStats,
+)
+from .executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ShardResult,
+    make_executor,
+)
+from .merge import MergeOutcome, ResultMerger
+from .partition import (
+    Retract,
+    RouteDecision,
+    ShardPlan,
+    SpatialPartitioner,
+    derive_halo_margin,
+)
+
+__all__ = [
+    "MergeOutcome",
+    "NaiveShardFactory",
+    "ProcessExecutor",
+    "RegularShardFactory",
+    "ResultMerger",
+    "Retract",
+    "RouteDecision",
+    "ScubaShardFactory",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardPlan",
+    "ShardResult",
+    "ShardedEngine",
+    "ShardedIntervalStats",
+    "ShardedRunStats",
+    "SpatialPartitioner",
+    "derive_halo_margin",
+    "make_executor",
+]

@@ -1,0 +1,384 @@
+"""The sharded execution engine.
+
+:class:`ShardedEngine` mirrors :class:`~repro.streams.engine.StreamEngine`'s
+API (``run_interval`` / ``run`` / ``stats`` / a sink) but evaluates the
+workload over K spatial shards, each running its own operator instance
+over the shard's halo-expanded bounds:
+
+1. every tick, the generator's updates are routed by the
+   :class:`~repro.parallel.partition.SpatialPartitioner` — each update is
+   delivered to every shard whose halo contains it, and shards the entity
+   left receive a :class:`~repro.parallel.partition.Retract`;
+2. the executor ingests each shard's operation list (concurrently with
+   routing, for the process executor);
+3. every Δ, the executor evaluates all shards and the
+   :class:`~repro.parallel.merge.ResultMerger` owner-filters the per-shard
+   answers into one deduplicated result list for the sink.
+
+With the **serial** executor the result stream is bit-identical to the
+process executor's, and — for exact operators without load shedding — to
+the single-process ``StreamEngine``'s answer set, which is how the whole
+subsystem is pinned by tests.
+
+Engine-level interval phases are redefined for sharded execution (the
+per-shard truth is kept in :attr:`ShardedIntervalStats.shard_stats`):
+``ingest_seconds`` is routing + dispatch in the driver, ``join_seconds``
+is the wall-clock of the parallel evaluate scatter/gather (the critical
+path), and ``maintenance_seconds`` is the result merge.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from math import sqrt
+from typing import List, Optional, Tuple, Union
+
+from ..core import NaiveJoin, RegularConfig, RegularGridJoin, Scuba, ScubaConfig
+from ..generator import NetworkBasedGenerator
+from ..geometry import Rect
+from ..network import DEFAULT_BOUNDS
+from ..streams import EngineConfig, IntervalStats, ResultSink, RunStats, Timer
+from .executor import ShardExecutor, make_executor
+from .merge import ResultMerger
+from .partition import Retract, ShardPlan, SpatialPartitioner, derive_halo_margin
+
+__all__ = [
+    "NaiveShardFactory",
+    "RegularShardFactory",
+    "ScubaShardFactory",
+    "ShardedEngine",
+    "ShardedIntervalStats",
+    "ShardedRunStats",
+]
+
+
+# -- operator factories ------------------------------------------------------
+#
+# Top-level classes (not closures) so the process executor can pickle them
+# into worker processes.  Each deep-copies its config per shard: shards must
+# never share mutable state (e.g. a stateful shedding policy's RNG), or the
+# serial and process executors would diverge.
+
+
+@dataclass
+class ScubaShardFactory:
+    """Builds one SCUBA operator per shard.
+
+    ``max_query_extent`` must be at least the largest range window the
+    workload produces — it feeds the halo-margin derivation.  The shard's
+    ClusterGrid resolution is scaled down with the shard's area so cell
+    size (relative to ``Θ_D``) matches the single-process configuration.
+    """
+
+    config: ScubaConfig = field(default_factory=ScubaConfig)
+    max_query_extent: Tuple[float, float] = (50.0, 50.0)
+    scale_grid: bool = True
+
+    @property
+    def halo_margin(self) -> float:
+        return derive_halo_margin(self.config.theta_d, self.max_query_extent)
+
+    def _scaled_grid_size(self, bounds: Rect) -> int:
+        if not self.scale_grid:
+            return self.config.grid_size
+        world = self.config.bounds
+        scale = sqrt(bounds.area / world.area) if world.area > 0 else 1.0
+        return max(1, round(self.config.grid_size * min(scale, 1.0)))
+
+    def __call__(self, bounds: Rect) -> Scuba:
+        config = copy.deepcopy(self.config)
+        config.bounds = bounds
+        config.grid_size = self._scaled_grid_size(bounds)
+        return Scuba(config)
+
+
+@dataclass
+class RegularShardFactory:
+    """Builds one regular-grid operator per shard."""
+
+    config: RegularConfig = field(default_factory=RegularConfig)
+    max_query_extent: Tuple[float, float] = (50.0, 50.0)
+    scale_grid: bool = True
+
+    @property
+    def halo_margin(self) -> float:
+        # No clusters to replicate context for: the query half-diagonal
+        # alone makes the merged grid join exact.
+        return derive_halo_margin(0.0, self.max_query_extent)
+
+    def __call__(self, bounds: Rect) -> RegularGridJoin:
+        config = copy.deepcopy(self.config)
+        config.bounds = bounds
+        if self.scale_grid:
+            world = self.config.bounds
+            scale = sqrt(bounds.area / world.area) if world.area > 0 else 1.0
+            config.grid_size = max(1, round(self.config.grid_size * min(scale, 1.0)))
+        return RegularGridJoin(config)
+
+
+@dataclass
+class NaiveShardFactory:
+    """Builds one naive nested-loop operator per shard (tests/oracles)."""
+
+    max_query_extent: Tuple[float, float] = (50.0, 50.0)
+
+    @property
+    def halo_margin(self) -> float:
+        return derive_halo_margin(0.0, self.max_query_extent)
+
+    def __call__(self, bounds: Rect) -> NaiveJoin:
+        return NaiveJoin()
+
+
+# -- stats -------------------------------------------------------------------
+
+
+@dataclass
+class ShardedIntervalStats(IntervalStats):
+    """One Δ interval of sharded execution, with per-shard detail."""
+
+    #: Shard-local stats (ingest/join/maintenance as measured in the shard).
+    shard_stats: Tuple[IntervalStats, ...] = ()
+    #: Seconds the driver spent routing updates to shards.
+    route_seconds: float = 0.0
+    #: Seconds the driver spent merging/deduplicating shard answers.
+    merge_seconds: float = 0.0
+    #: Matches dropped by the merger as halo duplicates.
+    duplicates_dropped: int = 0
+    #: Tuples delivered to shards (>= tuple_count; excess = halo copies).
+    deliveries: int = 0
+    #: Retract hand-offs issued this interval.
+    retractions: int = 0
+
+    @property
+    def max_shard_join_seconds(self) -> float:
+        return max((s.join_seconds for s in self.shard_stats), default=0.0)
+
+    @property
+    def mean_shard_join_seconds(self) -> float:
+        if not self.shard_stats:
+            return 0.0
+        return sum(s.join_seconds for s in self.shard_stats) / len(self.shard_stats)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data.update(
+            route_seconds=self.route_seconds,
+            merge_seconds=self.merge_seconds,
+            duplicates_dropped=self.duplicates_dropped,
+            deliveries=self.deliveries,
+            retractions=self.retractions,
+            shard_join_seconds=[s.join_seconds for s in self.shard_stats],
+            shard_result_counts=[s.result_count for s in self.shard_stats],
+        )
+        return data
+
+
+@dataclass
+class ShardedRunStats(RunStats):
+    """Aggregate sharded-run statistics with load-imbalance metrics."""
+
+    num_shards: int = 1
+
+    # -- per-shard aggregation ----------------------------------------------
+
+    def shard_join_seconds(self) -> List[float]:
+        """Total join seconds per shard across the run."""
+        totals = [0.0] * self.num_shards
+        for interval in self.intervals:
+            for shard, s in enumerate(getattr(interval, "shard_stats", ())):
+                totals[shard] += s.join_seconds
+        return totals
+
+    @property
+    def max_shard_join_seconds(self) -> float:
+        return max(self.shard_join_seconds(), default=0.0)
+
+    @property
+    def mean_shard_join_seconds(self) -> float:
+        totals = self.shard_join_seconds()
+        return sum(totals) / len(totals) if totals else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of per-shard total join time (1.0 = perfectly balanced).
+
+        The paper-shaped cost model makes this the quantity that caps
+        parallel speedup: the interval's join finishes when the slowest
+        shard does.
+        """
+        mean = self.mean_shard_join_seconds
+        if mean <= 0.0:
+            return 1.0
+        return self.max_shard_join_seconds / mean
+
+    @property
+    def total_deliveries(self) -> int:
+        return sum(getattr(s, "deliveries", s.tuple_count) for s in self.intervals)
+
+    @property
+    def replication_factor(self) -> float:
+        """Mean shard copies per generated tuple (halo overhead)."""
+        tuples = self.total_tuple_count
+        if tuples == 0:
+            return 1.0
+        return self.total_deliveries / tuples
+
+    @property
+    def total_duplicates_dropped(self) -> int:
+        return sum(getattr(s, "duplicates_dropped", 0) for s in self.intervals)
+
+    @property
+    def total_route_seconds(self) -> float:
+        return sum(getattr(s, "route_seconds", 0.0) for s in self.intervals)
+
+    @property
+    def total_merge_seconds(self) -> float:
+        return sum(getattr(s, "merge_seconds", 0.0) for s in self.intervals)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["parallel"] = {
+            "num_shards": self.num_shards,
+            "shard_join_seconds": self.shard_join_seconds(),
+            "max_shard_join_seconds": self.max_shard_join_seconds,
+            "mean_shard_join_seconds": self.mean_shard_join_seconds,
+            "load_imbalance": self.load_imbalance,
+            "replication_factor": self.replication_factor,
+            "duplicates_dropped": self.total_duplicates_dropped,
+            "route_seconds": self.total_route_seconds,
+            "merge_seconds": self.total_merge_seconds,
+        }
+        return data
+
+    def summary(self) -> str:
+        return (
+            super().summary()
+            + f" | {self.num_shards} shards | "
+            f"imbalance {self.load_imbalance:.2f} | "
+            f"replication {self.replication_factor:.2f}"
+        )
+
+
+# -- the engine --------------------------------------------------------------
+
+
+class ShardedEngine:
+    """Drives generator → partitioner → K shard operators → merger → sink."""
+
+    def __init__(
+        self,
+        generator: NetworkBasedGenerator,
+        operator_factory,
+        *,
+        shards: Union[int, ShardPlan] = 2,
+        sink: Optional[ResultSink] = None,
+        config: Optional[EngineConfig] = None,
+        executor: Union[str, ShardExecutor] = "serial",
+        bounds: Optional[Rect] = None,
+        halo_margin: Optional[float] = None,
+    ) -> None:
+        self.generator = generator
+        self.operator_factory = operator_factory
+        self.sink = sink if sink is not None else ResultSink()
+        self.config = config if config is not None else EngineConfig()
+        if isinstance(shards, ShardPlan):
+            self.plan = shards
+        else:
+            if halo_margin is None:
+                halo_margin = getattr(operator_factory, "halo_margin", None)
+                if halo_margin is None:
+                    raise ValueError(
+                        "halo_margin is required when the operator factory "
+                        "exposes none"
+                    )
+            world = bounds if bounds is not None else DEFAULT_BOUNDS
+            self.plan = ShardPlan.split(world, shards, halo_margin)
+        self.partitioner = SpatialPartitioner(self.plan)
+        self.merger = ResultMerger(self.partitioner)
+        self.executor = (
+            make_executor(executor) if isinstance(executor, str) else executor
+        )
+        k = self.plan.num_shards
+        self.executor.start(
+            [operator_factory] * k,
+            [self.plan.halo_rect(shard) for shard in range(k)],
+        )
+        self.stats = ShardedRunStats(num_shards=k)
+        self._closed = False
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    def run_interval(self) -> ShardedIntervalStats:
+        """Advance one full Δ interval: route ticks, then evaluate+merge."""
+        generate_timer = Timer()
+        route_timer = Timer()
+        ingest_timer = Timer()
+        tuple_count = 0
+        deliveries_before = self.partitioner.deliveries
+        retractions_before = self.partitioner.retractions
+        k = self.plan.num_shards
+        for _ in range(self.config.ticks_per_interval):
+            with generate_timer:
+                updates = self.generator.tick(self.config.tick)
+            tuple_count += len(updates)
+            with route_timer:
+                shard_ops: List[List[object]] = [[] for _ in range(k)]
+                for update in updates:
+                    decision = self.partitioner.route(update)
+                    for shard in decision.targets:
+                        shard_ops[shard].append(update)
+                    if decision.leavers:
+                        retract = Retract(update.entity_id, update.kind)
+                        for shard in decision.leavers:
+                            shard_ops[shard].append(retract)
+            with ingest_timer:
+                self.executor.ingest(shard_ops)
+        now = self.generator.time
+        join_timer = Timer()
+        with join_timer:
+            results = self.executor.evaluate(now)
+        merge_timer = Timer()
+        with merge_timer:
+            outcome = self.merger.merge([r.matches for r in results])
+        self.sink.accept(outcome.matches, now)
+        stats = ShardedIntervalStats(
+            t=now,
+            generate_seconds=generate_timer.seconds,
+            ingest_seconds=route_timer.seconds + ingest_timer.seconds,
+            join_seconds=join_timer.seconds,
+            maintenance_seconds=merge_timer.seconds,
+            result_count=len(outcome.matches),
+            tuple_count=tuple_count,
+            shard_stats=tuple(r.stats for r in results),
+            route_seconds=route_timer.seconds,
+            merge_seconds=merge_timer.seconds,
+            duplicates_dropped=outcome.duplicates_dropped,
+            deliveries=self.partitioner.deliveries - deliveries_before,
+            retractions=self.partitioner.retractions - retractions_before,
+        )
+        self.stats.add(stats)
+        return stats
+
+    def run(self, intervals: int) -> ShardedRunStats:
+        """Run ``intervals`` consecutive Δ intervals and return the stats."""
+        if intervals < 0:
+            raise ValueError(f"intervals must be non-negative, got {intervals}")
+        for _ in range(intervals):
+            self.run_interval()
+        return self.stats
+
+    def close(self) -> None:
+        """Shut down the executor (worker processes, if any)."""
+        if not self._closed:
+            self.executor.close()
+            self._closed = True
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

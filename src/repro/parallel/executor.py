@@ -1,0 +1,252 @@
+"""Shard executors: where the per-shard operators actually run.
+
+The sharded engine is executor-agnostic: it hands each tick's per-shard
+operation lists (updates interleaved with :class:`Retract` hand-offs, in
+arrival order) to an executor, and at every Δ boundary asks for the
+per-shard evaluation results.  Two executors are provided:
+
+* :class:`SerialExecutor` — all shard operators live in-process and run
+  one after another.  Zero parallelism, zero serialisation cost; its
+  results are *bit-identical* to the process executor's, which makes it
+  the reference for determinism and equivalence tests (and the sensible
+  choice for K-way partitioning experiments on one core).
+* :class:`ProcessExecutor` — one long-lived worker process per shard,
+  fed over pipes.  Ingest messages are fire-and-forget, so routing of the
+  next tick overlaps with ingestion in the workers; the Δ-triggered
+  evaluate is a scatter/gather barrier.  Requires every update, operator
+  factory, and match to be picklable.
+
+Both return one :class:`ShardResult` per shard: the shard's matches plus a
+shard-local :class:`IntervalStats` (its own ingest/join/maintenance split).
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..geometry import Rect
+from ..streams import IntervalStats, QueryMatch
+from .partition import Retract
+
+__all__ = [
+    "ShardOp",
+    "ShardResult",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+# One entry of a shard's per-tick operation list: a stream update to
+# ingest, or a Retract hand-off to apply.
+ShardOp = object
+
+#: Builds a shard's operator given the shard's halo-expanded bounds.
+OperatorFactory = Callable[[Rect], "object"]
+
+
+@dataclass
+class ShardResult:
+    """One shard's contribution to an interval evaluation."""
+
+    matches: List[QueryMatch]
+    stats: IntervalStats
+
+
+def _apply_ops(operator, ops: Sequence[ShardOp]) -> int:
+    """Apply one tick's operations in order; returns updates ingested."""
+    ingested = 0
+    for op in ops:
+        if type(op) is Retract:
+            operator.retract(op.entity_id, op.kind)
+        else:
+            operator.on_update(op)
+            ingested += 1
+    return ingested
+
+
+class ShardExecutor(abc.ABC):
+    """Lifecycle: ``start`` once, then per tick ``ingest``, per Δ
+    ``evaluate``, and finally ``close``."""
+
+    @abc.abstractmethod
+    def start(
+        self, factories: Sequence[OperatorFactory], bounds: Sequence[Rect]
+    ) -> None:
+        """Instantiate one operator per shard (len(factories) shards)."""
+
+    @abc.abstractmethod
+    def ingest(self, shard_ops: Sequence[Sequence[ShardOp]]) -> None:
+        """Feed one tick's operation list to every shard."""
+
+    @abc.abstractmethod
+    def evaluate(self, now: float) -> List[ShardResult]:
+        """Run the Δ-triggered evaluation on every shard and gather."""
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """In-process, one-shard-after-another execution (the reference)."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self.operators: List[object] = []
+        self._ingest_seconds: List[float] = []
+        self._tuples: List[int] = []
+
+    def start(
+        self, factories: Sequence[OperatorFactory], bounds: Sequence[Rect]
+    ) -> None:
+        self.operators = [f(b) for f, b in zip(factories, bounds)]
+        self._ingest_seconds = [0.0] * len(self.operators)
+        self._tuples = [0] * len(self.operators)
+
+    def ingest(self, shard_ops: Sequence[Sequence[ShardOp]]) -> None:
+        for shard, ops in enumerate(shard_ops):
+            if not ops:
+                continue
+            started = time.perf_counter()
+            self._tuples[shard] += _apply_ops(self.operators[shard], ops)
+            self._ingest_seconds[shard] += time.perf_counter() - started
+
+    def evaluate(self, now: float) -> List[ShardResult]:
+        results = []
+        for shard, operator in enumerate(self.operators):
+            matches = operator.evaluate(now)
+            results.append(
+                ShardResult(
+                    matches=matches,
+                    stats=IntervalStats(
+                        t=now,
+                        ingest_seconds=self._ingest_seconds[shard],
+                        join_seconds=operator.last_join_seconds,
+                        maintenance_seconds=operator.last_maintenance_seconds,
+                        result_count=len(matches),
+                        tuple_count=self._tuples[shard],
+                    ),
+                )
+            )
+            self._ingest_seconds[shard] = 0.0
+            self._tuples[shard] = 0
+        return results
+
+
+def _shard_worker(conn, factory: OperatorFactory, bounds: Rect) -> None:
+    """Worker-process loop: build the operator, then serve the pipe."""
+    operator = factory(bounds)
+    ingest_seconds = 0.0
+    tuples = 0
+    while True:
+        message = conn.recv()
+        tag = message[0]
+        if tag == "ingest":
+            started = time.perf_counter()
+            tuples += _apply_ops(operator, message[1])
+            ingest_seconds += time.perf_counter() - started
+        elif tag == "evaluate":
+            now = message[1]
+            matches = operator.evaluate(now)
+            stats = IntervalStats(
+                t=now,
+                ingest_seconds=ingest_seconds,
+                join_seconds=operator.last_join_seconds,
+                maintenance_seconds=operator.last_maintenance_seconds,
+                result_count=len(matches),
+                tuple_count=tuples,
+            )
+            conn.send((matches, stats))
+            ingest_seconds = 0.0
+            tuples = 0
+        elif tag == "close":
+            conn.close()
+            return
+
+
+class ProcessExecutor(ShardExecutor):
+    """One persistent worker process per shard, fed over pipes.
+
+    Workers build their operator locally from the (picklable) factory, so
+    no operator state ever crosses a process boundary — only updates in
+    and (matches, stats) out.
+    """
+
+    name = "process"
+
+    def __init__(self, mp_context: str | None = None) -> None:
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._pipes: List = []
+
+    def start(
+        self, factories: Sequence[OperatorFactory], bounds: Sequence[Rect]
+    ) -> None:
+        for factory, shard_bounds in zip(factories, bounds):
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, factory, shard_bounds),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._pipes.append(parent_conn)
+
+    def ingest(self, shard_ops: Sequence[Sequence[ShardOp]]) -> None:
+        # Fire-and-forget: workers ingest while the parent routes the next
+        # tick.  Empty lists are skipped — no message, no wakeup.
+        for pipe, ops in zip(self._pipes, shard_ops):
+            if ops:
+                pipe.send(("ingest", list(ops)))
+
+    def evaluate(self, now: float) -> List[ShardResult]:
+        for pipe in self._pipes:
+            pipe.send(("evaluate", now))
+        results = []
+        for pipe in self._pipes:
+            matches, stats = pipe.recv()
+            results.append(ShardResult(matches=matches, stats=stats))
+        return results
+
+    def close(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(("close",))
+                pipe.close()
+            except (OSError, BrokenPipeError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._pipes = []
+        self._processes = []
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_executor(name: str) -> ShardExecutor:
+    """Executor by name: ``serial`` or ``process``."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor()
+    raise ValueError(f"unknown executor {name!r} (choose serial or process)")

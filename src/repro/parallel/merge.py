@@ -1,0 +1,76 @@
+"""Merging per-shard answers into one deduplicated result stream.
+
+Halo replication means a (query, object) pair can be co-located in several
+shards, each of which will report the match.  The merger keeps exactly one
+copy using **query ownership**: a match survives iff it was produced by
+the shard that owns the query's last reported position.  Ownership is a
+total function (every routed query has exactly one owner), and the halo
+margin guarantees the owner shard sees every object its queries can match
+— so owner-filtering is a *lossless* deduplication, not a heuristic, and
+the merged answer's cardinality equals the single-process engine's.
+
+A set-based fallback (:meth:`ResultMerger.merge_dedup`) exists for
+operators whose matches carry no ownership information; it unions shards
+and drops duplicates by (qid, oid, t) identity.  Under load shedding the
+two differ: a halo shard's differently-shaped clusters can emit an
+approximate match the owner shard does not, which owner-filtering
+suppresses and set-union keeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence
+
+from ..streams import QueryMatch
+from .partition import SpatialPartitioner
+
+__all__ = ["MergeOutcome", "ResultMerger"]
+
+
+class MergeOutcome(NamedTuple):
+    """The merged matches plus dedup accounting."""
+
+    matches: List[QueryMatch]
+    duplicates_dropped: int
+
+
+class ResultMerger:
+    """Deduplicates halo-duplicated matches from per-shard answers."""
+
+    def __init__(self, partitioner: SpatialPartitioner) -> None:
+        self.partitioner = partitioner
+        #: Cumulative duplicates dropped over the merger's lifetime.
+        self.total_duplicates_dropped = 0
+
+    def merge(self, per_shard: Sequence[List[QueryMatch]]) -> MergeOutcome:
+        """Owner-filter merge (exact; see module docstring).
+
+        Output order is deterministic: shards in index order, each shard's
+        matches in its operator's emission order.
+        """
+        owner_of_query = self.partitioner.owner_of_query
+        merged: List[QueryMatch] = []
+        dropped = 0
+        for shard, matches in enumerate(per_shard):
+            for match in matches:
+                if owner_of_query(match.qid) == shard:
+                    merged.append(match)
+                else:
+                    dropped += 1
+        self.total_duplicates_dropped += dropped
+        return MergeOutcome(merged, dropped)
+
+    def merge_dedup(self, per_shard: Sequence[List[QueryMatch]]) -> MergeOutcome:
+        """Identity-set union fallback: first occurrence wins."""
+        seen = set()
+        merged: List[QueryMatch] = []
+        dropped = 0
+        for matches in per_shard:
+            for match in matches:
+                if match in seen:
+                    dropped += 1
+                else:
+                    seen.add(match)
+                    merged.append(match)
+        self.total_duplicates_dropped += dropped
+        return MergeOutcome(merged, dropped)

@@ -1,0 +1,251 @@
+"""Spatial partitioning of the workspace into shards with halo replication.
+
+Distributed continuous-range-query systems split the data space into
+disjoint regions, assign each region to a worker, and replicate entities
+near region borders into the neighbouring workers so cross-boundary matches
+are never lost (Zhu & Yu 2022; CheetahGIS).  This module provides the two
+pieces of that scheme:
+
+* :class:`ShardPlan` — a static decomposition of the workspace ``Rect``
+  into a ``kx × ky`` lattice of tiles, each surrounded by a **halo** of
+  configurable margin.  A point is *owned* by exactly one tile (half-open
+  binning) but may fall inside several tiles' halo regions.
+* :class:`SpatialPartitioner` — the stateful router: it maps every
+  incoming update to the set of shards whose halo contains it, remembers
+  each entity's previous placement, and emits :class:`Retract` hand-off
+  records for shards the entity has left (a shard holding a stale copy
+  would otherwise keep producing matches from it).
+
+**Halo-margin derivation.**  A match pairs query ``q`` and object ``o``
+with ``o`` inside ``q``'s window, so ``|o.loc − q.loc|`` is at most the
+window's half-diagonal.  The shard owning ``q``'s location therefore sees
+every object it can match provided the halo margin is at least the largest
+half-diagonal of any query window — that alone makes the merged answer
+exact.  SCUBA shards additionally cluster what they see: adding ``Θ_D``
+(the maximum cluster radius) replicates most of the cluster context around
+owned entities, keeping per-shard clusters — and the approximate answers
+load shedding derives from them — close to their single-process shape.
+:func:`derive_halo_margin` computes ``Θ_D + half-diagonal`` accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..generator import EntityKind, Update
+from ..geometry import Rect
+
+__all__ = ["Retract", "RouteDecision", "ShardPlan", "SpatialPartitioner",
+           "derive_halo_margin"]
+
+
+def derive_halo_margin(
+    theta_d: float, max_query_extent: Tuple[float, float]
+) -> float:
+    """The default halo margin: ``Θ_D`` + largest query half-diagonal.
+
+    ``max_query_extent`` is the (width, height) of the largest range-query
+    window the workload can produce.  The half-diagonal term is what makes
+    the sharded join *exact*; the ``Θ_D`` term replicates cluster context
+    (see module docstring).
+    """
+    if theta_d < 0:
+        raise ValueError(f"theta_d must be non-negative, got {theta_d}")
+    w, h = max_query_extent
+    if w < 0 or h < 0:
+        raise ValueError(f"query extent must be non-negative: {w}x{h}")
+    return theta_d + 0.5 * (w * w + h * h) ** 0.5
+
+
+class Retract(NamedTuple):
+    """Hand-off record: shard must forget this entity (it left the halo)."""
+
+    entity_id: int
+    kind: EntityKind
+
+
+class RouteDecision(NamedTuple):
+    """Where one update goes: its owner, all recipients, and leavers."""
+
+    owner: int
+    targets: Tuple[int, ...]
+    leavers: Tuple[int, ...]
+
+
+class ShardPlan:
+    """A ``kx × ky`` tiling of the workspace with per-tile halo regions."""
+
+    def __init__(self, bounds: Rect, kx: int, ky: int, halo_margin: float) -> None:
+        if kx < 1 or ky < 1:
+            raise ValueError(f"tile counts must be >= 1, got {kx}x{ky}")
+        if halo_margin < 0:
+            raise ValueError(f"halo_margin must be non-negative, got {halo_margin}")
+        self.bounds = bounds
+        self.kx = kx
+        self.ky = ky
+        self.halo_margin = float(halo_margin)
+        self._tile_w = bounds.width / kx
+        self._tile_h = bounds.height / ky
+
+    @classmethod
+    def split(cls, bounds: Rect, shards: int, halo_margin: float) -> "ShardPlan":
+        """Decompose into ``shards`` tiles, as square as ``shards`` allows.
+
+        The tile lattice is the most balanced ``kx × ky`` factorisation of
+        ``shards`` (e.g. 4 → 2×2, 8 → 4×2, 6 → 3×2), which minimises halo
+        area — and therefore replication — for a given shard count.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        ky = int(shards**0.5)
+        while shards % ky != 0:
+            ky -= 1
+        kx = shards // ky
+        # Orient the finer split along the wider side of the workspace.
+        if bounds.height > bounds.width and kx != ky:
+            kx, ky = ky, kx
+        return cls(bounds, kx, ky, halo_margin)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.kx * self.ky
+
+    def tile(self, shard: int) -> Rect:
+        """The owned (halo-free) rectangle of ``shard``."""
+        row, col = divmod(shard, self.kx)
+        if not (0 <= row < self.ky):
+            raise IndexError(f"shard {shard} out of range")
+        b = self.bounds
+        return Rect(
+            b.min_x + col * self._tile_w,
+            b.min_y + row * self._tile_h,
+            b.min_x + (col + 1) * self._tile_w,
+            b.min_y + (row + 1) * self._tile_h,
+        )
+
+    def halo_rect(self, shard: int) -> Rect:
+        """The tile grown by the halo margin — everything the shard sees."""
+        return self.tile(shard).expanded(self.halo_margin)
+
+    def owner_of(self, x: float, y: float) -> int:
+        """The unique shard owning point ``(x, y)``.
+
+        Binning is half-open with clamping, exactly like the spatial grid
+        index: boundary points belong to the higher tile, out-of-bounds
+        points to the border tiles.
+        """
+        col = int((x - self.bounds.min_x) / self._tile_w)
+        col = min(max(col, 0), self.kx - 1)
+        row = int((y - self.bounds.min_y) / self._tile_h)
+        row = min(max(row, 0), self.ky - 1)
+        return row * self.kx + col
+
+    def _axis_span(
+        self, v: float, origin: float, width: float, n: int
+    ) -> Tuple[int, int]:
+        """Contiguous index range whose halo-expanded slabs contain ``v``."""
+        c = int((v - origin) / width)
+        c = min(max(c, 0), n - 1)
+        margin = self.halo_margin
+        lo = c
+        while lo > 0 and v <= origin + lo * width + margin:
+            lo -= 1
+        hi = c
+        while hi < n - 1 and v >= origin + (hi + 1) * width - margin:
+            hi += 1
+        return lo, hi
+
+    def shards_containing(self, x: float, y: float) -> Tuple[int, ...]:
+        """Every shard whose (closed) halo rectangle contains the point.
+
+        Always includes :meth:`owner_of` — halo rectangles cover their own
+        tile.  Containment is closed on both sides, so a point exactly on a
+        halo edge is replicated to both neighbours; routing errs toward
+        replication, never toward loss.
+        """
+        b = self.bounds
+        col_lo, col_hi = self._axis_span(x, b.min_x, self._tile_w, self.kx)
+        row_lo, row_hi = self._axis_span(y, b.min_y, self._tile_h, self.ky)
+        return tuple(
+            row * self.kx + col
+            for row in range(row_lo, row_hi + 1)
+            for col in range(col_lo, col_hi + 1)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan({self.kx}x{self.ky} tiles over {self.bounds!r}, "
+            f"halo={self.halo_margin:g})"
+        )
+
+
+class SpatialPartitioner:
+    """Routes the update stream to shards, tracking per-entity placement.
+
+    For every update the partitioner returns the shards that must receive
+    it (all whose halo contains the new position) and the shards that must
+    *retract* the entity (they held it before, but its new position left
+    their halo).  Placement state is one small tuple per live entity.
+    """
+
+    def __init__(self, plan: ShardPlan) -> None:
+        self.plan = plan
+        # entity key -> shard tuple it currently lives in.
+        self._placement: Dict[int, Tuple[int, ...]] = {}
+        # entity key -> owning shard (only queries are consulted, but
+        # tracking both kinds keeps the invariant trivial).
+        self._owner: Dict[int, int] = {}
+        #: Updates routed since construction.
+        self.updates_routed = 0
+        #: Per-shard deliveries (>= updates_routed; the excess is halo copies).
+        self.deliveries = 0
+        #: Retract records emitted.
+        self.retractions = 0
+
+    @staticmethod
+    def _key(entity_id: int, kind: EntityKind) -> int:
+        return entity_id * 2 + (kind is EntityKind.OBJECT)
+
+    def route(self, update: Update) -> RouteDecision:
+        """Targets and leavers for one update (arrival order preserved)."""
+        plan = self.plan
+        x, y = update.loc.x, update.loc.y
+        owner = plan.owner_of(x, y)
+        targets = plan.shards_containing(x, y)
+        key = self._key(update.entity_id, update.kind)
+        previous = self._placement.get(key)
+        if previous is None or previous == targets:
+            leavers: Tuple[int, ...] = ()
+        else:
+            in_targets = set(targets)
+            leavers = tuple(s for s in previous if s not in in_targets)
+        self._placement[key] = targets
+        self._owner[key] = owner
+        self.updates_routed += 1
+        self.deliveries += len(targets)
+        self.retractions += len(leavers)
+        return RouteDecision(owner, targets, leavers)
+
+    def owner_of_query(self, qid: int) -> Optional[int]:
+        """The shard owning query ``qid``'s last reported position."""
+        return self._owner.get(self._key(qid, EntityKind.QUERY))
+
+    def placement_of(self, entity_id: int, kind: EntityKind) -> Tuple[int, ...]:
+        """Shards currently holding the entity (empty if never routed)."""
+        return self._placement.get(self._key(entity_id, kind), ())
+
+    @property
+    def replication_factor(self) -> float:
+        """Mean shard copies per routed update (1.0 = no halo duplication)."""
+        if self.updates_routed == 0:
+            return 1.0
+        return self.deliveries / self.updates_routed
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialPartitioner({self.plan!r}, "
+            f"{len(self._placement)} placed entities, "
+            f"replication={self.replication_factor:.3f})"
+        )

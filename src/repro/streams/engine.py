@@ -42,7 +42,11 @@ class EngineConfig:
         if self.tick <= 0 or self.delta <= 0:
             raise ValueError("tick and delta must be positive")
         ratio = self.delta / self.tick
-        if abs(ratio - round(ratio)) > 1e-9:
+        # Relative tolerance: the absolute rounding error of the division
+        # grows with the ratio's magnitude, so a fixed 1e-9 cutoff would
+        # spuriously reject large-but-whole ratios such as 1e6 / 0.1 ticks
+        # (= 9999999.999999998, off by ~1.9e-9).
+        if abs(ratio - round(ratio)) > 1e-9 * max(1.0, abs(ratio)):
             raise ValueError(
                 f"delta ({self.delta}) must be a whole number of ticks "
                 f"({self.tick})"
@@ -71,10 +75,12 @@ class StreamEngine:
 
     def run_interval(self) -> IntervalStats:
         """Advance one full Δ interval: ingest ticks, then evaluate."""
+        generate_timer = Timer()
         ingest_timer = Timer()
         tuple_count = 0
         for _ in range(self.config.ticks_per_interval):
-            updates = self.generator.tick(self.config.tick)
+            with generate_timer:
+                updates = self.generator.tick(self.config.tick)
             tuple_count += len(updates)
             with ingest_timer:
                 for update in updates:
@@ -84,6 +90,7 @@ class StreamEngine:
         self.sink.accept(matches, now)
         stats = IntervalStats(
             t=now,
+            generate_seconds=generate_timer.seconds,
             ingest_seconds=ingest_timer.seconds,
             join_seconds=self.operator.last_join_seconds,
             maintenance_seconds=self.operator.last_maintenance_seconds,

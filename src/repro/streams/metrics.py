@@ -9,9 +9,10 @@ dissolution/relocation), and **memory** (estimated separately in
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import List
+from typing import Iterable, List
 
 __all__ = ["Timer", "IntervalStats", "RunStats"]
 
@@ -60,10 +61,62 @@ class IntervalStats:
     result_count: int
     #: Number of tuples ingested during the interval.
     tuple_count: int
+    #: Seconds the engine spent *producing* the interval's tuples
+    #: (``generator.tick``).  Workload cost, not operator cost — reported
+    #: separately and excluded from :attr:`total_seconds` so the paper's
+    #: three-phase breakdown stays comparable.
+    generate_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         return self.ingest_seconds + self.join_seconds + self.maintenance_seconds
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready representation."""
+        return {
+            "t": self.t,
+            "generate_seconds": self.generate_seconds,
+            "ingest_seconds": self.ingest_seconds,
+            "join_seconds": self.join_seconds,
+            "maintenance_seconds": self.maintenance_seconds,
+            "result_count": self.result_count,
+            "tuple_count": self.tuple_count,
+        }
+
+    @classmethod
+    def merged(
+        cls,
+        parts: Iterable["IntervalStats"],
+        *,
+        t: float,
+        parallel: bool = False,
+        result_count: int | None = None,
+    ) -> "IntervalStats":
+        """Combine per-shard (or per-phase) stats into one interval record.
+
+        ``parallel=False`` sums every phase (sequential execution of the
+        parts); ``parallel=True`` takes the per-phase maximum — the critical
+        path when the parts ran concurrently.  ``result_count`` overrides
+        the summed count (a result merger may have deduplicated).
+        """
+        parts = list(parts)
+        combine = max if parallel else sum
+        zero = [0.0]  # max() needs a non-empty sequence
+        return cls(
+            t=t,
+            generate_seconds=combine([p.generate_seconds for p in parts] or zero),
+            ingest_seconds=combine([p.ingest_seconds for p in parts] or zero),
+            join_seconds=combine([p.join_seconds for p in parts] or zero),
+            maintenance_seconds=combine(
+                [p.maintenance_seconds for p in parts] or zero
+            ),
+            result_count=(
+                result_count
+                if result_count is not None
+                else sum(p.result_count for p in parts)
+            ),
+            tuple_count=sum(p.tuple_count for p in parts),
+        )
 
 
 @dataclass
@@ -100,6 +153,10 @@ class RunStats:
         return sum(s.tuple_count for s in self.intervals)
 
     @property
+    def total_generate_seconds(self) -> float:
+        return sum(s.generate_seconds for s in self.intervals)
+
+    @property
     def total_seconds(self) -> float:
         return sum(s.total_seconds for s in self.intervals)
 
@@ -113,8 +170,33 @@ class RunStats:
         """One-line human-readable digest, used by examples."""
         return (
             f"{self.interval_count} intervals | "
+            f"generate {self.total_generate_seconds:.3f}s | "
             f"ingest {self.total_ingest_seconds:.3f}s | "
             f"join {self.total_join_seconds:.3f}s | "
             f"maintenance {self.total_maintenance_seconds:.3f}s | "
             f"{self.total_result_count} results"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation: totals plus the per-interval series.
+
+        Long benchmark runs export this instead of retaining sinks/objects,
+        so memory stays bounded and results land in version-controllable
+        JSON files.
+        """
+        return {
+            "interval_count": self.interval_count,
+            "totals": {
+                "generate_seconds": self.total_generate_seconds,
+                "ingest_seconds": self.total_ingest_seconds,
+                "join_seconds": self.total_join_seconds,
+                "maintenance_seconds": self.total_maintenance_seconds,
+                "total_seconds": self.total_seconds,
+                "result_count": self.total_result_count,
+                "tuple_count": self.total_tuple_count,
+            },
+            "intervals": [s.to_dict() for s in self.intervals],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 from typing import Any, List
 
-from ..generator import Update
+from ..generator import EntityKind, Update
 from .results import QueryMatch
 
 __all__ = ["ContinuousJoinOperator"]
@@ -45,6 +45,20 @@ class ContinuousJoinOperator(abc.ABC):
     last_join_seconds: float = 0.0
     #: Seconds the most recent :meth:`evaluate` spent on post-join upkeep.
     last_maintenance_seconds: float = 0.0
+
+    def retract(self, entity_id: int, kind: EntityKind) -> None:
+        """Forget one entity entirely, as if it had never reported.
+
+        Sharded execution replicates entities into neighbouring shards'
+        halo regions; when an entity's reported position leaves a shard's
+        halo, the shard must drop its (now unmaintained) copy or it would
+        keep producing matches from stale state.  Unknown entities are a
+        no-op.  Operators that cannot remove per-entity state may leave
+        this unimplemented — they then cannot serve as shard operators.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support retract()"
+        )
 
     def state_roots(self) -> List[Any]:
         """Objects that constitute the operator's in-memory state.

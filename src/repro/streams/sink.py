@@ -8,7 +8,7 @@ benchmarks, where retaining millions of matches would distort memory).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .results import QueryMatch
 
@@ -23,13 +23,38 @@ class ResultSink:
 
 
 class CollectingSink(ResultSink):
-    """Retains every match, grouped by evaluation time."""
+    """Retains matches grouped by evaluation time, optionally bounded.
 
-    def __init__(self) -> None:
+    ``max_retained`` caps the total number of retained matches: when a new
+    interval would push the sink past the cap, whole *oldest* intervals are
+    evicted first (answers are per-interval sets — truncating inside an
+    interval would leave a misleading partial answer).  ``dropped_matches``
+    counts what was evicted, so long benchmark runs can keep recent answers
+    for inspection without growing memory without bound.
+    """
+
+    def __init__(self, max_retained: Optional[int] = None) -> None:
+        if max_retained is not None and max_retained < 0:
+            raise ValueError(
+                f"max_retained must be non-negative, got {max_retained}"
+            )
         self.by_interval: Dict[float, List[QueryMatch]] = {}
+        self.max_retained = max_retained
+        self.retained_count = 0
+        self.dropped_matches = 0
 
     def accept(self, matches: List[QueryMatch], t: float) -> None:
         self.by_interval.setdefault(t, []).extend(matches)
+        self.retained_count += len(matches)
+        if self.max_retained is None:
+            return
+        while self.retained_count > self.max_retained and len(self.by_interval) > 1:
+            oldest = min(self.by_interval)
+            evicted = self.by_interval.pop(oldest)
+            self.retained_count -= len(evicted)
+            self.dropped_matches += len(evicted)
+        # A single interval larger than the cap is kept whole — the cap
+        # bounds growth across intervals, not the size of one answer.
 
     @property
     def all_matches(self) -> List[QueryMatch]:
@@ -44,6 +69,8 @@ class CollectingSink(ResultSink):
 
     def clear(self) -> None:
         self.by_interval.clear()
+        self.retained_count = 0
+        self.dropped_matches = 0
 
 
 class CountingSink(ResultSink):

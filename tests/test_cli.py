@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.__main__ import build_parser, main, make_operator
+from repro.__main__ import build_parser, main, make_operator, make_shard_factory
 from repro.core import NaiveJoin, RegularGridJoin, Scuba
 from repro.experiments.__main__ import main as experiments_main
+from repro.parallel import NaiveShardFactory, RegularShardFactory, ScubaShardFactory
 
 
 class TestSimulatorCli:
@@ -90,6 +91,54 @@ class TestSimulatorCli:
         )
         assert code == 0
         assert "regular over" in capsys.readouterr().out
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--shards", "0"])
+        with pytest.raises(SystemExit):
+            main(["--shards", "-2", "--executor", "process"])
+
+    def test_shard_flags_parse(self):
+        args = build_parser().parse_args(["--shards", "4", "--executor", "process"])
+        assert args.shards == 4
+        assert args.executor == "process"
+        defaults = build_parser().parse_args([])
+        assert defaults.shards == 1
+        assert defaults.executor == "serial"
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("scuba", ScubaShardFactory),
+            ("regular", RegularShardFactory),
+            ("naive", NaiveShardFactory),
+        ],
+    )
+    def test_shard_factory_selection(self, name, cls):
+        args = build_parser().parse_args(
+            ["--operator", name, "--query-range", "80"]
+        )
+        factory = make_shard_factory(args)
+        assert isinstance(factory, cls)
+        assert factory.max_query_extent == (80.0, 80.0)
+        assert factory.halo_margin > 0.0
+
+    def test_end_to_end_sharded(self, capsys):
+        code = main(
+            [
+                "--objects", "60",
+                "--queries", "60",
+                "--skew", "10",
+                "--intervals", "2",
+                "--city", "7",
+                "--shards", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 shards (serial executor)" in out
+        assert "imbalance" in out
+        assert "replication" in out
 
 
 class TestExperimentsCli:

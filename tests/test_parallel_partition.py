@@ -1,0 +1,182 @@
+"""Unit and property tests for spatial sharding: plans, routing, halos."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import EntityKind, LocationUpdate
+from repro.geometry import Point, Rect
+from repro.parallel import (
+    Retract,
+    ShardPlan,
+    SpatialPartitioner,
+    derive_halo_margin,
+)
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def update(entity_id: int, x: float, y: float, t: float = 0.0) -> LocationUpdate:
+    return LocationUpdate(
+        oid=entity_id, loc=Point(x, y), t=t, speed=1.0,
+        cn_node=0, cn_loc=Point(x, y),
+    )
+
+
+class TestDeriveHaloMargin:
+    def test_half_diagonal_plus_theta(self):
+        # 60x80 window -> half-diagonal 50.
+        assert derive_halo_margin(100.0, (60.0, 80.0)) == pytest.approx(150.0)
+
+    def test_zero_theta_is_pure_half_diagonal(self):
+        assert derive_halo_margin(0.0, (60.0, 80.0)) == pytest.approx(50.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            derive_halo_margin(-1.0, (10.0, 10.0))
+        with pytest.raises(ValueError):
+            derive_halo_margin(0.0, (-10.0, 10.0))
+
+
+class TestShardPlan:
+    def test_split_factorisations(self):
+        for shards, (kx, ky) in {1: (1, 1), 2: (2, 1), 4: (2, 2),
+                                 6: (3, 2), 8: (4, 2)}.items():
+            plan = ShardPlan.split(BOUNDS, shards, halo_margin=10.0)
+            assert (plan.kx, plan.ky) == (kx, ky)
+            assert plan.num_shards == shards
+
+    def test_split_orients_fine_axis_along_tall_side(self):
+        tall = Rect(0.0, 0.0, 100.0, 1000.0)
+        plan = ShardPlan.split(tall, 2, halo_margin=0.0)
+        assert (plan.kx, plan.ky) == (1, 2)
+
+    def test_tiles_partition_bounds(self):
+        plan = ShardPlan(BOUNDS, 2, 2, halo_margin=50.0)
+        tiles = [plan.tile(s) for s in range(4)]
+        assert sum(t.area for t in tiles) == pytest.approx(BOUNDS.area)
+        assert tiles[0] == Rect(0.0, 0.0, 500.0, 500.0)
+        assert tiles[3] == Rect(500.0, 500.0, 1000.0, 1000.0)
+
+    def test_halo_rect_is_expanded_tile(self):
+        plan = ShardPlan(BOUNDS, 2, 2, halo_margin=50.0)
+        assert plan.halo_rect(0) == Rect(-50.0, -50.0, 550.0, 550.0)
+
+    def test_owner_boundary_goes_to_higher_tile(self):
+        plan = ShardPlan(BOUNDS, 2, 2, halo_margin=0.0)
+        assert plan.owner_of(499.9, 0.0) == 0
+        assert plan.owner_of(500.0, 0.0) == 1
+        assert plan.owner_of(0.0, 500.0) == 2
+
+    def test_owner_clamps_out_of_bounds(self):
+        plan = ShardPlan(BOUNDS, 2, 2, halo_margin=0.0)
+        assert plan.owner_of(-10.0, -10.0) == 0
+        assert plan.owner_of(2000.0, 2000.0) == 3
+
+    def test_shards_containing_interior_point_is_owner_only(self):
+        plan = ShardPlan(BOUNDS, 2, 2, halo_margin=50.0)
+        assert plan.shards_containing(250.0, 250.0) == (0,)
+
+    def test_shards_containing_near_boundary_replicates(self):
+        plan = ShardPlan(BOUNDS, 2, 2, halo_margin=50.0)
+        # Within 50 units of the x=500 seam: both column shards.
+        assert set(plan.shards_containing(480.0, 250.0)) == {0, 1}
+        # Near the 4-corner point: all four shards.
+        assert set(plan.shards_containing(510.0, 490.0)) == {0, 1, 2, 3}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ShardPlan(BOUNDS, 0, 1, halo_margin=0.0)
+        with pytest.raises(ValueError):
+            ShardPlan(BOUNDS, 1, 1, halo_margin=-1.0)
+        with pytest.raises(ValueError):
+            ShardPlan.split(BOUNDS, 0, halo_margin=0.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        x=st.floats(min_value=-100.0, max_value=1100.0),
+        y=st.floats(min_value=-100.0, max_value=1100.0),
+        shards=st.sampled_from([1, 2, 3, 4, 6, 8]),
+        margin=st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_containment_matches_halo_rects(self, x, y, shards, margin):
+        """shards_containing == brute-force closed halo-rect containment,
+        and always includes the owner."""
+        plan = ShardPlan.split(BOUNDS, shards, halo_margin=margin)
+        got = set(plan.shards_containing(x, y))
+        brute = {
+            s for s in range(plan.num_shards)
+            if plan.halo_rect(s).contains_xy(x, y)
+        }
+        # Out-of-bounds points are clamped into the border tiles, so the
+        # routed set may exceed geometric containment there — never inside.
+        if BOUNDS.contains_xy(x, y):
+            assert got == brute or got >= brute
+        assert plan.owner_of(x, y) in got
+
+
+class TestSpatialPartitioner:
+    def make(self, margin=50.0):
+        return SpatialPartitioner(ShardPlan(BOUNDS, 2, 2, halo_margin=margin))
+
+    def test_first_route_has_no_leavers(self):
+        part = self.make()
+        decision = part.route(update(1, 250.0, 250.0))
+        assert decision.owner == 0
+        assert decision.targets == (0,)
+        assert decision.leavers == ()
+
+    def test_crossing_a_seam_retracts_from_left_shard(self):
+        part = self.make()
+        part.route(update(1, 250.0, 250.0))          # interior of shard 0
+        moved = part.route(update(1, 700.0, 250.0))  # interior of shard 1
+        assert moved.owner == 1
+        assert moved.targets == (1,)
+        assert moved.leavers == (0,)
+        assert part.retractions == 1
+
+    def test_halo_entry_delivers_to_both_no_retract(self):
+        part = self.make()
+        part.route(update(1, 250.0, 250.0))
+        near_seam = part.route(update(1, 480.0, 250.0))
+        assert set(near_seam.targets) == {0, 1}
+        assert near_seam.leavers == ()
+        assert part.placement_of(1, EntityKind.OBJECT) == near_seam.targets
+
+    def test_objects_and_queries_tracked_separately(self):
+        part = self.make()
+        obj = update(1, 250.0, 250.0)
+        part.route(obj)
+        qry = QueryLike(1, 700.0, 250.0)
+        part.route(qry)
+        assert part.placement_of(1, EntityKind.OBJECT) == (0,)
+        assert part.placement_of(1, EntityKind.QUERY) == (1,)
+        assert part.owner_of_query(1) == 1
+
+    def test_replication_factor_counts_halo_copies(self):
+        part = self.make()
+        part.route(update(1, 250.0, 250.0))   # 1 delivery
+        part.route(update(2, 490.0, 490.0))   # 4 deliveries (corner halo)
+        assert part.updates_routed == 2
+        assert part.deliveries == 5
+        assert part.replication_factor == pytest.approx(2.5)
+
+    def test_unrouted_query_has_no_owner(self):
+        part = self.make()
+        assert part.owner_of_query(99) is None
+        assert part.placement_of(99, EntityKind.QUERY) == ()
+
+    def test_retract_record_fields(self):
+        r = Retract(7, EntityKind.QUERY)
+        assert r.entity_id == 7
+        assert r.kind is EntityKind.QUERY
+
+
+class QueryLike:
+    """Minimal stand-in for a QueryUpdate in routing tests."""
+
+    kind = EntityKind.QUERY
+
+    def __init__(self, qid: int, x: float, y: float):
+        self.entity_id = qid
+        self.loc = Point(x, y)

@@ -55,6 +55,22 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             EngineConfig(tick=-1.0)
 
+    def test_large_whole_ratio_accepted(self):
+        """Regression: the divisibility check must use *relative* tolerance.
+
+        1e6 ticks per interval is a whole ratio, but float remainder noise
+        at that magnitude exceeded the old absolute epsilon and the config
+        was spuriously rejected.
+        """
+        # 1e6 / 0.1 = 9999999.999999998 in floats: off by ~1.9e-9, which
+        # tripped the old `> 1e-9` absolute check.
+        config = EngineConfig(delta=1_000_000.0, tick=0.1)
+        assert config.ticks_per_interval == 10_000_000
+
+    def test_large_non_whole_ratio_still_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(delta=1_000_000.5, tick=1.0)
+
 
 class TestStreamEngine:
     def test_interval_feeds_all_tick_updates(self, make_generator):
@@ -99,6 +115,19 @@ class TestStreamEngine:
         engine = StreamEngine(make_generator(), RecordingOperator())
         stats = engine.run(0)
         assert stats.interval_count == 0
+
+    def test_generate_seconds_measured(self, make_generator):
+        """The generator's own cost is captured, separately from ingest."""
+        gen = make_generator(num_objects=50, num_queries=50)
+        stats = StreamEngine(gen, RecordingOperator()).run(2)
+        assert all(s.generate_seconds > 0.0 for s in stats.intervals)
+        assert stats.total_generate_seconds > 0.0
+        # Workload cost stays out of the paper's three-phase breakdown.
+        first = stats.intervals[0]
+        assert first.total_seconds == pytest.approx(
+            first.ingest_seconds + first.join_seconds + first.maintenance_seconds
+        )
+        assert "generate" in stats.summary()
 
 
 class TestTimer:
@@ -145,6 +174,47 @@ class TestRunStats:
         s = IntervalStats(2.0, 0.1, 0.2, 0.05, 1, 10)
         assert s.total_seconds == pytest.approx(0.35)
 
+    def test_to_dict_round_trips_through_json(self):
+        stats = RunStats()
+        stats.add(IntervalStats(2.0, 0.1, 0.2, 0.05, 7, 40, generate_seconds=0.02))
+        stats.add(IntervalStats(4.0, 0.1, 0.3, 0.05, 9, 40))
+        data = stats.to_dict()
+        assert data["interval_count"] == 2
+        assert data["totals"]["join_seconds"] == pytest.approx(0.5)
+        assert data["totals"]["result_count"] == 16
+        assert data["totals"]["generate_seconds"] == pytest.approx(0.02)
+        assert [i["t"] for i in data["intervals"]] == [2.0, 4.0]
+        import json
+
+        assert json.loads(stats.to_json()) == data
+
+    def test_interval_merged_serial_sums_phases(self):
+        parts = [
+            IntervalStats(2.0, 0.1, 0.2, 0.05, 3, 10),
+            IntervalStats(2.0, 0.3, 0.4, 0.15, 4, 20),
+        ]
+        merged = IntervalStats.merged(parts, t=2.0)
+        assert merged.ingest_seconds == pytest.approx(0.4)
+        assert merged.join_seconds == pytest.approx(0.6)
+        assert merged.result_count == 7
+        assert merged.tuple_count == 30
+
+    def test_interval_merged_parallel_takes_critical_path(self):
+        parts = [
+            IntervalStats(2.0, 0.1, 0.2, 0.05, 3, 10),
+            IntervalStats(2.0, 0.3, 0.4, 0.15, 4, 20),
+        ]
+        merged = IntervalStats.merged(parts, t=2.0, parallel=True, result_count=5)
+        assert merged.join_seconds == pytest.approx(0.4)
+        assert merged.ingest_seconds == pytest.approx(0.3)
+        assert merged.result_count == 5  # override: merger deduplicated
+        assert merged.tuple_count == 30  # counts always sum
+
+    def test_interval_merged_empty(self):
+        merged = IntervalStats.merged([], t=2.0, parallel=True)
+        assert merged.join_seconds == 0.0
+        assert merged.result_count == 0
+
 
 class TestSinks:
     def test_counting_sink(self):
@@ -163,3 +233,41 @@ class TestSinks:
     def test_match_set_ignores_time(self):
         matches = [QueryMatch(1, 2, 2.0), QueryMatch(1, 2, 4.0)]
         assert match_set(matches) == {(1, 2)}
+
+    def test_bounded_sink_evicts_oldest_intervals(self):
+        sink = CollectingSink(max_retained=5)
+        sink.accept([QueryMatch(1, i, 2.0) for i in range(3)], 2.0)
+        sink.accept([QueryMatch(1, i, 4.0) for i in range(3)], 4.0)
+        # 6 > 5: the whole t=2.0 interval goes, t=4.0 stays intact.
+        assert sorted(sink.by_interval) == [4.0]
+        assert sink.retained_count == 3
+        assert sink.dropped_matches == 3
+        assert len(sink.matches_at(4.0)) == 3
+
+    def test_bounded_sink_keeps_single_oversized_interval(self):
+        sink = CollectingSink(max_retained=2)
+        sink.accept([QueryMatch(1, i, 2.0) for i in range(10)], 2.0)
+        # One interval larger than the cap is kept whole, not truncated.
+        assert sink.retained_count == 10
+        assert sink.dropped_matches == 0
+
+    def test_bounded_sink_clear_resets_counters(self):
+        sink = CollectingSink(max_retained=1)
+        sink.accept([QueryMatch(1, 1, 2.0)], 2.0)
+        sink.accept([QueryMatch(1, 2, 4.0)], 4.0)
+        assert sink.dropped_matches == 1
+        sink.clear()
+        assert sink.retained_count == 0
+        assert sink.dropped_matches == 0
+        assert sink.all_matches == []
+
+    def test_bounded_sink_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            CollectingSink(max_retained=-1)
+
+    def test_unbounded_sink_never_drops(self):
+        sink = CollectingSink()
+        for t in (2.0, 4.0, 6.0):
+            sink.accept([QueryMatch(1, 1, t)] * 100, t)
+        assert sink.retained_count == 300
+        assert sink.dropped_matches == 0
