@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--executor", choices=["serial", "process"],
                         default="serial",
                         help="where shard operators run (with --shards > 1)")
+    from .kernels import BACKEND_CHOICES
+
+    parser.add_argument("--kernel-backend", choices=list(BACKEND_CHOICES),
+                        default="auto",
+                        help="join-kernel backend (auto = numpy if installed, "
+                             "else batched python)")
     return parser
 
 
@@ -69,7 +75,9 @@ def make_operator(args: argparse.Namespace):
     if args.operator == "regular":
         from .core import RegularConfig
 
-        return RegularGridJoin(RegularConfig(grid_size=args.grid))
+        return RegularGridJoin(
+            RegularConfig(grid_size=args.grid, kernel_backend=args.kernel_backend)
+        )
     if args.operator == "naive":
         return NaiveJoin()
     config = ScubaConfig(
@@ -77,6 +85,7 @@ def make_operator(args: argparse.Namespace):
         delta=args.delta,
         shedding=policy_for_eta(args.eta, 100.0),
         split_at_destination=args.split,
+        kernel_backend=args.kernel_backend,
     )
     return Scuba(config)
 
@@ -90,7 +99,8 @@ def make_shard_factory(args: argparse.Namespace):
         from .core import RegularConfig
 
         return RegularShardFactory(
-            RegularConfig(grid_size=args.grid), max_query_extent=extent
+            RegularConfig(grid_size=args.grid, kernel_backend=args.kernel_backend),
+            max_query_extent=extent,
         )
     if args.operator == "naive":
         return NaiveShardFactory(max_query_extent=extent)
@@ -99,6 +109,7 @@ def make_shard_factory(args: argparse.Namespace):
         delta=args.delta,
         shedding=policy_for_eta(args.eta, 100.0),
         split_at_destination=args.split,
+        kernel_backend=args.kernel_backend,
     )
     return ScubaShardFactory(config, max_query_extent=extent)
 
@@ -153,6 +164,10 @@ def main(argv=None) -> int:
     print(f"{args.operator} over {city}")
     print(f"{args.objects} objects + {args.queries} queries, skew {args.skew}, "
           f"Δ={args.delta}, η={args.eta}")
+    if args.operator != "naive":
+        from .kernels import resolve_backend
+
+        print(f"kernel backend: {resolve_backend(args.kernel_backend).name}")
     if sharded:
         print(f"{engine.num_shards} shards ({args.executor} executor), "
               f"halo margin {engine.plan.halo_margin:.1f}")

@@ -122,6 +122,7 @@ class MovingCluster:
 
     __slots__ = (
         "cid",
+        "version",
         "cx",
         "cy",
         "radius",
@@ -152,6 +153,14 @@ class MovingCluster:
         now: float,
     ) -> None:
         self.cid = cid
+        #: Monotonic change counter: bumped by every mutation that can
+        #: alter join behaviour (membership, member positions, centroid,
+        #: radius, shed state).  Consumers snapshot it to know whether
+        #: derived state — a ClusterJoinView, a memoized join-between
+        #: verdict — is still valid.  Rigid-translation *flushes* do not
+        #: bump it: they rebase member storage without changing any
+        #: reconstructed position.
+        self.version = 0
         self.cx = centroid.x
         self.cy = centroid.y
         self.radius = 0.0
@@ -298,6 +307,7 @@ class MovingCluster:
         """
         kind = update.kind
         is_object = kind is EntityKind.OBJECT
+        self.version += 1
         table = self.objects if is_object else self.queries
         member = table.get(update.entity_id)
         loc = update.loc
@@ -383,6 +393,7 @@ class MovingCluster:
         """Remove a member (it re-clustered elsewhere or its stream ended)."""
         table = self.objects if kind is EntityKind.OBJECT else self.queries
         member = table.pop(entity_id)
+        self.version += 1
         self._speed_sum -= member.speed
         if member.position_shed:
             self.shed_count -= 1
@@ -433,8 +444,12 @@ class MovingCluster:
             sum_y += member.abs_y + (self.trans_y - member.tr_y)
             known += 1
         if known:
-            self.cx = sum_x / known
-            self.cy = sum_y / known
+            cx = sum_x / known
+            cy = sum_y / known
+            if cx != self.cx or cy != self.cy:
+                self.version += 1
+                self.cx = cx
+                self.cy = cy
 
     def update_expiry(self, now: float) -> None:
         """Public per-interval expiry refresh (see :meth:`_update_expiry`)."""
@@ -457,7 +472,9 @@ class MovingCluster:
             dist = math.hypot(loc.x - self.cx, loc.y - self.cy)
             if dist > radius:
                 radius = dist
-        self.radius = radius
+        if radius != self.radius:
+            self.version += 1
+            self.radius = radius
 
     # -- motion -----------------------------------------------------------------
 
@@ -486,6 +503,7 @@ class MovingCluster:
         if dist == 0.0 or step <= 0.0:
             return
         frac = min(step / dist, 1.0)
+        self.version += 1
         self.cx += dx * frac
         self.cy += dy * frac
         self.trans_x += dx * frac

@@ -113,6 +113,8 @@ def _transfer(successor: MovingCluster, member: ClusterMember) -> None:
 def _finalise(successor: MovingCluster, now: float) -> None:
     """Recompute derived state after bulk member transfer."""
     count = successor.n
+    # Bulk transfer bypassed absorb(); invalidate any derived snapshots.
+    successor.version += 1
     successor.avespeed = successor._speed_sum / count if count else 0.0
     radius = 0.0
     for member in successor.members():

@@ -23,6 +23,12 @@ exact × shed         object within nucleus-radius of the window placed at
 shed × shed          the two nuclei within query-window reach of each other
 ===================  ======================================================
 
+The member-level tests themselves live in :mod:`repro.kernels`: each case
+is a batched kernel over the structure-of-arrays columns of
+:class:`ClusterJoinView`, implemented by interchangeable backends (scalar
+reference, batched pure Python, NumPy).  This module is the driver: it
+builds the views and sequences the kernels, identically for every backend.
+
 All shed members of a cluster share one nucleus, so they are tested *as a
 group* — one geometric test matches (or rejects) the whole block.  That is
 precisely why shedding trades accuracy for join time (Fig. 13a): fewer
@@ -38,10 +44,11 @@ own self join-within, exactly as in the worked example of Fig. 7 where
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..clustering import MovingCluster
 from ..geometry import circles_overlap
+from ..kernels import JoinKernelBackend, resolve_backend
 from ..streams import QueryMatch
 
 __all__ = ["join_between", "ClusterJoinView", "join_within_pair", "join_within_self"]
@@ -67,40 +74,57 @@ def join_between(left: MovingCluster, right: MovingCluster) -> bool:
 
 
 class ClusterJoinView:
-    """Join-ready snapshot of one cluster's members.
+    """Join-ready structure-of-arrays snapshot of one cluster's members.
 
-    Built once per cluster per evaluation (clusters often participate in
-    several pairwise joins).  Exact members are flattened into tuples; shed
-    members are grouped under the cluster nucleus.
+    Exact members are flattened into parallel id/x/y (and window half
+    extent) columns — the layout the batched kernels consume; shed members
+    are grouped under the cluster nucleus.  ``version`` records the
+    cluster's :attr:`~repro.clustering.MovingCluster.version` at build
+    time: the snapshot is valid exactly while the cluster's counter has
+    not moved, which is what lets :class:`~repro.core.scuba.Scuba` reuse
+    views across cluster pairs *and* across Δ-cycles for clusters that did
+    not change.  ``scratch`` holds backend-derived data (sorted
+    permutations, ndarray mirrors) with the same lifetime as the view.
     """
 
     __slots__ = (
         "cid",
+        "version",
         "cx",
         "cy",
         "approx_radius",
-        "exact_objects",
+        "obj_ids",
+        "obj_xs",
+        "obj_ys",
         "shed_object_ids",
-        "exact_queries",
+        "query_ids",
+        "query_xs",
+        "query_ys",
+        "query_hws",
+        "query_hhs",
         "shed_query_groups",
         "obj_min_x",
         "obj_min_y",
         "obj_max_x",
         "obj_max_y",
+        "scratch",
     )
 
     def __init__(self, cluster: MovingCluster) -> None:
         cluster.flush_transform()
         self.cid = cluster.cid
+        self.version = cluster.version
         self.cx = cluster.cx
         self.cy = cluster.cy
         # Shed members provably lie within the cluster; the nucleus cannot
         # usefully exceed the cluster's own radius.
         self.approx_radius = min(cluster.nucleus_radius, cluster.radius)
-        self.exact_objects: List[Tuple[int, float, float]] = []
+        self.obj_ids: List[int] = []
+        self.obj_xs: List[float] = []
+        self.obj_ys: List[float] = []
         self.shed_object_ids: List[int] = []
         # Tight bounding box of the exact object members: one rect-overlap
-        # test per query prunes whole member loops for near-miss cluster
+        # test per query prunes whole member batches for near-miss cluster
         # pairs (cluster-granularity filtering, same spirit as
         # join-between but at the query's window size).
         min_x = min_y = math.inf
@@ -112,7 +136,9 @@ class ClusterJoinView:
                 # flush_transform above made abs_x/abs_y current.
                 x = member.abs_x
                 y = member.abs_y
-                self.exact_objects.append((oid, x, y))
+                self.obj_ids.append(oid)
+                self.obj_xs.append(x)
+                self.obj_ys.append(y)
                 if x < min_x:
                     min_x = x
                 if x > max_x:
@@ -125,7 +151,11 @@ class ClusterJoinView:
         self.obj_min_y = min_y
         self.obj_max_x = max_x
         self.obj_max_y = max_y
-        self.exact_queries: List[Tuple[int, float, float, float, float]] = []
+        self.query_ids: List[int] = []
+        self.query_xs: List[float] = []
+        self.query_ys: List[float] = []
+        self.query_hws: List[float] = []
+        self.query_hhs: List[float] = []
         self.shed_query_groups: Dict[Tuple[float, float], List[int]] = {}
         for qid, member in cluster.queries.items():
             hw = member.range_width / 2.0
@@ -133,28 +163,38 @@ class ClusterJoinView:
             if member.position_shed:
                 self.shed_query_groups.setdefault((hw, hh), []).append(qid)
             else:
-                self.exact_queries.append((qid, member.abs_x, member.abs_y, hw, hh))
+                self.query_ids.append(qid)
+                self.query_xs.append(member.abs_x)
+                self.query_ys.append(member.abs_y)
+                self.query_hws.append(hw)
+                self.query_hhs.append(hh)
+        self.scratch: Dict[str, object] = {}
+
+    @property
+    def exact_objects(self) -> List[Tuple[int, float, float]]:
+        """Row view of the exact-object columns (compatibility accessor)."""
+        return list(zip(self.obj_ids, self.obj_xs, self.obj_ys))
+
+    @property
+    def exact_queries(self) -> List[Tuple[int, float, float, float, float]]:
+        """Row view of the exact-query columns (compatibility accessor)."""
+        return list(
+            zip(
+                self.query_ids,
+                self.query_xs,
+                self.query_ys,
+                self.query_hws,
+                self.query_hhs,
+            )
+        )
 
     @property
     def has_objects(self) -> bool:
-        return bool(self.exact_objects or self.shed_object_ids)
+        return bool(self.obj_ids or self.shed_object_ids)
 
     @property
     def has_queries(self) -> bool:
-        return bool(self.exact_queries or self.shed_query_groups)
-
-
-def _rect_point_gap_sq(
-    cx: float, cy: float, hw: float, hh: float, px: float, py: float
-) -> float:
-    """Squared distance from point ``(px, py)`` to rect ``(cx±hw, cy±hh)``."""
-    dx = abs(px - cx) - hw
-    dy = abs(py - cy) - hh
-    if dx < 0.0:
-        dx = 0.0
-    if dy < 0.0:
-        dy = 0.0
-    return dx * dx + dy * dy
+        return bool(self.query_ids or self.shed_query_groups)
 
 
 def _join_objects_to_queries(
@@ -162,68 +202,27 @@ def _join_objects_to_queries(
     queries: ClusterJoinView,
     now: float,
     out: List[QueryMatch],
+    backend: JoinKernelBackend,
 ) -> int:
     """Match ``objects``-side members against ``queries``-side members.
 
-    Returns the number of individual geometric tests performed (the cost
-    metric the shedding experiment reports alongside wall-clock time).
+    Sequences the four kernel cases; returns the number of logical
+    member-level tests (the cost metric the shedding experiment reports
+    alongside wall-clock time, identical across backends).
     """
     tests = 0
-    exact_objects = objects.exact_objects
-    o_min_x, o_max_x = objects.obj_min_x, objects.obj_max_x
-    o_min_y, o_max_y = objects.obj_min_y, objects.obj_max_y
-
-    # Exact queries vs. this object view.
-    for qid, qx, qy, hw, hh in queries.exact_queries:
-        # Window vs. object bounding box: skips the member loop for the
-        # common near-miss case of barely-overlapping clusters.
-        if (
-            exact_objects
-            and qx - hw <= o_max_x
-            and qx + hw >= o_min_x
-            and qy - hh <= o_max_y
-            and qy + hh >= o_min_y
-        ):
-            for oid, ox, oy in exact_objects:
-                tests += 1
-                if abs(ox - qx) <= hw and abs(oy - qy) <= hh:
-                    out.append(QueryMatch(qid, oid, now))
-        if objects.shed_object_ids:
-            tests += 1
-            gap = _rect_point_gap_sq(qx, qy, hw, hh, objects.cx, objects.cy)
-            if gap <= objects.approx_radius * objects.approx_radius:
-                for oid in objects.shed_object_ids:
-                    out.append(QueryMatch(qid, oid, now))
-
-    # Shed query groups (window at the query cluster's centroid, slack =
-    # that cluster's nucleus radius).
-    for (hw, hh), qids in queries.shed_query_groups.items():
-        q_slack = queries.approx_radius
-        reach_x = hw + q_slack
-        reach_y = hh + q_slack
-        if (
-            exact_objects
-            and queries.cx - reach_x <= o_max_x
-            and queries.cx + reach_x >= o_min_x
-            and queries.cy - reach_y <= o_max_y
-            and queries.cy + reach_y >= o_min_y
-        ):
-            for oid, ox, oy in exact_objects:
-                tests += 1
-                gap = _rect_point_gap_sq(queries.cx, queries.cy, hw, hh, ox, oy)
-                if gap <= q_slack * q_slack:
-                    for qid in qids:
-                        out.append(QueryMatch(qid, oid, now))
-        if objects.shed_object_ids:
-            tests += 1
-            reach = q_slack + objects.approx_radius
-            gap = _rect_point_gap_sq(
-                queries.cx, queries.cy, hw, hh, objects.cx, objects.cy
-            )
-            if gap <= reach * reach:
-                for qid in qids:
-                    for oid in objects.shed_object_ids:
-                        out.append(QueryMatch(qid, oid, now))
+    have_exact_objects = bool(objects.obj_ids)
+    have_shed_objects = bool(objects.shed_object_ids)
+    if queries.query_ids:
+        if have_exact_objects:
+            tests += backend.exact_exact(objects, queries, now, out)
+        if have_shed_objects:
+            tests += backend.shed_exact(objects, queries, now, out)
+    if queries.shed_query_groups:
+        if have_exact_objects:
+            tests += backend.exact_shed(objects, queries, now, out)
+        if have_shed_objects:
+            tests += backend.shed_shed(objects, queries, now, out)
     return tests
 
 
@@ -232,16 +231,26 @@ def join_within_pair(
     right: ClusterJoinView,
     now: float,
     out: List[QueryMatch],
+    backend: Optional[JoinKernelBackend] = None,
 ) -> int:
     """Join-within for two distinct clusters (Algorithm 3, cross pairs)."""
+    if backend is None:
+        backend = resolve_backend()
     tests = 0
     if left.has_objects and right.has_queries:
-        tests += _join_objects_to_queries(left, right, now, out)
+        tests += _join_objects_to_queries(left, right, now, out, backend)
     if right.has_objects and left.has_queries:
-        tests += _join_objects_to_queries(right, left, now, out)
+        tests += _join_objects_to_queries(right, left, now, out, backend)
     return tests
 
 
-def join_within_self(view: ClusterJoinView, now: float, out: List[QueryMatch]) -> int:
+def join_within_self(
+    view: ClusterJoinView,
+    now: float,
+    out: List[QueryMatch],
+    backend: Optional[JoinKernelBackend] = None,
+) -> int:
     """Join-within of a single mixed cluster (Algorithm 1, line 15)."""
-    return _join_objects_to_queries(view, view, now, out)
+    if backend is None:
+        backend = resolve_backend()
+    return _join_objects_to_queries(view, view, now, out, backend)

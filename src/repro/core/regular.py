@@ -20,11 +20,12 @@ to SCUBA is the cluster abstraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..generator import EntityKind, Update
 from ..geometry import Rect
 from ..index import SpatialGrid
+from ..kernels import BACKEND_CHOICES, PointBatch, resolve_backend
 from ..network import DEFAULT_BOUNDS
 from ..streams import ContinuousJoinOperator, QueryMatch, Timer
 
@@ -37,10 +38,17 @@ class RegularConfig:
 
     bounds: Rect = field(default_factory=lambda: DEFAULT_BOUNDS)
     grid_size: int = 100
+    #: Join-kernel backend, same choices as :class:`~repro.core.ScubaConfig`.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.grid_size < 1:
             raise ValueError(f"grid_size must be >= 1, got {self.grid_size}")
+        if self.kernel_backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"kernel_backend must be one of {BACKEND_CHOICES}, "
+                f"got {self.kernel_backend!r}"
+            )
 
 
 class _ObjectEntry:
@@ -74,10 +82,15 @@ class RegularGridJoin(ContinuousJoinOperator):
 
     def __init__(self, config: Optional[RegularConfig] = None) -> None:
         self.config = config if config is not None else RegularConfig()
+        self._init_state()
+
+    def _init_state(self) -> None:
+        """(Re)build all mutable state from ``self.config`` (see Scuba)."""
         self.object_grid = SpatialGrid(self.config.bounds, self.config.grid_size)
         self.query_grid = SpatialGrid(self.config.bounds, self.config.grid_size)
         self.objects: Dict[int, _ObjectEntry] = {}
         self.queries: Dict[int, _QueryEntry] = {}
+        self.kernels = resolve_backend(self.config.kernel_backend)
         self.last_join_seconds = 0.0
         self.last_maintenance_seconds = 0.0
         #: Cumulative count of individual (query, object) pair tests.
@@ -144,19 +157,26 @@ class RegularGridJoin(ContinuousJoinOperator):
         with timer:
             objects = self.objects
             object_grid = self.object_grid
+            query_grid = self.query_grid
+            kernels = self.kernels
             tests = 0
-            for cell, qids in self.query_grid.occupied_cells():
-                oids = object_grid.members(cell)
+            for cell, qids in query_grid.occupied_cells():
+                oids = object_grid.sorted_members(cell)
                 if not oids:
                     continue
-                for qid in qids:
+                # One SoA batch per occupied cell, shared by every query
+                # hashed there — the point-in-rect kernel amortises any
+                # derived structure (e.g. the x-sort) across those queries.
+                batch = PointBatch(
+                    oids,
+                    [objects[oid].x for oid in oids],
+                    [objects[oid].y for oid in oids],
+                )
+                for qid in query_grid.sorted_members(cell):
                     q = self.queries[qid]
-                    qx, qy, hw, hh = q.x, q.y, q.hw, q.hh
-                    for oid in oids:
-                        o = objects[oid]
-                        tests += 1
-                        if abs(o.x - qx) <= hw and abs(o.y - qy) <= hh:
-                            results.append(QueryMatch(qid, oid, now))
+                    tests += kernels.points_in_rect(
+                        batch, qid, q.x, q.y, q.hw, q.hh, now, results
+                    )
             self.pair_tests += tests
         self.last_join_seconds = timer.seconds
         self.last_maintenance_seconds = 0.0
@@ -164,11 +184,27 @@ class RegularGridJoin(ContinuousJoinOperator):
 
     # -- introspection -----------------------------------------------------------
 
+    def join_counters(self) -> Dict[str, Any]:
+        return {"kernel_backend": self.kernels.name}
+
     def state_roots(self) -> List[object]:
         return [self.objects, self.queries, self.object_grid, self.query_grid]
 
     def reset(self) -> None:
-        self.__init__(self.config)
+        self._init_state()
+
+    # Shard factories pickle configured operators; the backend instance is
+    # dropped (its ``__reduce__`` would also work, but re-resolving keeps a
+    # remote process without NumPy working when config says "auto").
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("kernels", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.kernels = resolve_backend(self.config.kernel_backend)
 
     def __repr__(self) -> str:
         return (

@@ -19,13 +19,20 @@ Execution cycles through three phases:
 
 Instrumentation counters (`between_tests`, `within_tests`, ...) are part of
 the public surface: the paper's figures report exactly these costs.
+
+Evaluation is **incremental across Δ-cycles**: join views and join-between
+verdicts are cached keyed on cluster version counters (see
+:class:`~repro.core.joins.ClusterJoinView`), so clusters that did not
+change between evaluations are snapshotted and pre-filtered exactly once.
+The caches are pure memoisation — logical test counters and emitted
+matches are identical with and without them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import hypot
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..clustering import (
     ClusteringSpec,
@@ -36,6 +43,7 @@ from ..clustering import (
 )
 from ..generator import EntityKind, Update
 from ..geometry import Rect
+from ..kernels import BACKEND_CHOICES, resolve_backend
 from ..network import DEFAULT_BOUNDS
 from ..shedding import NoShedding, SheddingPolicy
 from ..streams import ContinuousJoinOperator, QueryMatch, Timer
@@ -81,12 +89,21 @@ class ScubaConfig:
     #: already reported their next destination are regrouped into
     #: successor clusters without re-clustering churn.
     split_at_destination: bool = False
+    #: Join-kernel backend: ``"auto"`` picks NumPy when installed (the
+    #: ``perf`` extra) and the batched pure-Python backend otherwise;
+    #: ``"scalar"`` is the seed-faithful reference path.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.grid_size < 1:
             raise ValueError(f"grid_size must be >= 1, got {self.grid_size}")
         if self.delta <= 0:
             raise ValueError(f"delta must be positive, got {self.delta}")
+        if self.kernel_backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"kernel_backend must be one of {BACKEND_CHOICES}, "
+                f"got {self.kernel_backend!r}"
+            )
 
     def clustering_spec(self) -> ClusteringSpec:
         return ClusteringSpec(
@@ -102,6 +119,15 @@ class Scuba(ContinuousJoinOperator):
 
     def __init__(self, config: Optional[ScubaConfig] = None) -> None:
         self.config = config if config is not None else ScubaConfig()
+        self._init_state()
+
+    def _init_state(self) -> None:
+        """(Re)build all mutable state from ``self.config``.
+
+        Shared by :meth:`__init__` and :meth:`reset` so resetting cannot
+        drift from construction (the seed re-called ``__init__``, which
+        breaks under subclassing and re-validates config needlessly).
+        """
         self.world = ClusterWorld(self.config.bounds, self.config.grid_size)
         self.clusterer = IncrementalClusterer(
             self.world, self.config.clustering_spec()
@@ -109,6 +135,14 @@ class Scuba(ContinuousJoinOperator):
         self.objects_table = ObjectsTable()
         self.queries_table = QueriesTable()
         self._shed_is_noop = isinstance(self.config.shedding, NoShedding)
+        self.kernels = resolve_backend(self.config.kernel_backend)
+        # Cross-evaluation caches, all keyed on cluster version counters
+        # (cids are never reused, so a stale cid can only miss or be
+        # pruned, never alias).  Dropped on pickling and rebuilt lazily.
+        self._view_cache: Dict[int, ClusterJoinView] = {}
+        self._between_cache: Dict[Tuple[int, int], Tuple[int, int, bool]] = {}
+        # Reused across sweeps to avoid re-growing a large set every Δ.
+        self._seen_pairs: Set[Tuple[int, int]] = set()
         # Phase timings of the most recent evaluate().
         self.last_join_seconds = 0.0
         self.last_maintenance_seconds = 0.0
@@ -117,6 +151,10 @@ class Scuba(ContinuousJoinOperator):
         self.between_hits = 0
         self.within_tests = 0
         self.evaluations = 0
+        self.view_cache_hits = 0
+        self.view_cache_misses = 0
+        self.between_cache_hits = 0
+        self.between_cache_misses = 0
 
     # -- phase 1: pre-join maintenance ------------------------------------------
 
@@ -164,31 +202,41 @@ class Scuba(ContinuousJoinOperator):
         self.last_maintenance_seconds = maintenance_timer.seconds
         return results
 
+    def _view_of(self, cluster: MovingCluster) -> ClusterJoinView:
+        """Cached join view of ``cluster``, rebuilt only when it changed."""
+        view = self._view_cache.get(cluster.cid)
+        if view is not None and view.version == cluster.version:
+            self.view_cache_hits += 1
+            return view
+        self.view_cache_misses += 1
+        view = ClusterJoinView(cluster)
+        self._view_cache[cluster.cid] = view
+        return view
+
     def _joining_phase(self, now: float, results: List[QueryMatch]) -> None:
         """Algorithm 1, lines 8-21: the cell sweep."""
         storage = self.world.storage
-        views: Dict[int, ClusterJoinView] = {}
-
-        def view_of(cluster: MovingCluster) -> ClusterJoinView:
-            view = views.get(cluster.cid)
-            if view is None:
-                view = ClusterJoinView(cluster)
-                views[cluster.cid] = view
-            return view
+        view_of = self._view_of
+        backend = self.kernels
 
         # Self join-within for every mixed cluster (Algorithm 1, line 15).
         for cluster in storage.clusters():
             if cluster.is_mixed:
-                self.within_tests += join_within_self(view_of(cluster), now, results)
+                self.within_tests += join_within_self(
+                    view_of(cluster), now, results, backend
+                )
 
         # Pairwise joins for clusters sharing a grid cell.  A pair may share
         # several cells; the seen-set makes it join exactly once.
-        seen_pairs: Set[Tuple[int, int]] = set()
+        seen_pairs = self._seen_pairs
+        seen_pairs.clear()
+        between_cache = self._between_cache
         use_filter = self.config.use_between_filter
-        for _cell, members in self.world.grid.occupied_cells():
+        grid = self.world.grid
+        for cell, members in grid.occupied_cells():
             if len(members) < 2:
                 continue
-            cids = sorted(members)
+            cids = grid.sorted_members(cell)
             for i, cid_l in enumerate(cids):
                 left = storage.get(cid_l)
                 for cid_r in cids[i + 1 :]:
@@ -204,12 +252,32 @@ class Scuba(ContinuousJoinOperator):
                     ):
                         continue
                     if use_filter:
+                        # between_tests counts the *logical* filter
+                        # applications (the paper's cost metric); the memo
+                        # only skips recomputing the geometry for pairs
+                        # whose clusters are both unchanged.
                         self.between_tests += 1
-                        if not join_between(left, right):
+                        cached = between_cache.get(pair)
+                        if (
+                            cached is not None
+                            and cached[0] == left.version
+                            and cached[1] == right.version
+                        ):
+                            self.between_cache_hits += 1
+                            verdict = cached[2]
+                        else:
+                            self.between_cache_misses += 1
+                            verdict = join_between(left, right)
+                            between_cache[pair] = (
+                                left.version,
+                                right.version,
+                                verdict,
+                            )
+                        if not verdict:
                             continue
                         self.between_hits += 1
                     self.within_tests += join_within_pair(
-                        view_of(left), view_of(right), now, results
+                        view_of(left), view_of(right), now, results, backend
                     )
 
     def _post_join_maintenance(self, now: float) -> None:
@@ -241,6 +309,30 @@ class Scuba(ContinuousJoinOperator):
                 cluster.recompute_radius()
             cluster.update_expiry(now)
             self.world.grid.refresh(cluster)
+        self._prune_caches()
+
+    def _prune_caches(self) -> None:
+        """Drop cache entries for clusters that no longer exist.
+
+        cids are allocated monotonically and never reused, so dead entries
+        can never produce stale hits — pruning is purely to bound memory
+        across long runs with cluster churn.
+        """
+        storage = self.world.storage
+        view_cache = self._view_cache
+        if len(view_cache) > len(storage):
+            dead = [cid for cid in view_cache if cid not in storage]
+            for cid in dead:
+                del view_cache[cid]
+        between_cache = self._between_cache
+        if between_cache:
+            dead_pairs = [
+                pair
+                for pair in between_cache
+                if pair[0] not in storage or pair[1] not in storage
+            ]
+            for pair in dead_pairs:
+                del between_cache[pair]
 
     # -- introspection ---------------------------------------------------------------
 
@@ -252,6 +344,16 @@ class Scuba(ContinuousJoinOperator):
     def split_joins(self) -> int:
         """Node crossings resolved through successor links (splitting on)."""
         return self.clusterer.split_joins
+
+    def join_counters(self) -> Dict[str, Any]:
+        """Kernel/cache instrumentation folded into run statistics."""
+        return {
+            "kernel_backend": self.kernels.name,
+            "view_cache_hits": self.view_cache_hits,
+            "view_cache_misses": self.view_cache_misses,
+            "between_cache_hits": self.between_cache_hits,
+            "between_cache_misses": self.between_cache_misses,
+        }
 
     def state_roots(self) -> List[object]:
         """The five in-memory structures of §4.1 (for memory accounting)."""
@@ -265,7 +367,29 @@ class Scuba(ContinuousJoinOperator):
 
     def reset(self) -> None:
         """Drop all clusters and tables, keeping configuration."""
-        self.__init__(self.config)
+        self._init_state()
+
+    # -- pickling ---------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle without caches or the backend instance.
+
+        Views hold backend scratch data (ndarray mirrors, sort
+        permutations) that must not cross process boundaries; the backend
+        itself is re-resolved from config on the other side, so a shard
+        shipped to a worker without NumPy degrades gracefully.
+        """
+        state = self.__dict__.copy()
+        for transient in ("kernels", "_view_cache", "_between_cache", "_seen_pairs"):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.kernels = resolve_backend(self.config.kernel_backend)
+        self._view_cache = {}
+        self._between_cache = {}
+        self._seen_pairs = set()
 
     def __repr__(self) -> str:
         return (

@@ -40,6 +40,10 @@ class SpatialGrid:
         self._cell_w = bounds.width / self.nx
         self._cell_h = bounds.height / self.ny
         self._cells: Dict[CellKey, Set[Hashable]] = {}
+        # Per-cell sorted member tuples, invalidated on membership change:
+        # the join sweep visits every occupied cell every Δ, but most cell
+        # populations are stable between sweeps, so the sort is amortised.
+        self._sorted_cache: Dict[CellKey, Tuple[Hashable, ...]] = {}
 
     # -- geometry → cells ---------------------------------------------------
 
@@ -125,7 +129,10 @@ class SpatialGrid:
             if bucket is None:
                 bucket = set()
                 self._cells[cell] = bucket
+            elif key in bucket:
+                continue
             bucket.add(key)
+            self._sorted_cache.pop(cell, None)
 
     def remove(self, key: Hashable, cells: Iterable[CellKey]) -> None:
         """Unregister ``key`` from every cell of ``cells``.
@@ -135,9 +142,10 @@ class SpatialGrid:
         """
         for cell in cells:
             bucket = self._cells.get(cell)
-            if bucket is None:
+            if bucket is None or key not in bucket:
                 continue
             bucket.discard(key)
+            self._sorted_cache.pop(cell, None)
             if not bucket:
                 del self._cells[cell]
 
@@ -157,6 +165,21 @@ class SpatialGrid:
         """Keys registered in ``cell`` (empty set when vacant)."""
         return self._cells.get(cell, _EMPTY_SET)
 
+    def sorted_members(self, cell: CellKey) -> Tuple[Hashable, ...]:
+        """Keys of ``cell`` in sorted order, cached until the cell changes.
+
+        Deterministic sweep order without re-sorting every occupied cell on
+        every evaluation (the pre-kernel hot-path cost this replaces).
+        """
+        cached = self._sorted_cache.get(cell)
+        if cached is None:
+            bucket = self._cells.get(cell)
+            if not bucket:
+                return ()
+            cached = tuple(sorted(bucket))
+            self._sorted_cache[cell] = cached
+        return cached
+
     def occupied_cells(self) -> Iterator[Tuple[CellKey, Set[Hashable]]]:
         """Iterate non-empty cells in deterministic (flat-index) order."""
         for cell in sorted(self._cells):
@@ -164,6 +187,7 @@ class SpatialGrid:
 
     def clear(self) -> None:
         self._cells.clear()
+        self._sorted_cache.clear()
 
     @property
     def occupied_cell_count(self) -> int:

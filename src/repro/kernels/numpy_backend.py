@@ -1,0 +1,171 @@
+"""NumPy join kernels (the optional ``perf`` extra).
+
+Vectorises the two member-loop-heavy predicate cases — exact×exact and
+exact×shed — into array expressions; the two shed-object cases are one
+scalar test per query (or per group) and inherit the scalar code.  Array
+mirrors of a view's columns are cached in the view ``scratch``, so the
+list→ndarray conversion is paid once per cluster change.
+
+Matched ids are converted back to built-in ``int`` before
+:class:`~repro.streams.QueryMatch` construction: downstream code hashes,
+compares and JSON-serialises match ids, and must never see a stray
+``np.int64``.
+
+This module imports ``numpy`` at module load; importing it without numpy
+installed raises ``ImportError``.  Always go through
+:func:`repro.kernels.resolve_backend`, which degrades ``auto`` to the
+pure-Python backend when the import fails.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..streams import QueryMatch
+from .base import PointBatch
+from .batched import _SORT_THRESHOLD, PythonBatchBackend
+
+__all__ = ["NumpyBackend"]
+
+#: Below this many candidate pairs, ndarray dispatch overhead beats the
+#: comprehension; fall back to the batched-Python code path via super().
+#: Measured crossover (single-use views, bench_kernels microbench): the
+#: vectorised path starts winning around 32×32 member pairs.
+_MIN_VECTOR_PAIRS = 1024
+
+#: One-dimensional kernels (per shed group, per grid-cell query) amortise
+#: ndarray dispatch much sooner than the pair matrix does.
+_MIN_VECTOR_ELEMS = 64
+
+
+def _object_arrays(view):
+    arrays = view.scratch.get("np_obj")
+    if arrays is None:
+        arrays = (
+            np.asarray(view.obj_xs, dtype=np.float64),
+            np.asarray(view.obj_ys, dtype=np.float64),
+            np.asarray(view.obj_ids, dtype=np.int64),
+        )
+        view.scratch["np_obj"] = arrays
+    return arrays
+
+
+def _query_arrays(view):
+    arrays = view.scratch.get("np_query")
+    if arrays is None:
+        arrays = (
+            np.asarray(view.query_xs, dtype=np.float64),
+            np.asarray(view.query_ys, dtype=np.float64),
+            np.asarray(view.query_hws, dtype=np.float64),
+            np.asarray(view.query_hhs, dtype=np.float64),
+        )
+        view.scratch["np_query"] = arrays
+    return arrays
+
+
+class NumpyBackend(PythonBatchBackend):
+    """Array kernels for the member-loop cases; batched-Python fallbacks
+    below the vectorisation threshold, scalar group tests."""
+
+    name = "numpy"
+
+    def exact_exact(self, objects, queries, now: float, out: List[QueryMatch]) -> int:
+        n = len(objects.obj_ids)
+        nq = len(queries.query_ids)
+        if n * nq < _MIN_VECTOR_PAIRS:
+            return super().exact_exact(objects, queries, now, out)
+        oxs, oys, oids = _object_arrays(objects)
+        qxs, qys, qhws, qhhs = _query_arrays(queries)
+        # Bounding-box pre-filter, vectorised across queries (same logical
+        # test-count semantics as the scalar path: n tests per passing query).
+        alive = (
+            (qxs - qhws <= objects.obj_max_x)
+            & (qxs + qhws >= objects.obj_min_x)
+            & (qys - qhhs <= objects.obj_max_y)
+            & (qys + qhhs >= objects.obj_min_y)
+        )
+        alive_idx = np.flatnonzero(alive)
+        if alive_idx.size == 0:
+            return 0
+        # (passing queries × objects) containment matrix.
+        inside = (
+            np.abs(oxs[None, :] - qxs[alive_idx, None]) <= qhws[alive_idx, None]
+        ) & (np.abs(oys[None, :] - qys[alive_idx, None]) <= qhhs[alive_idx, None])
+        qi, oi = np.nonzero(inside)
+        if qi.size:
+            qids = queries.query_ids
+            matched_q = alive_idx[qi].tolist()
+            matched_o = oids[oi].tolist()
+            out.extend(
+                [
+                    QueryMatch(qids[q], o, now)
+                    for q, o in zip(matched_q, matched_o)
+                ]
+            )
+        return int(alive_idx.size) * n
+
+    def exact_shed(self, objects, queries, now: float, out: List[QueryMatch]) -> int:
+        n = len(objects.obj_ids)
+        if n < _MIN_VECTOR_ELEMS:
+            return super().exact_shed(objects, queries, now, out)
+        oxs, oys, oids = _object_arrays(objects)
+        o_min_x, o_max_x = objects.obj_min_x, objects.obj_max_x
+        o_min_y, o_max_y = objects.obj_min_y, objects.obj_max_y
+        qcx, qcy = queries.cx, queries.cy
+        q_slack = queries.approx_radius
+        slack_sq = q_slack * q_slack
+        tests = 0
+        for (hw, hh), qids in queries.shed_query_groups.items():
+            reach_x = hw + q_slack
+            reach_y = hh + q_slack
+            if (
+                qcx - reach_x > o_max_x
+                or qcx + reach_x < o_min_x
+                or qcy - reach_y > o_max_y
+                or qcy + reach_y < o_min_y
+            ):
+                continue
+            tests += n
+            dx = np.maximum(np.abs(oxs - qcx) - hw, 0.0)
+            dy = np.maximum(np.abs(oys - qcy) - hh, 0.0)
+            hits = oids[dx * dx + dy * dy <= slack_sq].tolist()
+            for oid in hits:
+                out.extend([QueryMatch(qid, oid, now) for qid in qids])
+        return tests
+
+    def points_in_rect(
+        self,
+        batch: PointBatch,
+        qid: int,
+        qx: float,
+        qy: float,
+        hw: float,
+        hh: float,
+        now: float,
+        out: List[QueryMatch],
+    ) -> int:
+        n = len(batch.ids)
+        if n < _MIN_VECTOR_ELEMS:
+            if n < _SORT_THRESHOLD:
+                # Inlined scalar loop: sparse-grid cells hold a handful
+                # of points, where even one delegation frame shows up.
+                append = out.append
+                for oid, ox, oy in zip(batch.ids, batch.xs, batch.ys):
+                    if abs(ox - qx) <= hw and abs(oy - qy) <= hh:
+                        append(QueryMatch(qid, oid, now))
+                return n
+            return super().points_in_rect(batch, qid, qx, qy, hw, hh, now, out)
+        arrays = batch.scratch.get("np")
+        if arrays is None:
+            arrays = (
+                np.asarray(batch.xs, dtype=np.float64),
+                np.asarray(batch.ys, dtype=np.float64),
+                np.asarray(batch.ids, dtype=np.int64),
+            )
+            batch.scratch["np"] = arrays
+        xs, ys, ids = arrays
+        hits = ids[(np.abs(xs - qx) <= hw) & (np.abs(ys - qy) <= hh)].tolist()
+        out.extend([QueryMatch(qid, oid, now) for oid in hits])
+        return n

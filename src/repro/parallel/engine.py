@@ -38,7 +38,14 @@ from ..core import NaiveJoin, RegularConfig, RegularGridJoin, Scuba, ScubaConfig
 from ..generator import NetworkBasedGenerator
 from ..geometry import Rect
 from ..network import DEFAULT_BOUNDS
-from ..streams import EngineConfig, IntervalStats, ResultSink, RunStats, Timer
+from ..streams import (
+    EngineConfig,
+    IntervalStats,
+    ResultSink,
+    RunStats,
+    Timer,
+    merge_counters,
+)
 from .executor import ShardExecutor, make_executor
 from .merge import ResultMerger
 from .partition import Retract, ShardPlan, SpatialPartitioner, derive_halo_margin
@@ -361,6 +368,7 @@ class ShardedEngine:
             retractions=self.partitioner.retractions - retractions_before,
         )
         self.stats.add(stats)
+        self.stats.record_counters(merge_counters(r.counters for r in results))
         return stats
 
     def run(self, intervals: int) -> ShardedRunStats:

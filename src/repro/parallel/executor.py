@@ -25,8 +25,8 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from ..geometry import Rect
 from ..streams import IntervalStats, QueryMatch
@@ -55,6 +55,8 @@ class ShardResult:
 
     matches: List[QueryMatch]
     stats: IntervalStats
+    #: The shard operator's cumulative ``join_counters()`` snapshot.
+    counters: Dict[str, Any] = field(default_factory=dict)
 
 
 def _apply_ops(operator, ops: Sequence[ShardOp]) -> int:
@@ -137,6 +139,7 @@ class SerialExecutor(ShardExecutor):
                         result_count=len(matches),
                         tuple_count=self._tuples[shard],
                     ),
+                    counters=operator.join_counters(),
                 )
             )
             self._ingest_seconds[shard] = 0.0
@@ -167,7 +170,7 @@ def _shard_worker(conn, factory: OperatorFactory, bounds: Rect) -> None:
                 result_count=len(matches),
                 tuple_count=tuples,
             )
-            conn.send((matches, stats))
+            conn.send((matches, stats, operator.join_counters()))
             ingest_seconds = 0.0
             tuples = 0
         elif tag == "close":
@@ -217,8 +220,10 @@ class ProcessExecutor(ShardExecutor):
             pipe.send(("evaluate", now))
         results = []
         for pipe in self._pipes:
-            matches, stats = pipe.recv()
-            results.append(ShardResult(matches=matches, stats=stats))
+            matches, stats, counters = pipe.recv()
+            results.append(
+                ShardResult(matches=matches, stats=stats, counters=counters)
+            )
         return results
 
     def close(self) -> None:

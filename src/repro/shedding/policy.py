@@ -53,12 +53,14 @@ class SheddingPolicy:
         nucleus = self.nucleus_radius_for(cluster)
         if nucleus != cluster.nucleus_radius:
             cluster.nucleus_radius = nucleus
+            cluster.version += 1
         if self.should_shed(cluster, dist):
             member = cluster.get_member(update.entity_id, update.kind)
             assert member is not None
             if not member.position_shed:
                 member.position_shed = True
                 cluster.shed_count += 1
+                cluster.version += 1
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

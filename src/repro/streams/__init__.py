@@ -5,7 +5,7 @@ execution loop, result sinks, and per-phase timing metrics.
 """
 
 from .engine import EngineConfig, StreamEngine
-from .metrics import IntervalStats, RunStats, Timer
+from .metrics import IntervalStats, RunStats, Timer, merge_counters
 from .operator import ContinuousJoinOperator
 from .results import QueryMatch, match_set
 from .sink import CollectingSink, CountingSink, ResultSink
@@ -22,4 +22,5 @@ __all__ = [
     "StreamEngine",
     "Timer",
     "match_set",
+    "merge_counters",
 ]

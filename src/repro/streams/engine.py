@@ -98,6 +98,7 @@ class StreamEngine:
             tuple_count=tuple_count,
         )
         self.stats.add(stats)
+        self.stats.record_counters(self.operator.join_counters())
         return stats
 
     def run(self, intervals: int) -> RunStats:

@@ -12,9 +12,30 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Any, Dict, Iterable, List
 
-__all__ = ["Timer", "IntervalStats", "RunStats"]
+__all__ = ["Timer", "IntervalStats", "RunStats", "merge_counters"]
+
+
+def merge_counters(parts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine operator counter dicts from several shards into one.
+
+    Numeric values are summed (counts stay raw so rates derived later are
+    correct); identifying strings (e.g. ``kernel_backend``) are kept when
+    consistent and joined with ``+`` when shards disagree.
+    """
+    merged: Dict[str, Any] = {}
+    for part in parts:
+        for key, value in part.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                prev = merged.get(key)
+                if prev is None or prev == value:
+                    merged[key] = value
+                elif isinstance(prev, str) and isinstance(value, str):
+                    merged[key] = "+".join(sorted({*prev.split("+"), value}))
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 class Timer:
@@ -124,9 +145,17 @@ class RunStats:
     """Aggregate statistics over a whole engine run."""
 
     intervals: List[IntervalStats] = field(default_factory=list)
+    #: Latest operator counter snapshot (cumulative raw counts plus
+    #: identifying strings such as the kernel backend name), recorded by
+    #: the engine after each evaluation via :meth:`record_counters`.
+    counters: Dict[str, Any] = field(default_factory=dict)
 
     def add(self, stats: IntervalStats) -> None:
         self.intervals.append(stats)
+
+    def record_counters(self, counters: Dict[str, Any]) -> None:
+        """Replace the counter snapshot (operator counts are cumulative)."""
+        self.counters = dict(counters)
 
     @property
     def interval_count(self) -> int:
@@ -184,6 +213,21 @@ class RunStats:
         so memory stays bounded and results land in version-controllable
         JSON files.
         """
+        counters = dict(self.counters)
+        # Derive a hit rate for every hits/misses counter pair so reports
+        # need no post-processing; raw counts stay alongside.
+        for key in list(counters):
+            if not key.endswith("_hits"):
+                continue
+            miss_key = key[: -len("_hits")] + "_misses"
+            hits = counters[key]
+            misses = counters.get(miss_key)
+            if (
+                isinstance(hits, (int, float))
+                and isinstance(misses, (int, float))
+                and hits + misses > 0
+            ):
+                counters[key[: -len("_hits")] + "_hit_rate"] = hits / (hits + misses)
         return {
             "interval_count": self.interval_count,
             "totals": {
@@ -195,6 +239,7 @@ class RunStats:
                 "result_count": self.total_result_count,
                 "tuple_count": self.total_tuple_count,
             },
+            "counters": counters,
             "intervals": [s.to_dict() for s in self.intervals],
         }
 

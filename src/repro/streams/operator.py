@@ -11,7 +11,7 @@ user can plug in their own algorithm and reuse the whole harness.
 from __future__ import annotations
 
 import abc
-from typing import Any, List
+from typing import Any, Dict, List
 
 from ..generator import EntityKind, Update
 from .results import QueryMatch
@@ -59,6 +59,15 @@ class ContinuousJoinOperator(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support retract()"
         )
+
+    def join_counters(self) -> Dict[str, Any]:
+        """Implementation-detail counters to fold into run statistics.
+
+        Raw cumulative counts (and identifying strings such as the kernel
+        backend name) only — rates are derived at reporting time so that
+        sharded runs can sum counters across shards correctly.
+        """
+        return {}
 
     def state_roots(self) -> List[Any]:
         """Objects that constitute the operator's in-memory state.
