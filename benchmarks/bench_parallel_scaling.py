@@ -90,6 +90,13 @@ def sweep(
                     f"replication {p['replication_factor']:.2f}  "
                     f"results {data['totals']['result_count']}"
                 )
+                # Per-stage breakdown from the shared evaluation pipeline
+                # (also in the JSON as each run's "stage_seconds").
+                stages = data.get("stage_seconds", {})
+                if stages:
+                    print("       stages: " + "  ".join(
+                        f"{name} {secs:.3f}s" for name, secs in stages.items()
+                    ))
     for data in runs:
         data["speedup_vs_serial_k1"] = (
             baseline_join / data["totals"]["join_seconds"]

@@ -1,0 +1,147 @@
+"""Pipeline equivalence smoke — serial vs sharded, one workload, one verdict.
+
+Runs the same seeded workload through the single-process ``StreamEngine``
+and the ``ShardedEngine`` (both thin drivers over the shared evaluation
+pipeline), compares the per-interval answer multisets, and writes a JSON
+report with the per-stage timing breakdown of both runs.  Exits non-zero
+on any mismatch, so CI can gate on it directly:
+
+    python benchmarks/bench_pipeline_equivalence.py --dry-run
+    python benchmarks/bench_pipeline_equivalence.py --shards 4 --out report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import Scuba, ScubaConfig                # noqa: E402
+from repro.experiments import WorkloadSpec, bench_scale, build_workload  # noqa: E402
+from repro.parallel import ScubaShardFactory, ShardedEngine  # noqa: E402
+from repro.streams import CollectingSink, EngineConfig, StreamEngine  # noqa: E402
+
+
+def interval_multisets(sink: CollectingSink) -> dict:
+    return {
+        t: Counter((m.qid, m.oid) for m in matches)
+        for t, matches in sink.by_interval.items()
+    }
+
+
+def serial_run(spec: WorkloadSpec, intervals: int, delta: float):
+    _network, generator = build_workload(spec)
+    sink = CollectingSink()
+    engine = StreamEngine(
+        generator,
+        Scuba(ScubaConfig(delta=delta)),
+        sink,
+        EngineConfig(delta=delta, tick=1.0),
+    )
+    stats = engine.run(intervals)
+    return sink, stats
+
+
+def sharded_run(spec: WorkloadSpec, shards: int, intervals: int, delta: float):
+    _network, generator = build_workload(spec)
+    sink = CollectingSink()
+    factory = ScubaShardFactory(
+        ScubaConfig(delta=delta), max_query_extent=spec.query_range
+    )
+    with ShardedEngine(
+        generator,
+        factory,
+        shards=shards,
+        sink=sink,
+        config=EngineConfig(delta=delta, tick=1.0),
+    ) as engine:
+        stats = engine.run(intervals)
+    return sink, stats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=None,
+                        help="population scale (default: SCUBA_BENCH_SCALE or 0.1)")
+    parser.add_argument("--shards", type=int, default=4, metavar="K")
+    parser.add_argument("--intervals", type=int, default=3)
+    parser.add_argument("--delta", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the JSON report (stage timings + verdict)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="tiny smoke workload (CI)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.dry_run:
+        spec = WorkloadSpec(
+            seed=args.seed, skew=10, query_range=(600.0, 600.0)
+        ).scaled(0.02)
+    else:
+        scale = args.scale if args.scale is not None else bench_scale()
+        if scale <= 0:
+            raise SystemExit(f"--scale must be positive, got {scale}")
+        spec = WorkloadSpec(seed=args.seed, skew=100).scaled(scale)
+    print(
+        f"pipeline equivalence: {spec.num_objects} objects + "
+        f"{spec.num_queries} queries, serial vs {args.shards} shards"
+    )
+
+    serial_sink, serial_stats = serial_run(spec, args.intervals, args.delta)
+    sharded_sink, sharded_stats = sharded_run(
+        spec, args.shards, args.intervals, args.delta
+    )
+
+    serial_answers = interval_multisets(serial_sink)
+    sharded_answers = interval_multisets(sharded_sink)
+    equivalent = serial_answers == sharded_answers
+    mismatches = []
+    for t in sorted(set(serial_answers) | set(sharded_answers)):
+        a, b = serial_answers.get(t, Counter()), sharded_answers.get(t, Counter())
+        if a != b:
+            mismatches.append(
+                {"t": t, "serial_only": len(a - b), "sharded_only": len(b - a)}
+            )
+
+    for label, stats in (("serial", serial_stats), ("sharded", sharded_stats)):
+        breakdown = "  ".join(
+            f"{name} {secs * 1e3:.1f}ms" for name, secs in stats.stage_seconds().items()
+        )
+        print(f"  {label:<8s} stages: {breakdown}")
+    total = sum(len(c) for c in serial_answers.values())
+    if equivalent:
+        print(f"EQUIVALENT: {total} distinct (t, qid, oid) answers agree")
+    else:
+        print(f"MISMATCH across {len(mismatches)} interval(s): {mismatches}")
+
+    if args.out:
+        report = {
+            "equivalent": equivalent,
+            "mismatched_intervals": mismatches,
+            "workload": {
+                "num_objects": spec.num_objects,
+                "num_queries": spec.num_queries,
+                "seed": spec.seed,
+                "shards": args.shards,
+                "intervals": args.intervals,
+                "delta": args.delta,
+            },
+            "serial": serial_stats.to_dict(),
+            "sharded": sharded_stats.to_dict(),
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2))
+        print(f"report written to {args.out}")
+    return 0 if equivalent else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

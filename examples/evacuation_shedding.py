@@ -2,21 +2,25 @@
 
 The paper's §5 scenario: an evacuation floods the engine with location
 updates from dense convoys fleeing along the same corridors; the system
-cannot afford to keep every member's relative position.  This example puts
-an :class:`~repro.shedding.AdaptiveShedder` in the loop: when the retained
-position count exceeds its budget, the shedder escalates η (growing the
-nucleus, discarding positions near cluster centroids); when pressure
-drops, it backs off.  Accuracy is scored against an exact run of the same
-workload.
+cannot afford to keep every member's relative position.  Setting
+``ScubaConfig(adaptive_shedding=True, shed_budget=...)`` puts an
+:class:`~repro.shedding.AdaptiveShedder` in the loop at the pipeline's
+``shed`` stage: when the retained position count exceeds its budget, the
+shedder escalates η (growing the nucleus, discarding positions near
+cluster centroids); when pressure drops, it backs off.  Accuracy is
+scored against an exact run of the same workload.
 
 Run with::
 
     python examples/evacuation_shedding.py
+
+or equivalently from the CLI: ``python -m repro --adaptive-shedding
+--shed-budget 800 --query-range 500``.
 """
 
 from repro import GeneratorConfig, NetworkBasedGenerator, grid_city
 from repro.core import Scuba, ScubaConfig
-from repro.shedding import AdaptiveShedder, compare_results, retained_position_count
+from repro.shedding import compare_results, retained_position_count
 from repro.streams import CollectingSink, EngineConfig, StreamEngine
 
 
@@ -46,18 +50,17 @@ def main() -> None:
     )
     exact_engine.run(intervals)
 
-    # Overloaded run: the shedder allows only 800 retained positions.
-    config = ScubaConfig()
-    operator = Scuba(config)
-    shedder = AdaptiveShedder(config.theta_d, max_positions=800)
+    # Overloaded run: the shedder allows only 800 retained positions.  The
+    # controller is built into the operator: it observes pressure at the
+    # shed stage of every interval and walks η up or down its ladder.
+    operator = Scuba(ScubaConfig(adaptive_shedding=True, shed_budget=800))
+    shedder = operator.shedder
     shed_sink = CollectingSink()
     engine = StreamEngine(make_generator(city), operator, shed_sink, EngineConfig())
 
     print(f"evacuating {city}; position budget: {shedder.max_positions}\n")
     for _ in range(intervals):
         stats = engine.run_interval()
-        config.shedding = shedder.observe(operator.world.storage, engine.generator.time)
-        operator._shed_is_noop = False
         retained = retained_position_count(operator.world.storage)
         print(
             f"t={stats.t:4.0f} | join {stats.join_seconds * 1e3:6.1f}ms"

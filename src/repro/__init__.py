@@ -26,6 +26,10 @@ Subpackages
     Network-constrained moving object/query workload generation.
 ``repro.streams``
     Miniature stream engine (tuples, operators, periodic scheduler).
+``repro.pipeline``
+    The staged evaluation pipeline (ingest → … → emit) both engines drive.
+``repro.parallel``
+    Sharded parallel execution over spatial partitions with halo merge.
 ``repro.clustering``
     Moving clusters, incremental (Leader-Follower) and k-means clustering.
 ``repro.core``
@@ -55,16 +59,23 @@ from .generator import (
 from .geometry import Circle, Point, Rect
 from .network import DEFAULT_BOUNDS, RoadNetwork, grid_city, radial_city, random_city
 from .parallel import (
+    IncrementalGridShardFactory,
     RegularShardFactory,
     ScubaShardFactory,
     ShardPlan,
     ShardedEngine,
+)
+from .pipeline import (
+    EvaluationPipeline,
+    PipelineHook,
+    StageTraceHook,
 )
 from .streams import (
     CollectingSink,
     CountingSink,
     EngineConfig,
     QueryMatch,
+    StagedJoinOperator,
     StreamEngine,
 )
 
@@ -77,10 +88,13 @@ __all__ = [
     "CountingSink",
     "EngineConfig",
     "EntityKind",
+    "EvaluationPipeline",
     "GeneratorConfig",
+    "IncrementalGridShardFactory",
     "LocationUpdate",
     "NaiveJoin",
     "NetworkBasedGenerator",
+    "PipelineHook",
     "Point",
     "QueryMatch",
     "QueryUpdate",
@@ -90,6 +104,8 @@ __all__ = [
     "RoadNetwork",
     "Scuba",
     "ScubaConfig",
+    "StageTraceHook",
+    "StagedJoinOperator",
     "StreamEngine",
     "grid_city",
     "radial_city",

@@ -7,6 +7,7 @@ per-interval cost breakdown — the quickest way to poke at the system:
     python -m repro --objects 2000 --queries 2000 --skew 100
     python -m repro --operator regular --intervals 10
     python -m repro --eta 0.5 --query-range 300    # with load shedding
+    python -m repro --adaptive-shedding --shed-budget 500   # feedback shedding
     python -m repro --split                        # cluster splitting on
     python -m repro --shards 4 --executor process  # sharded parallel run
 """
@@ -44,10 +45,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="range-query window extent (square)")
     parser.add_argument("--update-fraction", type=float, default=1.0,
                         help="fraction of entities reporting per time unit")
-    parser.add_argument("--operator", choices=["scuba", "regular", "naive"],
+    parser.add_argument("--operator",
+                        choices=["scuba", "regular", "naive", "incremental"],
                         default="scuba")
     parser.add_argument("--eta", type=float, default=0.0,
                         help="load-shedding nucleus fraction (0=off, 1=full)")
+    parser.add_argument("--adaptive-shedding", action="store_true",
+                        help="let the §5 feedback controller walk η against "
+                             "--shed-budget (scuba only; overrides --eta)")
+    parser.add_argument("--shed-budget", type=int, default=10_000,
+                        metavar="POSITIONS",
+                        help="retained-position budget the adaptive "
+                             "controller defends")
     parser.add_argument("--split", action="store_true",
                         help="enable cluster splitting at destinations")
     parser.add_argument("--grid", type=int, default=100,
@@ -70,6 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def make_scuba_config(args: argparse.Namespace) -> ScubaConfig:
+    """The SCUBA configuration selected on the command line."""
+    return ScubaConfig(
+        grid_size=args.grid,
+        delta=args.delta,
+        shedding=policy_for_eta(args.eta, 100.0),
+        adaptive_shedding=args.adaptive_shedding,
+        shed_budget=args.shed_budget,
+        split_at_destination=args.split,
+        kernel_backend=args.kernel_backend,
+    )
+
+
 def make_operator(args: argparse.Namespace):
     """Instantiate the operator selected on the command line."""
     if args.operator == "regular":
@@ -78,21 +100,23 @@ def make_operator(args: argparse.Namespace):
         return RegularGridJoin(
             RegularConfig(grid_size=args.grid, kernel_backend=args.kernel_backend)
         )
+    if args.operator == "incremental":
+        from .core import IncrementalGridConfig, IncrementalGridJoin
+
+        return IncrementalGridJoin(IncrementalGridConfig(grid_size=args.grid))
     if args.operator == "naive":
         return NaiveJoin()
-    config = ScubaConfig(
-        grid_size=args.grid,
-        delta=args.delta,
-        shedding=policy_for_eta(args.eta, 100.0),
-        split_at_destination=args.split,
-        kernel_backend=args.kernel_backend,
-    )
-    return Scuba(config)
+    return Scuba(make_scuba_config(args))
 
 
 def make_shard_factory(args: argparse.Namespace):
     """Per-shard operator factory mirroring :func:`make_operator`."""
-    from .parallel import NaiveShardFactory, RegularShardFactory, ScubaShardFactory
+    from .parallel import (
+        IncrementalGridShardFactory,
+        NaiveShardFactory,
+        RegularShardFactory,
+        ScubaShardFactory,
+    )
 
     extent = (args.query_range, args.query_range)
     if args.operator == "regular":
@@ -102,16 +126,15 @@ def make_shard_factory(args: argparse.Namespace):
             RegularConfig(grid_size=args.grid, kernel_backend=args.kernel_backend),
             max_query_extent=extent,
         )
+    if args.operator == "incremental":
+        from .core import IncrementalGridConfig
+
+        return IncrementalGridShardFactory(
+            IncrementalGridConfig(grid_size=args.grid), max_query_extent=extent
+        )
     if args.operator == "naive":
         return NaiveShardFactory(max_query_extent=extent)
-    config = ScubaConfig(
-        grid_size=args.grid,
-        delta=args.delta,
-        shedding=policy_for_eta(args.eta, 100.0),
-        split_at_destination=args.split,
-        kernel_backend=args.kernel_backend,
-    )
-    return ScubaShardFactory(config, max_query_extent=extent)
+    return ScubaShardFactory(make_scuba_config(args), max_query_extent=extent)
 
 
 def main(argv=None) -> int:
@@ -121,6 +144,11 @@ def main(argv=None) -> int:
         raise SystemExit("--record and --replay are mutually exclusive")
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.adaptive_shedding and args.operator != "scuba":
+        raise SystemExit(
+            f"--adaptive-shedding requires --operator scuba, "
+            f"got {args.operator}"
+        )
     city = grid_city(rows=args.city, cols=args.city)
     if args.replay:
         from .generator import TraceReplayer
@@ -162,8 +190,13 @@ def main(argv=None) -> int:
             generator, operator, sink, EngineConfig(delta=args.delta, tick=1.0)
         )
     print(f"{args.operator} over {city}")
+    eta_label = (
+        f"adaptive (budget {args.shed_budget})"
+        if args.adaptive_shedding
+        else f"{args.eta}"
+    )
     print(f"{args.objects} objects + {args.queries} queries, skew {args.skew}, "
-          f"Δ={args.delta}, η={args.eta}")
+          f"Δ={args.delta}, η={eta_label}")
     if args.operator != "naive":
         from .kernels import resolve_backend
 
@@ -190,6 +223,12 @@ def main(argv=None) -> int:
               f"between {operator.between_hits}/{operator.between_tests} | "
               f"within tests {operator.within_tests} | "
               f"split joins {operator.split_joins}")
+        if operator.shedder is not None:
+            trajectory = " ".join(
+                f"t={t:.0f}→η={eta}" for t, eta in operator.shedder.history
+            ) or "(no transitions)"
+            print(f"adaptive shedding: final η={operator.shedder.eta} | "
+                  f"{trajectory}")
     if sharded:
         engine.close()
     if args.record:

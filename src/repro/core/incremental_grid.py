@@ -27,7 +27,7 @@ from ..generator import EntityKind, Update
 from ..geometry import Rect
 from ..index import SpatialGrid
 from ..network import DEFAULT_BOUNDS
-from ..streams import ContinuousJoinOperator, QueryMatch, Timer
+from ..streams import QueryMatch, StagedJoinOperator
 
 __all__ = ["IncrementalGridConfig", "IncrementalGridJoin"]
 
@@ -71,7 +71,7 @@ class _Query:
         return abs(ox - self.x) <= self.hw and abs(oy - self.y) <= self.hh
 
 
-class IncrementalGridJoin(ContinuousJoinOperator):
+class IncrementalGridJoin(StagedJoinOperator):
     """Answer-maintaining grid join (positive/negative delta processing)."""
 
     def __init__(self, config: Optional[IncrementalGridConfig] = None) -> None:
@@ -162,19 +162,35 @@ class IncrementalGridJoin(ContinuousJoinOperator):
                     answer.add(oid)
         query.answer = answer
 
+    def retract(self, entity_id: int, kind: EntityKind) -> None:
+        """Drop one entity and its answer contributions (halo hand-off).
+
+        Retracting an object also removes it from the maintained answer of
+        every query hashed into its cell — the only queries whose answers
+        can contain it, since an in-window object always shares a cell
+        with its query.
+        """
+        if kind is EntityKind.OBJECT:
+            entry = self.objects.pop(entity_id, None)
+            if entry is None:
+                return
+            self.object_grid.remove(entity_id, (entry.cell,))
+            for qid in self.query_grid.members(entry.cell):
+                self.queries[qid].answer.discard(entity_id)
+        else:
+            query = self.queries.pop(entity_id, None)
+            if query is not None:
+                self.query_grid.remove(entity_id, query.cells)
+
     # -- evaluation: read off the maintained answers --------------------------------
 
-    def evaluate(self, now: float) -> List[QueryMatch]:
+    def join_phase(self, now: float) -> List[QueryMatch]:
         """Materialise the maintained answer sets (no joining needed)."""
         self.evaluations += 1
         results: List[QueryMatch] = []
-        timer = Timer()
-        with timer:
-            for qid, query in self.queries.items():
-                for oid in query.answer:
-                    results.append(QueryMatch(qid, oid, now))
-        self.last_join_seconds = timer.seconds
-        self.last_maintenance_seconds = 0.0
+        for qid, query in self.queries.items():
+            for oid in query.answer:
+                results.append(QueryMatch(qid, oid, now))
         return results
 
     # -- introspection -----------------------------------------------------------

@@ -11,12 +11,12 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..generator import EntityKind, Update
-from ..streams import ContinuousJoinOperator, QueryMatch, Timer
+from ..streams import QueryMatch, StagedJoinOperator
 
 __all__ = ["NaiveJoin"]
 
 
-class NaiveJoin(ContinuousJoinOperator):
+class NaiveJoin(StagedJoinOperator):
     """O(objects × queries) reference implementation of the range join."""
 
     def __init__(self) -> None:
@@ -41,16 +41,12 @@ class NaiveJoin(ContinuousJoinOperator):
         table = self.objects if kind is EntityKind.OBJECT else self.queries
         table.pop(entity_id, None)
 
-    def evaluate(self, now: float) -> List[QueryMatch]:
+    def join_phase(self, now: float) -> List[QueryMatch]:
         results: List[QueryMatch] = []
-        timer = Timer()
-        with timer:
-            for qid, (qx, qy, hw, hh) in self.queries.items():
-                for oid, (ox, oy) in self.objects.items():
-                    if abs(ox - qx) <= hw and abs(oy - qy) <= hh:
-                        results.append(QueryMatch(qid, oid, now))
-        self.last_join_seconds = timer.seconds
-        self.last_maintenance_seconds = 0.0
+        for qid, (qx, qy, hw, hh) in self.queries.items():
+            for oid, (ox, oy) in self.objects.items():
+                if abs(ox - qx) <= hw and abs(oy - qy) <= hh:
+                    results.append(QueryMatch(qid, oid, now))
         return results
 
     def state_roots(self) -> List[object]:

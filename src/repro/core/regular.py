@@ -27,7 +27,7 @@ from ..geometry import Rect
 from ..index import SpatialGrid
 from ..kernels import BACKEND_CHOICES, PointBatch, resolve_backend
 from ..network import DEFAULT_BOUNDS
-from ..streams import ContinuousJoinOperator, QueryMatch, Timer
+from ..streams import QueryMatch, StagedJoinOperator
 
 __all__ = ["RegularConfig", "RegularGridJoin"]
 
@@ -77,7 +77,7 @@ class _QueryEntry:
         self.cells = cells
 
 
-class RegularGridJoin(ContinuousJoinOperator):
+class RegularGridJoin(StagedJoinOperator):
     """Individual-update, cell-by-cell spatio-temporal range join."""
 
     def __init__(self, config: Optional[RegularConfig] = None) -> None:
@@ -149,37 +149,33 @@ class RegularGridJoin(ContinuousJoinOperator):
 
     # -- evaluation ---------------------------------------------------------------
 
-    def evaluate(self, now: float) -> List[QueryMatch]:
+    def join_phase(self, now: float) -> List[QueryMatch]:
         """Cell-by-cell join of all hashed queries against hashed objects."""
         self.evaluations += 1
         results: List[QueryMatch] = []
-        timer = Timer()
-        with timer:
-            objects = self.objects
-            object_grid = self.object_grid
-            query_grid = self.query_grid
-            kernels = self.kernels
-            tests = 0
-            for cell, qids in query_grid.occupied_cells():
-                oids = object_grid.sorted_members(cell)
-                if not oids:
-                    continue
-                # One SoA batch per occupied cell, shared by every query
-                # hashed there — the point-in-rect kernel amortises any
-                # derived structure (e.g. the x-sort) across those queries.
-                batch = PointBatch(
-                    oids,
-                    [objects[oid].x for oid in oids],
-                    [objects[oid].y for oid in oids],
+        objects = self.objects
+        object_grid = self.object_grid
+        query_grid = self.query_grid
+        kernels = self.kernels
+        tests = 0
+        for cell, qids in query_grid.occupied_cells():
+            oids = object_grid.sorted_members(cell)
+            if not oids:
+                continue
+            # One SoA batch per occupied cell, shared by every query
+            # hashed there — the point-in-rect kernel amortises any
+            # derived structure (e.g. the x-sort) across those queries.
+            batch = PointBatch(
+                oids,
+                [objects[oid].x for oid in oids],
+                [objects[oid].y for oid in oids],
+            )
+            for qid in query_grid.sorted_members(cell):
+                q = self.queries[qid]
+                tests += kernels.points_in_rect(
+                    batch, qid, q.x, q.y, q.hw, q.hh, now, results
                 )
-                for qid in query_grid.sorted_members(cell):
-                    q = self.queries[qid]
-                    tests += kernels.points_in_rect(
-                        batch, qid, q.x, q.y, q.hw, q.hh, now, results
-                    )
-            self.pair_tests += tests
-        self.last_join_seconds = timer.seconds
-        self.last_maintenance_seconds = 0.0
+        self.pair_tests += tests
         return results
 
     # -- introspection -----------------------------------------------------------

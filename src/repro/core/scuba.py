@@ -7,15 +7,22 @@ Execution cycles through three phases:
    (:meth:`Scuba.on_update`), and the configured load-shedding policy may
    immediately discard the member's relative position.
 2. **Cluster-based joining** — fires every Δ time units
-   (:meth:`Scuba.evaluate`): a sweep over the occupied ClusterGrid cells
+   (:meth:`Scuba.join_phase`): a sweep over the occupied ClusterGrid cells
    joins co-located cluster pairs with the lossless join-between filter,
    descending into join-within only for surviving pairs; mixed clusters
    additionally self-join.
-3. **Cluster post-join maintenance** — still inside :meth:`evaluate`:
+3. **Cluster post-join maintenance** — :meth:`Scuba.post_join_phase`:
    clusters that have reached (or will pass) their destination connection
    node are dissolved, survivors are advanced along their velocity vectors
    to their expected position at the next evaluation and re-registered in
    the grid.
+
+Between joining and post-join maintenance sits the **shed** boundary
+(:meth:`Scuba.shed_phase`): with ``ScubaConfig.adaptive_shedding`` the
+§5 feedback controller observes memory pressure there and walks η along
+its ladder.  The phases run either individually under the staged
+:class:`~repro.pipeline.EvaluationPipeline` or back-to-back through the
+inherited :meth:`evaluate` facade (used by off-process shard workers).
 
 Instrumentation counters (`between_tests`, `within_tests`, ...) are part of
 the public surface: the paper's figures report exactly these costs.
@@ -32,7 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import hypot
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..clustering import (
     ClusteringSpec,
@@ -45,8 +52,8 @@ from ..generator import EntityKind, Update
 from ..geometry import Rect
 from ..kernels import BACKEND_CHOICES, resolve_backend
 from ..network import DEFAULT_BOUNDS
-from ..shedding import NoShedding, SheddingPolicy
-from ..streams import ContinuousJoinOperator, QueryMatch, Timer
+from ..shedding import AdaptiveShedder, NoShedding, SheddingPolicy
+from ..streams import QueryMatch, StagedJoinOperator
 from .joins import ClusterJoinView, join_between, join_within_pair, join_within_self
 from .tables import ObjectsTable, QueriesTable
 
@@ -69,8 +76,20 @@ class ScubaConfig:
     #: Δ — the evaluation period, used by post-join maintenance to advance
     #: clusters to their expected next-evaluation position.
     delta: float = 2.0
-    #: Load-shedding policy (η knob of §5/Fig. 13).
+    #: Load-shedding policy (η knob of §5/Fig. 13).  Under adaptive
+    #: shedding this is the *live* policy, re-pointed by the controller at
+    #: every shed phase.
     shedding: SheddingPolicy = field(default_factory=NoShedding)
+    #: Enable the §5 feedback loop: an
+    #: :class:`~repro.shedding.AdaptiveShedder` observes retained member
+    #: positions at the shed stage of every interval and walks η up or
+    #: down ``shed_ladder`` against ``shed_budget``.
+    adaptive_shedding: bool = False
+    #: Retained-position budget the adaptive controller defends.
+    shed_budget: int = 10_000
+    #: Escalation ladder for η; ``None`` uses the controller's default
+    #: ``(0.0, 0.25, 0.5, 0.75, 1.0)``.
+    shed_ladder: Optional[Sequence[float]] = None
     #: Require identical destination connection node for cluster admission.
     #: Disabled only by the direction-predicate ablation.
     require_same_destination: bool = True
@@ -99,6 +118,10 @@ class ScubaConfig:
             raise ValueError(f"grid_size must be >= 1, got {self.grid_size}")
         if self.delta <= 0:
             raise ValueError(f"delta must be positive, got {self.delta}")
+        if self.adaptive_shedding and self.shed_budget < 1:
+            raise ValueError(
+                f"shed_budget must be >= 1, got {self.shed_budget}"
+            )
         if self.kernel_backend not in BACKEND_CHOICES:
             raise ValueError(
                 f"kernel_backend must be one of {BACKEND_CHOICES}, "
@@ -114,7 +137,7 @@ class ScubaConfig:
         )
 
 
-class Scuba(ContinuousJoinOperator):
+class Scuba(StagedJoinOperator):
     """Shared cluster-based execution of continuous spatio-temporal queries."""
 
     def __init__(self, config: Optional[ScubaConfig] = None) -> None:
@@ -135,6 +158,20 @@ class Scuba(ContinuousJoinOperator):
         self.objects_table = ObjectsTable()
         self.queries_table = QueriesTable()
         self._shed_is_noop = isinstance(self.config.shedding, NoShedding)
+        if self.config.adaptive_shedding:
+            ladder = self.config.shed_ladder
+            self.shedder: Optional[AdaptiveShedder] = (
+                AdaptiveShedder(self.config.theta_d, self.config.shed_budget)
+                if ladder is None
+                else AdaptiveShedder(
+                    self.config.theta_d, self.config.shed_budget, ladder
+                )
+            )
+            # Start from the controller's current rung so config and
+            # controller never disagree about the live policy.
+            self.set_shedding_policy(self.shedder.policy)
+        else:
+            self.shedder = None
         self.kernels = resolve_backend(self.config.kernel_backend)
         # Cross-evaluation caches, all keyed on cluster version counters
         # (cids are never reused, so a stale cid can only miss or be
@@ -185,22 +222,34 @@ class Scuba(ContinuousJoinOperator):
         )
         table.evict(entity_id)
 
-    # -- phases 2 + 3: joining and post-join maintenance --------------------------
+    # -- phases 2 + 3: joining, shedding control, post-join maintenance -----------
 
-    def evaluate(self, now: float) -> List[QueryMatch]:
-        """One Δ-triggered evaluation; returns the current query answers."""
+    def join_phase(self, now: float) -> List[QueryMatch]:
+        """The Δ-triggered cluster join; returns the current query answers."""
         self.evaluations += 1
         results: List[QueryMatch] = []
-        join_timer = Timer()
-        with join_timer:
-            self._joining_phase(now, results)
-        self.last_join_seconds = join_timer.seconds
-
-        maintenance_timer = Timer()
-        with maintenance_timer:
-            self._post_join_maintenance(now)
-        self.last_maintenance_seconds = maintenance_timer.seconds
+        self._joining_phase(now, results)
         return results
+
+    def shed_phase(self, now: float) -> None:
+        """Adaptive shedding control boundary (§5's feedback reaction).
+
+        With ``adaptive_shedding`` enabled, the controller inspects the
+        retained-position count and may step η along its ladder; the
+        resulting policy becomes the live one for the next interval's
+        pre-join maintenance.  A fixed policy makes this a no-op.
+        """
+        if self.shedder is not None:
+            self.set_shedding_policy(self.shedder.observe(self.world.storage, now))
+
+    def post_join_phase(self, now: float) -> None:
+        """Dissolve arrivals, advance survivors, refresh the grid."""
+        self._post_join_maintenance(now)
+
+    def set_shedding_policy(self, policy: SheddingPolicy) -> None:
+        """Swap the live shedding policy (keeps the no-op fast path honest)."""
+        self.config.shedding = policy
+        self._shed_is_noop = isinstance(policy, NoShedding)
 
     def _view_of(self, cluster: MovingCluster) -> ClusterJoinView:
         """Cached join view of ``cluster``, rebuilt only when it changed."""

@@ -71,12 +71,17 @@ def run_experiment(
     label: str = "",
     collect_matches: bool = False,
     measure_memory: bool = True,
+    hooks=(),
 ) -> RunResult:
-    """Run ``operator`` over the workload ``spec`` for ``intervals`` Δ-periods."""
+    """Run ``operator`` over the workload ``spec`` for ``intervals`` Δ-periods.
+
+    ``hooks`` are :class:`~repro.pipeline.PipelineHook` instances attached
+    to the engine's evaluation pipeline (per-stage tracing, controllers).
+    """
     _network, generator = build_workload(spec)
     sink: ResultSink = CollectingSink() if collect_matches else CountingSink()
     engine = StreamEngine(
-        generator, operator, sink, EngineConfig(delta=delta, tick=1.0)
+        generator, operator, sink, EngineConfig(delta=delta, tick=1.0), hooks=hooks
     )
     stats = engine.run(intervals)
     if isinstance(sink, CollectingSink):
@@ -106,6 +111,7 @@ def run_sharded_experiment(
     delta: float = 2.0,
     label: str = "",
     collect_matches: bool = False,
+    hooks=(),
 ):
     """Sharded counterpart of :func:`run_experiment`.
 
@@ -125,6 +131,7 @@ def run_sharded_experiment(
         sink=sink,
         config=EngineConfig(delta=delta, tick=1.0),
         executor=executor,
+        hooks=hooks,
     ) as engine:
         stats = engine.run(intervals)
     if isinstance(sink, CollectingSink):

@@ -18,12 +18,14 @@ answers back into a single exact result stream:
 """
 
 from .engine import (
+    IncrementalGridShardFactory,
     NaiveShardFactory,
     RegularShardFactory,
     ScubaShardFactory,
     ShardedEngine,
     ShardedIntervalStats,
     ShardedRunStats,
+    ShardedStagePlan,
 )
 from .executor import (
     ProcessExecutor,
@@ -42,6 +44,7 @@ from .partition import (
 )
 
 __all__ = [
+    "IncrementalGridShardFactory",
     "MergeOutcome",
     "NaiveShardFactory",
     "ProcessExecutor",
@@ -57,6 +60,7 @@ __all__ = [
     "ShardedEngine",
     "ShardedIntervalStats",
     "ShardedRunStats",
+    "ShardedStagePlan",
     "SpatialPartitioner",
     "derive_halo_margin",
     "make_executor",

@@ -20,6 +20,14 @@ process executor's, and — for exact operators without load shedding — to
 the single-process ``StreamEngine``'s answer set, which is how the whole
 subsystem is pinned by tests.
 
+Both engines share one interval loop: :class:`ShardedEngine` is a thin
+driver over :class:`~repro.pipeline.EvaluationPipeline` with a
+:class:`ShardedStagePlan` supplying the stage bodies — routing/dispatch in
+``ingest``, the scatter/gather in ``join``, the owner-filtered merge in
+``post_join_maintenance``.  (Per-shard load shedding runs *inside* the
+workers' evaluation, so the driver's ``shed`` stage is an empty, hookable
+boundary.)
+
 Engine-level interval phases are redefined for sharded execution (the
 per-shard truth is kept in :attr:`ShardedIntervalStats.shard_stats`):
 ``ingest_seconds`` is routing + dispatch in the driver, ``join_seconds``
@@ -32,12 +40,23 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass, field
 from math import sqrt
-from typing import List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core import NaiveJoin, RegularConfig, RegularGridJoin, Scuba, ScubaConfig
+from ..core import (
+    IncrementalGridConfig,
+    IncrementalGridJoin,
+    NaiveJoin,
+    RegularConfig,
+    RegularGridJoin,
+    Scuba,
+    ScubaConfig,
+)
 from ..generator import NetworkBasedGenerator
 from ..geometry import Rect
 from ..network import DEFAULT_BOUNDS
+from ..pipeline.context import EvaluationContext
+from ..pipeline.pipeline import EvaluationPipeline
+from ..pipeline.plan import StagePlan
 from ..streams import (
     EngineConfig,
     IntervalStats,
@@ -51,12 +70,14 @@ from .merge import ResultMerger
 from .partition import Retract, ShardPlan, SpatialPartitioner, derive_halo_margin
 
 __all__ = [
+    "IncrementalGridShardFactory",
     "NaiveShardFactory",
     "RegularShardFactory",
     "ScubaShardFactory",
     "ShardedEngine",
     "ShardedIntervalStats",
     "ShardedRunStats",
+    "ShardedStagePlan",
 ]
 
 
@@ -66,6 +87,21 @@ __all__ = [
 # into worker processes.  Each deep-copies its config per shard: shards must
 # never share mutable state (e.g. a stateful shedding policy's RNG), or the
 # serial and process executors would diverge.
+
+
+def _scaled_grid_size(
+    world: Rect, grid_size: int, bounds: Rect, scale_grid: bool
+) -> int:
+    """Shard grid resolution scaled with √(shard area / world area).
+
+    Keeps cell size (relative to Θ_D / the query extent) matched to the
+    single-process configuration; never scales *up* past the configured
+    resolution.
+    """
+    if not scale_grid:
+        return grid_size
+    scale = sqrt(bounds.area / world.area) if world.area > 0 else 1.0
+    return max(1, round(grid_size * min(scale, 1.0)))
 
 
 @dataclass
@@ -86,17 +122,12 @@ class ScubaShardFactory:
     def halo_margin(self) -> float:
         return derive_halo_margin(self.config.theta_d, self.max_query_extent)
 
-    def _scaled_grid_size(self, bounds: Rect) -> int:
-        if not self.scale_grid:
-            return self.config.grid_size
-        world = self.config.bounds
-        scale = sqrt(bounds.area / world.area) if world.area > 0 else 1.0
-        return max(1, round(self.config.grid_size * min(scale, 1.0)))
-
     def __call__(self, bounds: Rect) -> Scuba:
         config = copy.deepcopy(self.config)
         config.bounds = bounds
-        config.grid_size = self._scaled_grid_size(bounds)
+        config.grid_size = _scaled_grid_size(
+            self.config.bounds, self.config.grid_size, bounds, self.scale_grid
+        )
         return Scuba(config)
 
 
@@ -117,11 +148,38 @@ class RegularShardFactory:
     def __call__(self, bounds: Rect) -> RegularGridJoin:
         config = copy.deepcopy(self.config)
         config.bounds = bounds
-        if self.scale_grid:
-            world = self.config.bounds
-            scale = sqrt(bounds.area / world.area) if world.area > 0 else 1.0
-            config.grid_size = max(1, round(self.config.grid_size * min(scale, 1.0)))
+        config.grid_size = _scaled_grid_size(
+            self.config.bounds, self.config.grid_size, bounds, self.scale_grid
+        )
         return RegularGridJoin(config)
+
+
+@dataclass
+class IncrementalGridShardFactory:
+    """Builds one incremental (answer-maintaining) grid operator per shard.
+
+    Like the regular baseline, exactness after the owner-filtered merge
+    needs only the query half-diagonal as halo; the per-query answer sets
+    stay consistent under halo hand-offs because
+    :meth:`~repro.core.IncrementalGridJoin.retract` removes an entity's
+    answer contributions along with its index entries.
+    """
+
+    config: IncrementalGridConfig = field(default_factory=IncrementalGridConfig)
+    max_query_extent: Tuple[float, float] = (50.0, 50.0)
+    scale_grid: bool = True
+
+    @property
+    def halo_margin(self) -> float:
+        return derive_halo_margin(0.0, self.max_query_extent)
+
+    def __call__(self, bounds: Rect) -> IncrementalGridJoin:
+        config = copy.deepcopy(self.config)
+        config.bounds = bounds
+        config.grid_size = _scaled_grid_size(
+            self.config.bounds, self.config.grid_size, bounds, self.scale_grid
+        )
+        return IncrementalGridJoin(config)
 
 
 @dataclass
@@ -168,18 +226,16 @@ class ShardedIntervalStats(IntervalStats):
             return 0.0
         return sum(s.join_seconds for s in self.shard_stats) / len(self.shard_stats)
 
-    def to_dict(self) -> dict:
-        data = super().to_dict()
-        data.update(
-            route_seconds=self.route_seconds,
-            merge_seconds=self.merge_seconds,
-            duplicates_dropped=self.duplicates_dropped,
-            deliveries=self.deliveries,
-            retractions=self.retractions,
-            shard_join_seconds=[s.join_seconds for s in self.shard_stats],
-            shard_result_counts=[s.result_count for s in self.shard_stats],
-        )
-        return data
+    def extra_fields(self) -> Dict[str, Any]:
+        return {
+            "route_seconds": self.route_seconds,
+            "merge_seconds": self.merge_seconds,
+            "duplicates_dropped": self.duplicates_dropped,
+            "deliveries": self.deliveries,
+            "retractions": self.retractions,
+            "shard_join_seconds": [s.join_seconds for s in self.shard_stats],
+            "shard_result_counts": [s.result_count for s in self.shard_stats],
+        }
 
 
 @dataclass
@@ -234,30 +290,30 @@ class ShardedRunStats(RunStats):
 
     @property
     def total_duplicates_dropped(self) -> int:
-        return sum(getattr(s, "duplicates_dropped", 0) for s in self.intervals)
+        return int(self.interval_total("duplicates_dropped", default=0))
 
     @property
     def total_route_seconds(self) -> float:
-        return sum(getattr(s, "route_seconds", 0.0) for s in self.intervals)
+        return self.interval_total("route_seconds")
 
     @property
     def total_merge_seconds(self) -> float:
-        return sum(getattr(s, "merge_seconds", 0.0) for s in self.intervals)
+        return self.interval_total("merge_seconds")
 
-    def to_dict(self) -> dict:
-        data = super().to_dict()
-        data["parallel"] = {
-            "num_shards": self.num_shards,
-            "shard_join_seconds": self.shard_join_seconds(),
-            "max_shard_join_seconds": self.max_shard_join_seconds,
-            "mean_shard_join_seconds": self.mean_shard_join_seconds,
-            "load_imbalance": self.load_imbalance,
-            "replication_factor": self.replication_factor,
-            "duplicates_dropped": self.total_duplicates_dropped,
-            "route_seconds": self.total_route_seconds,
-            "merge_seconds": self.total_merge_seconds,
+    def extra_sections(self) -> Dict[str, Any]:
+        return {
+            "parallel": {
+                "num_shards": self.num_shards,
+                "shard_join_seconds": self.shard_join_seconds(),
+                "max_shard_join_seconds": self.max_shard_join_seconds,
+                "mean_shard_join_seconds": self.mean_shard_join_seconds,
+                "load_imbalance": self.load_imbalance,
+                "replication_factor": self.replication_factor,
+                "duplicates_dropped": self.total_duplicates_dropped,
+                "route_seconds": self.total_route_seconds,
+                "merge_seconds": self.total_merge_seconds,
+            }
         }
-        return data
 
     def summary(self) -> str:
         return (
@@ -266,6 +322,86 @@ class ShardedRunStats(RunStats):
             f"imbalance {self.load_imbalance:.2f} | "
             f"replication {self.replication_factor:.2f}"
         )
+
+
+# -- the stage plan ----------------------------------------------------------
+
+
+class ShardedStagePlan(StagePlan):
+    """Routing + scatter/gather over K shards as pipeline stage bodies.
+
+    Owns the plan-private per-interval accounting that the generic
+    pipeline has no business knowing about: the routing-only sub-timer
+    (routing and dispatch share the ``ingest`` stage), the
+    delivery/retraction baselines, and the gathered per-shard results
+    between the ``join`` and ``post_join_maintenance`` (merge) stages.
+    """
+
+    def __init__(
+        self,
+        partitioner: SpatialPartitioner,
+        executor: ShardExecutor,
+        merger: ResultMerger,
+    ) -> None:
+        self.partitioner = partitioner
+        self.executor = executor
+        self.merger = merger
+        self._route_timer = Timer()
+        self._deliveries_before = 0
+        self._retractions_before = 0
+        self._shard_results: Sequence[Any] = ()
+        self._outcome = None
+
+    def begin_interval(self, ctx: EvaluationContext) -> None:
+        self._route_timer = Timer()
+        self._deliveries_before = self.partitioner.deliveries
+        self._retractions_before = self.partitioner.retractions
+        self._shard_results = ()
+        self._outcome = None
+
+    def ingest(self, ctx: EvaluationContext, updates: Sequence[Any]) -> None:
+        k = self.partitioner.plan.num_shards
+        with self._route_timer:
+            shard_ops: List[List[object]] = [[] for _ in range(k)]
+            for update in updates:
+                decision = self.partitioner.route(update)
+                for shard in decision.targets:
+                    shard_ops[shard].append(update)
+                if decision.leavers:
+                    retract = Retract(update.entity_id, update.kind)
+                    for shard in decision.leavers:
+                        shard_ops[shard].append(retract)
+        self.executor.ingest(shard_ops)
+
+    def join(self, ctx: EvaluationContext) -> None:
+        self._shard_results = self.executor.evaluate(ctx.now)
+
+    def post_join_maintenance(self, ctx: EvaluationContext) -> None:
+        self._outcome = self.merger.merge([r.matches for r in self._shard_results])
+        ctx.matches = self._outcome.matches
+
+    def interval_stats(self, ctx: EvaluationContext) -> ShardedIntervalStats:
+        outcome = self._outcome
+        merge_seconds = ctx.stage_timers["post_join_maintenance"].seconds
+        return ShardedIntervalStats(
+            t=ctx.now,
+            generate_seconds=ctx.generate_timer.seconds,
+            ingest_seconds=ctx.seconds("ingest", "pre_join_maintenance"),
+            join_seconds=ctx.stage_timers["join"].seconds,
+            maintenance_seconds=merge_seconds,
+            result_count=len(ctx.matches),
+            tuple_count=ctx.tuple_count,
+            stage_seconds=ctx.stage_seconds(),
+            shard_stats=tuple(r.stats for r in self._shard_results),
+            route_seconds=self._route_timer.seconds,
+            merge_seconds=merge_seconds,
+            duplicates_dropped=outcome.duplicates_dropped if outcome else 0,
+            deliveries=self.partitioner.deliveries - self._deliveries_before,
+            retractions=self.partitioner.retractions - self._retractions_before,
+        )
+
+    def counters(self, ctx: EvaluationContext) -> Dict[str, Any]:
+        return merge_counters(r.counters for r in self._shard_results)
 
 
 # -- the engine --------------------------------------------------------------
@@ -285,6 +421,7 @@ class ShardedEngine:
         executor: Union[str, ShardExecutor] = "serial",
         bounds: Optional[Rect] = None,
         halo_margin: Optional[float] = None,
+        hooks: Iterable = (),
     ) -> None:
         self.generator = generator
         self.operator_factory = operator_factory
@@ -312,72 +449,34 @@ class ShardedEngine:
             [operator_factory] * k,
             [self.plan.halo_rect(shard) for shard in range(k)],
         )
-        self.stats = ShardedRunStats(num_shards=k)
+        self.stage_plan = ShardedStagePlan(
+            self.partitioner, self.executor, self.merger
+        )
+        self.pipeline = EvaluationPipeline(
+            generator,
+            self.stage_plan,
+            sink=self.sink,
+            config=self.config,
+            hooks=hooks,
+            stats=ShardedRunStats(num_shards=k),
+        )
         self._closed = False
 
     @property
     def num_shards(self) -> int:
         return self.plan.num_shards
 
+    @property
+    def stats(self) -> ShardedRunStats:
+        return self.pipeline.stats
+
     def run_interval(self) -> ShardedIntervalStats:
         """Advance one full Δ interval: route ticks, then evaluate+merge."""
-        generate_timer = Timer()
-        route_timer = Timer()
-        ingest_timer = Timer()
-        tuple_count = 0
-        deliveries_before = self.partitioner.deliveries
-        retractions_before = self.partitioner.retractions
-        k = self.plan.num_shards
-        for _ in range(self.config.ticks_per_interval):
-            with generate_timer:
-                updates = self.generator.tick(self.config.tick)
-            tuple_count += len(updates)
-            with route_timer:
-                shard_ops: List[List[object]] = [[] for _ in range(k)]
-                for update in updates:
-                    decision = self.partitioner.route(update)
-                    for shard in decision.targets:
-                        shard_ops[shard].append(update)
-                    if decision.leavers:
-                        retract = Retract(update.entity_id, update.kind)
-                        for shard in decision.leavers:
-                            shard_ops[shard].append(retract)
-            with ingest_timer:
-                self.executor.ingest(shard_ops)
-        now = self.generator.time
-        join_timer = Timer()
-        with join_timer:
-            results = self.executor.evaluate(now)
-        merge_timer = Timer()
-        with merge_timer:
-            outcome = self.merger.merge([r.matches for r in results])
-        self.sink.accept(outcome.matches, now)
-        stats = ShardedIntervalStats(
-            t=now,
-            generate_seconds=generate_timer.seconds,
-            ingest_seconds=route_timer.seconds + ingest_timer.seconds,
-            join_seconds=join_timer.seconds,
-            maintenance_seconds=merge_timer.seconds,
-            result_count=len(outcome.matches),
-            tuple_count=tuple_count,
-            shard_stats=tuple(r.stats for r in results),
-            route_seconds=route_timer.seconds,
-            merge_seconds=merge_timer.seconds,
-            duplicates_dropped=outcome.duplicates_dropped,
-            deliveries=self.partitioner.deliveries - deliveries_before,
-            retractions=self.partitioner.retractions - retractions_before,
-        )
-        self.stats.add(stats)
-        self.stats.record_counters(merge_counters(r.counters for r in results))
-        return stats
+        return self.pipeline.run_interval()
 
     def run(self, intervals: int) -> ShardedRunStats:
         """Run ``intervals`` consecutive Δ intervals and return the stats."""
-        if intervals < 0:
-            raise ValueError(f"intervals must be non-negative, got {intervals}")
-        for _ in range(intervals):
-            self.run_interval()
-        return self.stats
+        return self.pipeline.run(intervals)
 
     def close(self) -> None:
         """Shut down the executor (worker processes, if any)."""

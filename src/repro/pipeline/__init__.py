@@ -1,0 +1,26 @@
+"""Staged evaluation pipeline: the shared execution loop of both engines.
+
+The paper's per-interval phase structure (§5, §6.1) made explicit:
+``ingest`` → ``pre_join_maintenance`` → ``join`` → ``shed`` →
+``post_join_maintenance`` → ``emit``, driven by an
+:class:`EvaluationContext` carrying the clock, config, per-stage timers
+and sink.  ``StreamEngine`` and ``ShardedEngine`` are thin drivers over
+one :class:`EvaluationPipeline`; per-stage hooks
+(:class:`PipelineHook`) let controllers and instrumentation attach at any
+stage boundary without touching operator code.
+"""
+
+from .context import STAGES, EvaluationContext
+from .hooks import PipelineHook, StageTraceHook
+from .pipeline import EvaluationPipeline
+from .plan import OperatorPlan, StagePlan
+
+__all__ = [
+    "STAGES",
+    "EvaluationContext",
+    "EvaluationPipeline",
+    "OperatorPlan",
+    "PipelineHook",
+    "StagePlan",
+    "StageTraceHook",
+]

@@ -1,0 +1,88 @@
+"""The evaluation context: per-interval state shared by pipeline stages.
+
+One :class:`EvaluationContext` lives for the whole run.  Each Δ interval it
+is re-armed (:meth:`begin_interval`), threaded through every stage body and
+hook, and finally read off into an
+:class:`~repro.streams.metrics.IntervalStats` record by the active plan.
+It is the single carrier of the clock, the engine configuration, the
+per-stage timers, the interval's answers, and plan-private scratch — so
+stage bodies and hooks need no other channel to communicate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..streams.metrics import Timer
+from ..streams.results import QueryMatch
+
+__all__ = ["STAGES", "EvaluationContext"]
+
+#: The fixed stage order of one Δ evaluation interval.  ``ingest`` runs
+#: once per tick (tuples must reach the operators as they arrive); the
+#: remaining stages run once per interval at the Δ boundary.
+STAGES = (
+    "ingest",
+    "pre_join_maintenance",
+    "join",
+    "shed",
+    "post_join_maintenance",
+    "emit",
+)
+
+
+class EvaluationContext:
+    """Mutable state of the interval currently being evaluated."""
+
+    def __init__(self, config: Any, sink: Any) -> None:
+        #: Engine clocking parameters (``delta``/``tick``).
+        self.config = config
+        #: Where :class:`~repro.pipeline.plan.StagePlan.emit` delivers.
+        self.sink = sink
+        #: Simulation time of the Δ boundary (set before the join stage).
+        self.now = 0.0
+        #: Zero-based index of the interval being evaluated.
+        self.interval_index = 0
+        #: Tuples the source produced this interval.
+        self.tuple_count = 0
+        #: The interval's answers; set by the join (or merge) stage and
+        #: consumed by the emit stage.
+        self.matches: List[QueryMatch] = []
+        #: Workload-production cost (kept out of the stage breakdown).
+        self.generate_timer = Timer()
+        #: One accumulating timer per stage, reset each interval.
+        self.stage_timers: Dict[str, Timer] = {name: Timer() for name in STAGES}
+        #: Run-cumulative per-stage seconds.
+        self.run_stage_seconds: Dict[str, float] = {name: 0.0 for name in STAGES}
+        #: Plan-private per-interval scratch (cleared each interval); hooks
+        #: may also leave observations here for experiment code to read.
+        self.scratch: Dict[str, Any] = {}
+
+    def begin_interval(self) -> None:
+        """Re-arm the context for the next Δ interval."""
+        self.tuple_count = 0
+        self.matches = []
+        self.generate_timer.seconds = 0.0
+        for timer in self.stage_timers.values():
+            timer.seconds = 0.0
+        self.scratch.clear()
+
+    def finish_interval(self) -> None:
+        """Fold the interval's stage timings into the run totals."""
+        for name, timer in self.stage_timers.items():
+            self.run_stage_seconds[name] += timer.seconds
+        self.interval_index += 1
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """This interval's per-stage wall-clock snapshot."""
+        return {name: timer.seconds for name, timer in self.stage_timers.items()}
+
+    def seconds(self, *stages: str) -> float:
+        """Sum of this interval's wall-clock over the named stages."""
+        return sum(self.stage_timers[name].seconds for name in stages)
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationContext(t={self.now}, interval={self.interval_index}, "
+            f"{self.tuple_count} tuples, {len(self.matches)} matches)"
+        )

@@ -1,0 +1,75 @@
+"""Per-stage hooks: the pipeline's observability and control seam.
+
+A hook sees every stage boundary of every interval.  ``before_stage`` /
+``after_stage`` fire around each stage body (``ingest`` fires once per
+tick, the rest once per interval), and ``on_interval_end`` fires after the
+interval's :class:`~repro.streams.metrics.IntervalStats` record is built —
+the place to snapshot per-interval observations without perturbing stage
+timings.
+
+Hooks are how cross-cutting concerns attach without touching operator
+code: per-stage tracing, memory sampling at the shed boundary, admission
+control, progress reporting.  The adaptive shedding controller itself is
+wired *inside* the operator's shed phase (so it also runs in off-process
+shard workers); :class:`StageTraceHook` here is the generic recording
+flavour used by tests and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["PipelineHook", "StageTraceHook"]
+
+
+class PipelineHook:
+    """Base hook: every callback is a no-op; override what you need."""
+
+    def before_stage(self, stage: str, ctx: Any) -> None:
+        """Called immediately before ``stage``'s body runs (untimed)."""
+
+    def after_stage(self, stage: str, ctx: Any) -> None:
+        """Called immediately after ``stage``'s body returns (untimed)."""
+
+    def on_interval_end(self, ctx: Any, stats: Any) -> None:
+        """Called once per interval with the finished stats record."""
+
+
+class StageTraceHook(PipelineHook):
+    """Records the exact stage sequence the pipeline executed.
+
+    ``events`` is a flat list of ``("before"|"after", stage)`` tuples plus
+    ``("interval_end", t)`` markers — the ground truth for stage-ordering
+    tests and a cheap execution trace for debugging custom plans.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, Any]] = []
+        #: Per-interval result counts, keyed by evaluation time.
+        self.result_counts: Dict[float, int] = {}
+
+    def before_stage(self, stage: str, ctx: Any) -> None:
+        self.events.append(("before", stage))
+
+    def after_stage(self, stage: str, ctx: Any) -> None:
+        self.events.append(("after", stage))
+
+    def on_interval_end(self, ctx: Any, stats: Any) -> None:
+        self.events.append(("interval_end", stats.t))
+        self.result_counts[stats.t] = stats.result_count
+
+    def stages_run(self) -> List[str]:
+        """The deduplicated stage order of the most recent interval."""
+        order: List[str] = []
+        for kind, payload in reversed(self.events):
+            if kind == "interval_end" and order:
+                break
+            if kind == "before":
+                order.append(payload)
+        order.reverse()
+        # ingest repeats once per tick; collapse runs for ordering checks.
+        collapsed: List[str] = []
+        for stage in order:
+            if not collapsed or collapsed[-1] != stage:
+                collapsed.append(stage)
+        return collapsed

@@ -1,0 +1,104 @@
+"""The staged evaluation pipeline — the one interval loop of the system.
+
+The paper runs SCUBA inside CAPE with a fixed per-interval phase structure:
+per-tuple pre-join maintenance as tuples arrive, a Δ-triggered join, load
+shedding when pressure demands it, post-join maintenance, answers out
+(§5, §6.1).  :class:`EvaluationPipeline` is that structure as an explicit,
+reusable object:
+
+    tick × N: generate → **ingest**
+    Δ boundary: **pre_join_maintenance** → **join** → **shed**
+                → **post_join_maintenance** → **emit**
+
+Both engines are thin drivers over it — ``StreamEngine`` with an
+:class:`~repro.pipeline.plan.OperatorPlan`, ``ShardedEngine`` with a
+``ShardedStagePlan`` — so the tick loop, per-stage timing,
+``IntervalStats``/``RunStats`` accounting and sink delivery exist exactly
+once.  Hooks fire at every stage boundary (see
+:mod:`repro.pipeline.hooks`), giving controllers and instrumentation a
+seam that is independent of the operator and of the execution shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..streams.engine import EngineConfig
+from ..streams.metrics import IntervalStats, RunStats
+from ..streams.sink import ResultSink
+from .context import STAGES, EvaluationContext
+from .hooks import PipelineHook
+from .plan import StagePlan
+
+__all__ = ["EvaluationPipeline"]
+
+
+class EvaluationPipeline:
+    """Drives source → staged evaluation → sink, one Δ interval at a time."""
+
+    def __init__(
+        self,
+        source: Any,
+        plan: StagePlan,
+        sink: Optional[ResultSink] = None,
+        config: Optional[EngineConfig] = None,
+        hooks: Iterable[PipelineHook] = (),
+        stats: Optional[RunStats] = None,
+    ) -> None:
+        self.source = source
+        self.plan = plan
+        self.sink = sink if sink is not None else ResultSink()
+        self.config = config if config is not None else EngineConfig()
+        self.hooks = list(hooks)
+        self.stats = stats if stats is not None else RunStats()
+        self.context = EvaluationContext(self.config, self.sink)
+
+    def add_hook(self, hook: PipelineHook) -> None:
+        self.hooks.append(hook)
+
+    def _run_stage(self, name: str, body, *args: Any) -> None:
+        """One stage execution: hooks around a timed body."""
+        ctx = self.context
+        for hook in self.hooks:
+            hook.before_stage(name, ctx)
+        with ctx.stage_timers[name]:
+            body(ctx, *args)
+        for hook in self.hooks:
+            hook.after_stage(name, ctx)
+
+    def run_interval(self) -> IntervalStats:
+        """Advance one full Δ interval through every stage."""
+        ctx = self.context
+        plan = self.plan
+        ctx.begin_interval()
+        plan.begin_interval(ctx)
+        for _ in range(self.config.ticks_per_interval):
+            with ctx.generate_timer:
+                updates = self.source.tick(self.config.tick)
+            ctx.tuple_count += len(updates)
+            self._run_stage("ingest", plan.ingest, updates)
+        ctx.now = self.source.time
+        self._run_stage("pre_join_maintenance", plan.pre_join_maintenance)
+        self._run_stage("join", plan.join)
+        self._run_stage("shed", plan.shed)
+        self._run_stage("post_join_maintenance", plan.post_join_maintenance)
+        self._run_stage("emit", plan.emit)
+        ctx.finish_interval()
+        stats = plan.interval_stats(ctx)
+        self.stats.add(stats)
+        self.stats.record_counters(plan.counters(ctx))
+        for hook in self.hooks:
+            hook.on_interval_end(ctx, stats)
+        return stats
+
+    def run(self, intervals: int) -> RunStats:
+        """Run ``intervals`` consecutive Δ intervals and return the stats."""
+        if intervals < 0:
+            raise ValueError(f"intervals must be non-negative, got {intervals}")
+        for _ in range(intervals):
+            self.run_interval()
+        return self.stats
+
+    @property
+    def stage_names(self) -> tuple:
+        return STAGES

@@ -22,7 +22,7 @@ from ..clustering import ClusteringSpec, ClusterWorld, IncrementalClusterer
 from ..generator import EntityKind, Update
 from ..geometry import Point, Rect
 from ..network import DEFAULT_BOUNDS
-from ..streams import ContinuousJoinOperator, QueryMatch, Timer
+from ..streams import QueryMatch, StagedJoinOperator
 from .knn import evaluate_knn, knn_containing_cluster_fast_path
 
 __all__ = ["KnnConfig", "ScubaKnn"]
@@ -65,7 +65,7 @@ class _KnnQuery:
         self.last_t = last_t
 
 
-class ScubaKnn(ContinuousJoinOperator):
+class ScubaKnn(StagedJoinOperator):
     """Cluster-based continuous kNN evaluation."""
 
     def __init__(self, config: Optional[KnnConfig] = None) -> None:
@@ -117,35 +117,44 @@ class ScubaKnn(ContinuousJoinOperator):
     def remove_query(self, qid: int) -> None:
         self.queries.pop(qid, None)
 
+    def retract(self, entity_id: int, kind: EntityKind) -> None:
+        """Forget one entity (sharded halo hand-off).
+
+        Objects are evicted from their cluster through the world's
+        membership pathway (emptied clusters dissolve, invariants hold);
+        queries simply leave the registry.
+        """
+        if kind is EntityKind.OBJECT:
+            cid = self.world.home.cluster_of(entity_id, kind)
+            if cid is not None:
+                self.world.evict(self.world.storage.get(cid), entity_id, kind)
+        else:
+            self.queries.pop(entity_id, None)
+
     # -- evaluation ---------------------------------------------------------------
 
-    def evaluate(self, now: float) -> List[QueryMatch]:
+    def join_phase(self, now: float) -> List[QueryMatch]:
         """Answer every registered kNN query against current cluster state.
 
         Matches for one query appear in ascending-distance (rank) order.
         """
         self.evaluations += 1
         results: List[QueryMatch] = []
-        join_timer = Timer()
-        with join_timer:
-            for qid in sorted(self.queries):
-                query = self.queries[qid]
-                if self.config.use_fast_path:
-                    cluster = knn_containing_cluster_fast_path(
-                        self.world, query.loc, query.k
-                    )
-                    if cluster is not None:
-                        self.fast_path_answers += 1
-                neighbors = evaluate_knn(self.world, query.loc, query.k)
-                for neighbor in neighbors:
-                    results.append(QueryMatch(qid, neighbor.entity_id, now))
-        self.last_join_seconds = join_timer.seconds
-
-        maintenance_timer = Timer()
-        with maintenance_timer:
-            self._post_join_maintenance(now)
-        self.last_maintenance_seconds = maintenance_timer.seconds
+        for qid in sorted(self.queries):
+            query = self.queries[qid]
+            if self.config.use_fast_path:
+                cluster = knn_containing_cluster_fast_path(
+                    self.world, query.loc, query.k
+                )
+                if cluster is not None:
+                    self.fast_path_answers += 1
+            neighbors = evaluate_knn(self.world, query.loc, query.k)
+            for neighbor in neighbors:
+                results.append(QueryMatch(qid, neighbor.entity_id, now))
         return results
+
+    def post_join_phase(self, now: float) -> None:
+        self._post_join_maintenance(now)
 
     def _post_join_maintenance(self, now: float) -> None:
         """Same cluster upkeep as the range operator."""

@@ -6,7 +6,7 @@ execution loop, result sinks, and per-phase timing metrics.
 
 from .engine import EngineConfig, StreamEngine
 from .metrics import IntervalStats, RunStats, Timer, merge_counters
-from .operator import ContinuousJoinOperator
+from .operator import ContinuousJoinOperator, StagedJoinOperator
 from .results import QueryMatch, match_set
 from .sink import CollectingSink, CountingSink, ResultSink
 
@@ -19,6 +19,7 @@ __all__ = [
     "QueryMatch",
     "ResultSink",
     "RunStats",
+    "StagedJoinOperator",
     "StreamEngine",
     "Timer",
     "match_set",

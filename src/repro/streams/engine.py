@@ -7,18 +7,22 @@ operator (the *pre-join maintenance* phase runs per tuple), and every Δ time
 units triggers the operator's evaluation — exactly the paper's execution
 model where "queries are evaluated periodically (every Δ time units)".
 
-All three phase timings are captured per interval in
-:class:`~repro.streams.metrics.IntervalStats` so experiments can report the
-same cost breakdown as the paper's figures.
+Since the staged-pipeline refactor, :class:`StreamEngine` is a thin driver
+over :class:`repro.pipeline.EvaluationPipeline` with an
+:class:`~repro.pipeline.plan.OperatorPlan`: the interval loop, per-stage
+timing, :class:`~repro.streams.metrics.IntervalStats` accounting and sink
+delivery live in :mod:`repro.pipeline`, shared verbatim with the sharded
+engine.  Pass ``hooks=[...]`` to observe or steer individual stage
+boundaries (see :class:`repro.pipeline.PipelineHook`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..generator import NetworkBasedGenerator
-from .metrics import IntervalStats, RunStats, Timer
+from .metrics import IntervalStats, RunStats
 from .operator import ContinuousJoinOperator
 from .sink import ResultSink
 
@@ -66,45 +70,33 @@ class StreamEngine:
         operator: ContinuousJoinOperator,
         sink: Optional[ResultSink] = None,
         config: Optional[EngineConfig] = None,
+        hooks: Iterable = (),
     ) -> None:
+        # Imported here: repro.pipeline depends on repro.streams submodules,
+        # so a module-level import would be circular.
+        from ..pipeline.pipeline import EvaluationPipeline
+        from ..pipeline.plan import OperatorPlan
+
         self.generator = generator
         self.operator = operator
         self.sink = sink if sink is not None else ResultSink()
         self.config = config if config is not None else EngineConfig()
-        self.stats = RunStats()
+        self.pipeline = EvaluationPipeline(
+            generator,
+            OperatorPlan(operator),
+            sink=self.sink,
+            config=self.config,
+            hooks=hooks,
+        )
+
+    @property
+    def stats(self) -> RunStats:
+        return self.pipeline.stats
 
     def run_interval(self) -> IntervalStats:
         """Advance one full Δ interval: ingest ticks, then evaluate."""
-        generate_timer = Timer()
-        ingest_timer = Timer()
-        tuple_count = 0
-        for _ in range(self.config.ticks_per_interval):
-            with generate_timer:
-                updates = self.generator.tick(self.config.tick)
-            tuple_count += len(updates)
-            with ingest_timer:
-                for update in updates:
-                    self.operator.on_update(update)
-        now = self.generator.time
-        matches = self.operator.evaluate(now)
-        self.sink.accept(matches, now)
-        stats = IntervalStats(
-            t=now,
-            generate_seconds=generate_timer.seconds,
-            ingest_seconds=ingest_timer.seconds,
-            join_seconds=self.operator.last_join_seconds,
-            maintenance_seconds=self.operator.last_maintenance_seconds,
-            result_count=len(matches),
-            tuple_count=tuple_count,
-        )
-        self.stats.add(stats)
-        self.stats.record_counters(self.operator.join_counters())
-        return stats
+        return self.pipeline.run_interval()
 
     def run(self, intervals: int) -> RunStats:
         """Run ``intervals`` consecutive Δ intervals and return the stats."""
-        if intervals < 0:
-            raise ValueError(f"intervals must be non-negative, got {intervals}")
-        for _ in range(intervals):
-            self.run_interval()
-        return self.stats
+        return self.pipeline.run(intervals)

@@ -87,22 +87,44 @@ class IntervalStats:
     #: separately and excluded from :attr:`total_seconds` so the paper's
     #: three-phase breakdown stays comparable.
     generate_seconds: float = 0.0
+    #: Per-pipeline-stage wall-clock breakdown (stage name → seconds),
+    #: recorded by :class:`repro.pipeline.EvaluationPipeline`.  Empty for
+    #: stats produced outside a pipeline (e.g. shard-local stats).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    #: Fields every interval record serializes, in output order — the one
+    #: place the flat schema is spelled out (subclasses extend via
+    #: :meth:`extra_fields`, not by overriding :meth:`to_dict`).
+    _BASE_FIELDS = (
+        "t",
+        "generate_seconds",
+        "ingest_seconds",
+        "join_seconds",
+        "maintenance_seconds",
+        "result_count",
+        "tuple_count",
+    )
 
     @property
     def total_seconds(self) -> float:
         return self.ingest_seconds + self.join_seconds + self.maintenance_seconds
 
     def to_dict(self) -> dict:
-        """Flat JSON-ready representation."""
-        return {
-            "t": self.t,
-            "generate_seconds": self.generate_seconds,
-            "ingest_seconds": self.ingest_seconds,
-            "join_seconds": self.join_seconds,
-            "maintenance_seconds": self.maintenance_seconds,
-            "result_count": self.result_count,
-            "tuple_count": self.tuple_count,
-        }
+        """Flat JSON-ready representation (shared serialization path)."""
+        data = {name: getattr(self, name) for name in self._BASE_FIELDS}
+        if self.stage_seconds:
+            data["stage_seconds"] = dict(self.stage_seconds)
+        data.update(self.extra_fields())
+        return data
+
+    def extra_fields(self) -> Dict[str, Any]:
+        """Subclass extension point feeding :meth:`to_dict`.
+
+        Subclasses return their additional serialized fields here instead
+        of overriding ``to_dict`` — keeping one serialization path for
+        every engine flavour.
+        """
+        return {}
 
     @classmethod
     def merged(
@@ -123,6 +145,7 @@ class IntervalStats:
         parts = list(parts)
         combine = max if parallel else sum
         zero = [0.0]  # max() needs a non-empty sequence
+        stage_names = sorted({name for p in parts for name in p.stage_seconds})
         return cls(
             t=t,
             generate_seconds=combine([p.generate_seconds for p in parts] or zero),
@@ -137,6 +160,10 @@ class IntervalStats:
                 else sum(p.result_count for p in parts)
             ),
             tuple_count=sum(p.tuple_count for p in parts),
+            stage_seconds={
+                name: combine([p.stage_seconds.get(name, 0.0) for p in parts])
+                for name in stage_names
+            },
         )
 
 
@@ -156,6 +183,24 @@ class RunStats:
     def record_counters(self, counters: Dict[str, Any]) -> None:
         """Replace the counter snapshot (operator counts are cumulative)."""
         self.counters = dict(counters)
+
+    def interval_total(self, name: str, default: float = 0.0) -> float:
+        """Sum a numeric per-interval field across the run.
+
+        The shared accumulator for subclass-specific interval fields
+        (``route_seconds``, ``duplicates_dropped``, ...): ``default``
+        covers intervals recorded by an engine that does not measure the
+        field.
+        """
+        return sum(getattr(s, name, default) for s in self.intervals)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Cumulative per-pipeline-stage seconds across the run."""
+        totals: Dict[str, float] = {}
+        for interval in self.intervals:
+            for name, seconds in interval.stage_seconds.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
 
     @property
     def interval_count(self) -> int:
@@ -228,7 +273,7 @@ class RunStats:
                 and hits + misses > 0
             ):
                 counters[key[: -len("_hits")] + "_hit_rate"] = hits / (hits + misses)
-        return {
+        data = {
             "interval_count": self.interval_count,
             "totals": {
                 "generate_seconds": self.total_generate_seconds,
@@ -239,9 +284,21 @@ class RunStats:
                 "result_count": self.total_result_count,
                 "tuple_count": self.total_tuple_count,
             },
+            "stage_seconds": self.stage_seconds(),
             "counters": counters,
             "intervals": [s.to_dict() for s in self.intervals],
         }
+        data.update(self.extra_sections())
+        return data
+
+    def extra_sections(self) -> Dict[str, Any]:
+        """Subclass extension point feeding :meth:`to_dict`.
+
+        Mirrors :meth:`IntervalStats.extra_fields`: engine-specific stats
+        subclasses contribute whole sections (e.g. ``"parallel"``) here
+        rather than re-implementing the serialization.
+        """
+        return {}
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -6,6 +6,17 @@ time units the operator evaluates all registered queries and emits answers.
 :class:`ContinuousJoinOperator` captures exactly that contract so the engine
 can drive SCUBA and the regular grid baseline interchangeably — and so a
 user can plug in their own algorithm and reuse the whole harness.
+
+The Δ-triggered evaluation is decomposed into the paper's phases —
+``join_phase`` (the joining sweep), ``shed_phase`` (the load-shedding
+control boundary) and ``post_join_phase`` (cluster upkeep) — so the
+staged pipeline (:mod:`repro.pipeline`) can time and hook each phase
+individually.  :class:`StagedJoinOperator` is the base for operators
+implementing the phases; its :meth:`~StagedJoinOperator.evaluate` is a
+compatibility facade running all three in order, so legacy callers (and
+shard workers, which evaluate in one message round-trip) see the original
+single-call contract.  Operators that only implement ``evaluate`` keep
+working: the default ``join_phase`` falls back to it.
 """
 
 from __future__ import annotations
@@ -14,9 +25,10 @@ import abc
 from typing import Any, Dict, List
 
 from ..generator import EntityKind, Update
+from .metrics import Timer
 from .results import QueryMatch
 
-__all__ = ["ContinuousJoinOperator"]
+__all__ = ["ContinuousJoinOperator", "StagedJoinOperator"]
 
 
 class ContinuousJoinOperator(abc.ABC):
@@ -45,6 +57,38 @@ class ContinuousJoinOperator(abc.ABC):
     last_join_seconds: float = 0.0
     #: Seconds the most recent :meth:`evaluate` spent on post-join upkeep.
     last_maintenance_seconds: float = 0.0
+
+    # -- staged phase API ----------------------------------------------------
+    #
+    # The pipeline drives these instead of evaluate() when the operator
+    # overrides join_phase (see repro.pipeline.plans.OperatorPlan).  The
+    # defaults keep evaluate()-only operators working: the whole legacy
+    # evaluation runs inside the join stage, and the other phases no-op.
+
+    def join_phase(self, now: float) -> List[QueryMatch]:
+        """The Δ-triggered joining phase, returning the current answers.
+
+        Legacy fallback: operators that only implement :meth:`evaluate`
+        run it here in full (post-join maintenance included), so staged
+        execution stays correct even without a phase decomposition — only
+        the per-stage timing attribution is coarser.
+        """
+        return self.evaluate(now)
+
+    def shed_phase(self, now: float) -> None:
+        """The load-shedding control boundary between join and upkeep.
+
+        Runs once per Δ, after the answers are produced: adaptive
+        controllers inspect resource pressure here and swap the shedding
+        policy applied to subsequent ingests.  Default: nothing to shed.
+        """
+
+    def post_join_phase(self, now: float) -> None:
+        """Post-join maintenance (cluster dissolution/advance, pruning).
+
+        Default: nothing — evaluate()-only operators already maintain
+        their state inside :meth:`evaluate`.
+        """
 
     def retract(self, entity_id: int, kind: EntityKind) -> None:
         """Forget one entity entirely, as if it had never reported.
@@ -83,3 +127,31 @@ class ContinuousJoinOperator(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support reset()"
         )
+
+
+class StagedJoinOperator(ContinuousJoinOperator):
+    """Base for operators implementing the staged phase decomposition.
+
+    Subclasses implement :meth:`join_phase` (and optionally
+    :meth:`shed_phase` / :meth:`post_join_phase`); :meth:`evaluate`
+    becomes a facade that runs the phases in pipeline order and records
+    the legacy two-way timing split (join vs maintenance), so direct
+    callers, shard workers and old tests observe the original contract.
+    """
+
+    @abc.abstractmethod
+    def join_phase(self, now: float) -> List[QueryMatch]:
+        """Produce the interval's answers (no maintenance side effects)."""
+
+    def evaluate(self, now: float) -> List[QueryMatch]:
+        """Compatibility facade: join → shed → post-join, timed."""
+        join_timer = Timer()
+        with join_timer:
+            matches = self.join_phase(now)
+        self.last_join_seconds = join_timer.seconds
+        maintenance_timer = Timer()
+        with maintenance_timer:
+            self.shed_phase(now)
+            self.post_join_phase(now)
+        self.last_maintenance_seconds = maintenance_timer.seconds
+        return matches

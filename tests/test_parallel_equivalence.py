@@ -18,10 +18,19 @@ from collections import Counter
 
 import pytest
 
-from repro.core import NaiveJoin, RegularConfig, RegularGridJoin, Scuba, ScubaConfig
+from repro.core import (
+    IncrementalGridConfig,
+    IncrementalGridJoin,
+    NaiveJoin,
+    RegularConfig,
+    RegularGridJoin,
+    Scuba,
+    ScubaConfig,
+)
 from repro.generator import GeneratorConfig, NetworkBasedGenerator
 from repro.network import grid_city
 from repro.parallel import (
+    IncrementalGridShardFactory,
     NaiveShardFactory,
     RegularShardFactory,
     ScubaShardFactory,
@@ -143,6 +152,118 @@ class TestExactOperators:
         with ShardedEngine(
             gen(),
             NaiveShardFactory(max_query_extent=QUERY_RANGE),
+            shards=4,
+            sink=sink,
+            config=EngineConfig(delta=2.0),
+        ) as engine:
+            engine.run(INTERVALS)
+        assert interval_multisets(sink) == interval_multisets(reference)
+
+
+def legacy_loop_run(city, operator, seed, intervals=INTERVALS, delta=2.0):
+    """The pre-pipeline interval loop, hand-rolled.
+
+    Exactly what both engines did before the staged refactor: tick the
+    generator, push updates straight into the operator, evaluate at the Δ
+    boundary, deliver to the sink.  The pipeline-driven engines must
+    reproduce this bit-for-bit.
+    """
+    sink = CollectingSink()
+    generator = make_generator(city, seed)
+    config = EngineConfig(delta=delta)
+    for _ in range(intervals):
+        for _ in range(config.ticks_per_interval):
+            for update in generator.tick(config.tick):
+                operator.on_update(update)
+        now = generator.time
+        sink.accept(operator.evaluate(now), now)
+    return sink
+
+
+class TestPipelineVsSeed:
+    """The staged pipeline is a pure refactor: identical results to the
+    pre-refactor loop, per interval, in order — serial and sharded."""
+
+    OPERATORS = [
+        pytest.param(lambda: Scuba(ScubaConfig(delta=2.0)), id="scuba"),
+        pytest.param(lambda: RegularGridJoin(RegularConfig()), id="regular"),
+        pytest.param(lambda: NaiveJoin(), id="naive"),
+        pytest.param(
+            lambda: IncrementalGridJoin(IncrementalGridConfig()), id="incremental"
+        ),
+    ]
+
+    @pytest.mark.parametrize("make_op", OPERATORS)
+    @pytest.mark.parametrize("seed", [7, 42])
+    def test_stream_engine_matches_legacy_loop(
+        self, equivalence_city, make_op, seed
+    ):
+        reference = legacy_loop_run(equivalence_city, make_op(), seed)
+        engine_sink = reference_run(equivalence_city, make_op(), seed)
+        # Bit-identical, not just multiset-equal: same matches, same order.
+        assert engine_sink.by_interval == reference.by_interval
+
+    @pytest.mark.parametrize("make_op", OPERATORS[:3])
+    def test_sharded_engine_matches_legacy_loop(self, equivalence_city, make_op):
+        seed = 7
+        factories = {
+            "scuba": scuba_factory,
+            "regular": lambda: RegularShardFactory(
+                RegularConfig(), max_query_extent=QUERY_RANGE
+            ),
+            "naive": lambda: NaiveShardFactory(max_query_extent=QUERY_RANGE),
+        }
+        name = type(make_op()).__name__
+        key = {"Scuba": "scuba", "RegularGridJoin": "regular", "NaiveJoin": "naive"}[
+            name
+        ]
+        reference = legacy_loop_run(equivalence_city, make_op(), seed)
+        sink, _ = sharded_run(equivalence_city, factories[key](), 4, seed)
+        assert interval_multisets(sink) == interval_multisets(reference)
+
+
+class TestIncrementalGridSharding:
+    """The answer-maintaining baseline shards exactly like the others."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_incremental_matches_stream_engine(self, equivalence_city, shards):
+        reference = reference_run(
+            equivalence_city, IncrementalGridJoin(IncrementalGridConfig()), seed=7
+        )
+        factory = IncrementalGridShardFactory(
+            IncrementalGridConfig(), max_query_extent=QUERY_RANGE
+        )
+        sink, stats = sharded_run(equivalence_city, factory, shards, seed=7)
+        assert interval_multisets(sink) == interval_multisets(reference)
+        if shards > 1:
+            assert stats.replication_factor > 1.0
+
+    def test_incremental_with_partial_updates(self, equivalence_city):
+        """Partial reporting exercises retract() answer-set cleanup."""
+
+        def gen():
+            return NetworkBasedGenerator(
+                equivalence_city,
+                GeneratorConfig(
+                    num_objects=100, num_queries=100, skew=20, seed=11,
+                    mixed_groups=True, query_range=QUERY_RANGE,
+                    update_fraction=0.6,
+                ),
+            )
+
+        reference = CollectingSink()
+        StreamEngine(
+            gen(),
+            IncrementalGridJoin(IncrementalGridConfig()),
+            reference,
+            EngineConfig(delta=2.0),
+        ).run(INTERVALS)
+        sink = CollectingSink()
+        with ShardedEngine(
+            gen(),
+            IncrementalGridShardFactory(
+                IncrementalGridConfig(), max_query_extent=QUERY_RANGE
+            ),
             shards=4,
             sink=sink,
             config=EngineConfig(delta=2.0),

@@ -1,0 +1,431 @@
+"""The staged evaluation pipeline: ordering, hooks, context, shed wiring.
+
+Pins the tentpole contracts of ``repro.pipeline``:
+
+* both engines execute the fixed stage order ``ingest →
+  pre_join_maintenance → join → shed → post_join_maintenance → emit``;
+* ``before_stage``/``after_stage``/``on_interval_end`` hooks fire at every
+  boundary, on both engines, without perturbing results;
+* the :class:`~repro.pipeline.EvaluationContext` carries clock, timers and
+  counts correctly across intervals;
+* legacy evaluate()-only operators still run (whole evaluation inside the
+  join stage, self-reported timings preserved);
+* ``ScubaConfig(adaptive_shedding=True)`` reaches the
+  :class:`~repro.shedding.AdaptiveShedder` end-to-end — engine API and
+  CLI — and escalates η under memory pressure.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core import Scuba, ScubaConfig
+from repro.generator import GeneratorConfig, NetworkBasedGenerator
+from repro.network import grid_city
+from repro.parallel import ScubaShardFactory, ShardedEngine
+from repro.pipeline import (
+    STAGES,
+    EvaluationContext,
+    EvaluationPipeline,
+    OperatorPlan,
+    PipelineHook,
+    StageTraceHook,
+)
+from repro.shedding import NoShedding
+from repro.streams import (
+    CollectingSink,
+    ContinuousJoinOperator,
+    CountingSink,
+    EngineConfig,
+    QueryMatch,
+    StagedJoinOperator,
+    StreamEngine,
+)
+
+QUERY_RANGE = (200.0, 200.0)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(rows=7, cols=7)
+
+
+def make_generator(city, seed=42, num=60, skew=12, query_range=QUERY_RANGE):
+    return NetworkBasedGenerator(
+        city,
+        GeneratorConfig(
+            num_objects=num,
+            num_queries=num,
+            skew=skew,
+            seed=seed,
+            mixed_groups=True,
+            query_range=query_range,
+        ),
+    )
+
+
+class TestStageOrdering:
+    def test_stream_engine_runs_stages_in_order(self, city):
+        trace = StageTraceHook()
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            CountingSink(),
+            EngineConfig(delta=2.0),
+            hooks=[trace],
+        )
+        engine.run(2)
+        assert trace.stages_run() == list(STAGES)
+
+    def test_sharded_engine_runs_stages_in_order(self, city):
+        trace = StageTraceHook()
+        with ShardedEngine(
+            make_generator(city),
+            ScubaShardFactory(ScubaConfig(delta=2.0), max_query_extent=QUERY_RANGE),
+            shards=2,
+            sink=CountingSink(),
+            config=EngineConfig(delta=2.0),
+            hooks=[trace],
+        ) as engine:
+            engine.run(2)
+        assert trace.stages_run() == list(STAGES)
+
+    def test_ingest_fires_once_per_tick(self, city):
+        trace = StageTraceHook()
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=4.0)),
+            CountingSink(),
+            EngineConfig(delta=4.0, tick=1.0),
+            hooks=[trace],
+        )
+        engine.run_interval()
+        ingests = [e for e in trace.events if e == ("before", "ingest")]
+        assert len(ingests) == 4
+        # The Δ-boundary stages still fire exactly once.
+        for stage in STAGES[1:]:
+            assert trace.events.count(("before", stage)) == 1
+
+    def test_interval_end_reports_result_counts(self, city):
+        trace = StageTraceHook()
+        sink = CollectingSink()
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            sink,
+            EngineConfig(delta=2.0),
+            hooks=[trace],
+        )
+        engine.run(3)
+        assert trace.result_counts == {
+            t: len(matches) for t, matches in sink.by_interval.items()
+        }
+
+
+class TestHooks:
+    def test_hooks_see_matches_after_join(self, city):
+        observed = {}
+
+        class JoinObserver(PipelineHook):
+            def after_stage(self, stage, ctx):
+                if stage == "join":
+                    observed[ctx.now] = len(ctx.matches)
+
+        sink = CollectingSink()
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            sink,
+            EngineConfig(delta=2.0),
+            hooks=[JoinObserver()],
+        )
+        engine.run(2)
+        assert observed == {t: len(m) for t, m in sink.by_interval.items()}
+
+    def test_hooks_do_not_change_results(self, city):
+        def run(hooks):
+            sink = CollectingSink()
+            StreamEngine(
+                make_generator(city),
+                Scuba(ScubaConfig(delta=2.0)),
+                sink,
+                EngineConfig(delta=2.0),
+                hooks=hooks,
+            ).run(3)
+            return sink.by_interval
+
+        assert run([]) == run([StageTraceHook(), PipelineHook()])
+
+    def test_add_hook_mid_run(self, city):
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            CountingSink(),
+            EngineConfig(delta=2.0),
+        )
+        engine.run_interval()
+        trace = StageTraceHook()
+        engine.pipeline.add_hook(trace)
+        engine.run_interval()
+        assert trace.stages_run() == list(STAGES)
+
+
+class TestEvaluationContext:
+    def test_begin_and_finish_interval(self):
+        ctx = EvaluationContext(EngineConfig(delta=2.0), CountingSink())
+        ctx.tuple_count = 5
+        ctx.matches = [QueryMatch(1, 2, 0.0)]
+        ctx.stage_timers["join"].seconds = 0.25
+        ctx.finish_interval()
+        assert ctx.interval_index == 1
+        assert ctx.run_stage_seconds["join"] == pytest.approx(0.25)
+        ctx.begin_interval()
+        assert ctx.tuple_count == 0
+        assert ctx.matches == []
+        assert ctx.stage_timers["join"].seconds == 0.0
+        # Run totals survive the re-arm.
+        assert ctx.run_stage_seconds["join"] == pytest.approx(0.25)
+
+    def test_seconds_sums_named_stages(self):
+        ctx = EvaluationContext(EngineConfig(), CountingSink())
+        ctx.stage_timers["ingest"].seconds = 0.1
+        ctx.stage_timers["shed"].seconds = 0.2
+        assert ctx.seconds("ingest", "shed") == pytest.approx(0.3)
+        assert ctx.stage_seconds()["shed"] == pytest.approx(0.2)
+
+
+class LegacyOperator(ContinuousJoinOperator):
+    """Pre-refactor shape: only evaluate(), self-reported timings."""
+
+    def __init__(self):
+        self.updates = 0
+        self.last_join_seconds = 0.125
+        self.last_maintenance_seconds = 0.0625
+
+    def on_update(self, update):
+        self.updates += 1
+
+    def evaluate(self, now):
+        return [QueryMatch(1, 1, now)]
+
+
+class TestLegacyOperatorCompat:
+    def test_legacy_operator_runs_and_keeps_timings(self, city):
+        trace = StageTraceHook()
+        sink = CollectingSink()
+        engine = StreamEngine(
+            make_generator(city),
+            LegacyOperator(),
+            sink,
+            EngineConfig(delta=2.0),
+            hooks=[trace],
+        )
+        stats = engine.run_interval()
+        # Full stage order even though shed/post-join are no-ops for it.
+        assert trace.stages_run() == list(STAGES)
+        # Self-reported timings pass through untouched.
+        assert stats.join_seconds == 0.125
+        assert stats.maintenance_seconds == 0.0625
+        assert stats.result_count == 1
+        assert not OperatorPlan(LegacyOperator()).staged
+
+    def test_staged_facade_runs_all_phases(self):
+        calls = []
+
+        class Phased(StagedJoinOperator):
+            def on_update(self, update):
+                pass
+
+            def join_phase(self, now):
+                calls.append("join")
+                return [QueryMatch(1, 2, now)]
+
+            def shed_phase(self, now):
+                calls.append("shed")
+
+            def post_join_phase(self, now):
+                calls.append("post_join")
+
+        op = Phased()
+        matches = op.evaluate(4.0)
+        assert calls == ["join", "shed", "post_join"]
+        assert matches == [QueryMatch(1, 2, 4.0)]
+        assert op.last_join_seconds >= 0.0
+        assert op.last_maintenance_seconds >= 0.0
+        assert OperatorPlan(op).staged
+
+
+class TestStageTimings:
+    def test_interval_stats_carry_stage_seconds(self, city):
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            CountingSink(),
+            EngineConfig(delta=2.0),
+        )
+        stats = engine.run_interval()
+        assert set(stats.stage_seconds) == set(STAGES)
+        assert stats.stage_seconds["join"] == stats.join_seconds
+        assert stats.to_dict()["stage_seconds"] == stats.stage_seconds
+
+    def test_run_stats_aggregate_stage_seconds(self, city):
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            CountingSink(),
+            EngineConfig(delta=2.0),
+        )
+        run_stats = engine.run(3)
+        totals = run_stats.stage_seconds()
+        assert set(totals) == set(STAGES)
+        for stage in STAGES:
+            assert totals[stage] == pytest.approx(
+                sum(s.stage_seconds[stage] for s in run_stats.intervals)
+            )
+        assert run_stats.to_dict()["stage_seconds"] == totals
+
+    def test_sharded_stats_share_serialization_path(self, city):
+        with ShardedEngine(
+            make_generator(city),
+            ScubaShardFactory(ScubaConfig(delta=2.0), max_query_extent=QUERY_RANGE),
+            shards=2,
+            sink=CountingSink(),
+            config=EngineConfig(delta=2.0),
+        ) as engine:
+            run_stats = engine.run(2)
+        data = run_stats.to_dict()
+        assert set(data["stage_seconds"]) == set(STAGES)
+        assert data["parallel"]["num_shards"] == 2
+        interval = data["intervals"][0]
+        assert set(interval["stage_seconds"]) == set(STAGES)
+        # Sharded phase mapping: join = scatter/gather stage, maintenance =
+        # merge (the post-join stage), ingest = route + dispatch.
+        assert interval["join_seconds"] == interval["stage_seconds"]["join"]
+        assert interval["merge_seconds"] == (
+            interval["stage_seconds"]["post_join_maintenance"]
+        )
+        assert interval["route_seconds"] <= interval["ingest_seconds"] + 1e-9
+
+
+def pressured_scuba(budget=50):
+    """A SCUBA operator whose budget a dense convoy workload must bust."""
+    return Scuba(
+        ScubaConfig(delta=2.0, adaptive_shedding=True, shed_budget=budget)
+    )
+
+
+class TestAdaptiveSheddingWiring:
+    def test_escalates_under_memory_pressure(self, city):
+        operator = pressured_scuba(budget=50)
+        assert operator.shedder is not None
+        assert isinstance(operator.config.shedding, NoShedding)
+        engine = StreamEngine(
+            make_generator(city, num=200, skew=50),
+            operator,
+            CountingSink(),
+            EngineConfig(delta=2.0),
+        )
+        engine.run(4)
+        # 200 objects against a 50-position budget: the controller must
+        # have escalated η off the floor of the ladder.
+        assert operator.shedder.eta > 0.0
+        assert operator.shedder.history
+        assert not isinstance(operator.config.shedding, NoShedding)
+        assert not operator._shed_is_noop
+
+    def test_de_escalates_when_pressure_drops(self):
+        """Full shedding retains nothing, so the controller walks back down."""
+        operator = pressured_scuba(budget=50)
+        shedder = operator.shedder
+        shedder._level = len(shedder.ladder) - 1
+        operator.shed_phase(now=2.0)
+        assert shedder.eta < shedder.ladder[-1]
+
+    def test_sharded_workers_run_the_controller(self, city):
+        """Shedding lives in the workers' evaluate(), not the driver."""
+        factory = ScubaShardFactory(
+            ScubaConfig(delta=2.0, adaptive_shedding=True, shed_budget=25),
+            max_query_extent=QUERY_RANGE,
+        )
+        with ShardedEngine(
+            make_generator(city, num=200, skew=50),
+            factory,
+            shards=2,
+            sink=CountingSink(),
+            config=EngineConfig(delta=2.0),
+            executor="serial",
+        ) as engine:
+            engine.run(4)
+            shedders = [op.shedder for op in engine.executor.operators]
+        assert all(s is not None for s in shedders)
+        assert any(s.eta > 0.0 and s.history for s in shedders)
+
+    def test_adaptive_config_roundtrips_through_pickle(self):
+        import pickle
+
+        operator = pressured_scuba(budget=50)
+        clone = pickle.loads(pickle.dumps(operator))
+        assert clone.shedder is not None
+        assert clone.config.adaptive_shedding
+        assert clone.shedder.max_positions == 50
+
+    def test_cli_flag_reaches_controller(self, capsys):
+        rc = cli_main(
+            [
+                "--adaptive-shedding",
+                "--shed-budget", "50",
+                "--objects", "150",
+                "--queries", "150",
+                "--skew", "50",
+                "--intervals", "3",
+                "--city", "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adaptive (budget 50)" in out
+        assert "adaptive shedding: final η=" in out
+
+    def test_cli_flag_rejects_non_scuba(self):
+        with pytest.raises(SystemExit):
+            cli_main(["--adaptive-shedding", "--operator", "naive"])
+
+
+class TestPipelineDirectUse:
+    def test_pipeline_standalone_matches_engine(self, city):
+        """EvaluationPipeline is usable without either engine wrapper."""
+        sink_a = CollectingSink()
+        pipeline = EvaluationPipeline(
+            make_generator(city),
+            OperatorPlan(Scuba(ScubaConfig(delta=2.0))),
+            sink=sink_a,
+            config=EngineConfig(delta=2.0),
+        )
+        pipeline.run(2)
+
+        sink_b = CollectingSink()
+        StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            sink_b,
+            EngineConfig(delta=2.0),
+        ).run(2)
+        assert sink_a.by_interval == sink_b.by_interval
+
+    def test_negative_intervals_rejected(self, city):
+        engine = StreamEngine(
+            make_generator(city), Scuba(), CountingSink(), EngineConfig()
+        )
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+    def test_counters_recorded(self, city):
+        engine = StreamEngine(
+            make_generator(city),
+            Scuba(ScubaConfig(delta=2.0)),
+            CountingSink(),
+            EngineConfig(delta=2.0),
+        )
+        run_stats = engine.run(2)
+        assert "kernel_backend" in run_stats.counters
