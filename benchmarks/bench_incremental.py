@@ -1,0 +1,277 @@
+"""Incremental join sweep vs full recompute — what does replay buy?
+
+Two end-to-end workloads through the SCUBA operator, each run twice from
+the same seed (``incremental=False`` vs ``incremental=True``), one JSON
+report (``BENCH_incremental.json``):
+
+**stable-traffic** — kind-pure convoys parked across the city
+(``stopped_fraction = 1.0``) with a trickle of position reports after a
+full-population warm-up.  This is the steady-state regime the paper's
+Δ-periodic re-evaluation wastes work on: almost every cluster pair is
+structurally clean and relatively unmoved interval after interval, so
+the incremental sweep replays memoized matches instead of re-running the
+join kernels.  The headline number is the join-phase speedup here.
+
+**high-churn** — the same population all moving and all reporting every
+tick.  Nothing is replayable; this workload measures the bookkeeping
+overhead the incremental mode adds when it cannot help (speedup below
+1x — the price of the memo writes that never pay off, and the reason
+the mode is opt-in rather than the default).
+
+Both workloads cross-check the per-interval match multisets between the
+two modes — the bench doubles as an equivalence test at benchmark scale
+and **fails (exit 1) on any divergence**, dry run included.  The
+>= 1.3x stable-traffic speedup gate is enforced on full runs only;
+``--dry-run`` (CI smoke) scales the population down too far for timing
+gates to be meaningful.
+
+Standalone (pytest-free) so CI can smoke it directly:
+
+    python benchmarks/bench_incremental.py --dry-run
+    python benchmarks/bench_incremental.py --out BENCH_incremental.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import Scuba, ScubaConfig  # noqa: E402
+from repro.generator import GeneratorConfig, NetworkBasedGenerator  # noqa: E402
+from repro.network import grid_city  # noqa: E402
+from repro.streams import CollectingSink, EngineConfig, StreamEngine  # noqa: E402
+
+DELTA = 2.0
+
+#: The two regimes.  ``warm_uf`` applies during warm-up intervals (1.0
+#: short-circuits the generator's reporting draw, so the post-warm-up
+#: random streams are identical across runs and modes); ``uf`` is the
+#: steady-state update fraction the timed intervals run at.
+WORKLOADS = [
+    {
+        "name": "stable-traffic",
+        "stopped_fraction": 1.0,
+        "uf": 0.001,
+        "description": "parked convoys, trickle reporting",
+    },
+    {
+        "name": "high-churn",
+        "stopped_fraction": 0.0,
+        "uf": 1.0,
+        "description": "everything moving and reporting",
+    },
+]
+
+
+def make_generator(args, workload, scale: float):
+    city = grid_city(rows=args.city, cols=args.city)
+    return NetworkBasedGenerator(
+        city,
+        GeneratorConfig(
+            num_objects=max(1, int(args.objects * scale)),
+            num_queries=max(1, int(args.queries * scale)),
+            skew=args.skew,
+            seed=args.seed,
+            mixed_groups=False,
+            query_range=(args.query_range, args.query_range),
+            update_fraction=1.0,
+            stopped_fraction=workload["stopped_fraction"],
+        ),
+    )
+
+
+def run_mode(args, workload, incremental: bool, scale: float,
+             warmup: int, intervals: int) -> dict:
+    """One seeded run: warm-up at full reporting, then timed intervals.
+
+    Warm-up populates clusters and (in incremental mode) the match memos;
+    the steady-state update fraction is switched on afterwards by mutating
+    the generator config in place, which keeps the entity streams of both
+    modes bit-identical.
+    """
+    generator = make_generator(args, workload, scale)
+    operator = Scuba(
+        ScubaConfig(
+            grid_size=args.grid,
+            delta=DELTA,
+            incremental=incremental,
+        )
+    )
+    sink = CollectingSink()
+    engine = StreamEngine(
+        generator, operator, sink, EngineConfig(delta=DELTA, tick=1.0)
+    )
+    for _ in range(warmup):
+        engine.run_interval()
+    generator.config.update_fraction = workload["uf"]
+    warm_boundary = generator.time
+    join_seconds = 0.0
+    started = time.perf_counter()
+    for _ in range(intervals):
+        stats = engine.run_interval()
+        join_seconds += stats.join_seconds
+    wall_seconds = time.perf_counter() - started
+    timed = {
+        t: Counter((m.qid, m.oid) for m in matches)
+        for t, matches in sink.by_interval.items()
+        if t > warm_boundary
+    }
+    return {
+        "incremental": incremental,
+        "join_seconds": join_seconds,
+        "wall_seconds": wall_seconds,
+        "result_count": sum(sum(c.values()) for c in timed.values()),
+        "counters": operator.join_counters(),
+        "_matches": timed,
+    }
+
+
+def _rate(counters: dict, name: str):
+    hits = counters.get(f"{name}_hits", 0)
+    misses = counters.get(f"{name}_misses", 0)
+    total = hits + misses
+    return hits / total if total else None
+
+
+def bench_workload(args, workload, scale, warmup, intervals, repeats,
+                   verbose=True) -> dict:
+    """Best-of-``repeats`` comparison of the two modes on one workload."""
+    best = {}
+    matches = {}
+    for incremental in (False, True):
+        for _ in range(max(1, repeats)):
+            run = run_mode(args, workload, incremental, scale, warmup, intervals)
+            key = incremental
+            if key not in best or run["join_seconds"] < best[key]["join_seconds"]:
+                best[key] = run
+            if key not in matches:
+                matches[key] = run["_matches"]
+    agree = matches[False] == matches[True]
+    full, inc = best[False], best[True]
+    speedup = (
+        full["join_seconds"] / inc["join_seconds"]
+        if inc["join_seconds"] > 0
+        else None
+    )
+    replay_rate = _rate(inc["counters"], "replay")
+    cell_rate = _rate(inc["counters"], "cell_replay")
+    if verbose:
+        print(f"  {workload['name']}: full {full['join_seconds']:.3f}s  "
+              f"incremental {inc['join_seconds']:.3f}s  "
+              + (f"speedup {speedup:.2f}x  " if speedup else "")
+              + (f"replay {100 * replay_rate:.1f}%  " if replay_rate is not None
+                 else "replay n/a  ")
+              + (f"cells {100 * cell_rate:.1f}%" if cell_rate is not None
+                 else "cells n/a")
+              + ("" if agree else "  MULTISETS DISAGREE"))
+    for run in (full, inc):
+        del run["_matches"]
+    return {
+        "workload": workload["name"],
+        "description": workload["description"],
+        "stopped_fraction": workload["stopped_fraction"],
+        "update_fraction": workload["uf"],
+        "full": full,
+        "incremental": inc,
+        "join_speedup": speedup,
+        "replay_hit_rate": replay_rate,
+        "cell_replay_hit_rate": cell_rate,
+        "matches_agree": agree,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=2000)
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument("--skew", type=int, default=50,
+                        help="entities per convoy")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--city", type=int, default=11,
+                        help="lattice size of the city (NxN nodes)")
+    parser.add_argument("--grid", type=int, default=100,
+                        help="spatial grid size (NxN cells)")
+    parser.add_argument("--query-range", type=float, default=60.0)
+    parser.add_argument("--warmup", type=int, default=2,
+                        help="full-reporting warm-up intervals (untimed)")
+    parser.add_argument("--intervals", type=int, default=15,
+                        help="timed steady-state intervals")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per mode (join time is best-of)")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="stable-traffic join-speedup gate (full runs)")
+    parser.add_argument("--out", metavar="FILE",
+                        default="BENCH_incremental.json",
+                        help="write JSON results here")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="tiny smoke sweep (CI): ~300 entities, "
+                             "equivalence gate only")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.dry_run:
+        scale, warmup, intervals, repeats = 0.075, 1, 3, 1
+    else:
+        scale, warmup = 1.0, args.warmup
+        intervals, repeats = args.intervals, args.repeats
+    print(f"incremental sweep bench: {int(args.objects * scale)} objects + "
+          f"{int(args.queries * scale)} queries, skew {args.skew}, "
+          f"{warmup} warm-up + {intervals} timed intervals, "
+          f"best of {max(1, repeats)}")
+    results = [
+        bench_workload(args, workload, scale, warmup, intervals, repeats)
+        for workload in WORKLOADS
+    ]
+    matches_agree = all(r["matches_agree"] for r in results)
+    stable = next(r for r in results if r["workload"] == "stable-traffic")
+    gates = {"matches_agree": matches_agree}
+    failed = not matches_agree
+    if not matches_agree:
+        print("ERROR: incremental answers diverge from full recompute")
+    if not args.dry_run:
+        speedup_ok = (
+            stable["join_speedup"] is not None
+            and stable["join_speedup"] >= args.min_speedup
+        )
+        gates["stable_speedup_ok"] = speedup_ok
+        gates["min_speedup"] = args.min_speedup
+        if not speedup_ok:
+            print(f"ERROR: stable-traffic speedup "
+                  f"{stable['join_speedup']} below gate {args.min_speedup}x")
+            failed = True
+    report = {
+        "workload": {
+            "num_objects": int(args.objects * scale),
+            "num_queries": int(args.queries * scale),
+            "skew": args.skew,
+            "seed": args.seed,
+            "city": [args.city, args.city],
+            "grid_size": args.grid,
+            "query_range": args.query_range,
+            "delta": DELTA,
+            "warmup_intervals": warmup,
+            "timed_intervals": intervals,
+            "repeats": max(1, repeats),
+            "dry_run": args.dry_run,
+        },
+        "runs": results,
+        "gates": gates,
+    }
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2))
+        print(f"results written to {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

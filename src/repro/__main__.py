@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="range-query window extent (square)")
     parser.add_argument("--update-fraction", type=float, default=1.0,
                         help="fraction of entities reporting per time unit")
+    parser.add_argument("--stopped-fraction", type=float, default=0.0,
+                        help="fraction of convoys parked in place (still "
+                             "reporting) — the steady-state regime "
+                             "--incremental replays")
     parser.add_argument("--operator",
                         choices=["scuba", "regular", "naive", "incremental"],
                         default="scuba")
@@ -59,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "controller defends")
     parser.add_argument("--split", action="store_true",
                         help="enable cluster splitting at destinations")
+    parser.add_argument("--incremental", action="store_true",
+                        help="delta-driven incremental join sweep: replay "
+                             "memoized matches for structurally-clean, "
+                             "relatively-unmoved cluster pairs (scuba only)")
     parser.add_argument("--grid", type=int, default=100,
                         help="spatial grid size (NxN cells)")
     parser.add_argument("--record", metavar="TRACE",
@@ -89,6 +97,7 @@ def make_scuba_config(args: argparse.Namespace) -> ScubaConfig:
         shed_budget=args.shed_budget,
         split_at_destination=args.split,
         kernel_backend=args.kernel_backend,
+        incremental=args.incremental,
     )
 
 
@@ -137,6 +146,33 @@ def make_shard_factory(args: argparse.Namespace):
     return ScubaShardFactory(make_scuba_config(args), max_query_extent=extent)
 
 
+def _hit_rate(counters: dict, name: str) -> str:
+    """``"87.5% (35/40)"`` for a ``<name>_hits``/``<name>_misses`` pair."""
+    hits = counters.get(f"{name}_hits", 0)
+    misses = counters.get(f"{name}_misses", 0)
+    total = hits + misses
+    if not total:
+        return "n/a"
+    return f"{100.0 * hits / total:.1f}% ({hits}/{total})"
+
+
+def print_cache_footer(counters: dict) -> None:
+    """One-line cache/replay effectiveness summary (join_counters names)."""
+    if "view_cache_hits" not in counters:
+        return
+    line = (
+        f"caches: view {_hit_rate(counters, 'view_cache')} | "
+        f"between {_hit_rate(counters, 'between_cache')}"
+    )
+    if counters.get("incremental"):
+        line += (
+            f" | replay {_hit_rate(counters, 'replay')} | "
+            f"cells {_hit_rate(counters, 'cell_replay')} | "
+            f"clean clusters {_hit_rate(counters, 'cluster_clean')}"
+        )
+    print(line)
+
+
 def main(argv=None) -> int:
     """Entry point: run the configured workload and print the breakdown."""
     args = build_parser().parse_args(argv)
@@ -148,6 +184,10 @@ def main(argv=None) -> int:
         raise SystemExit(
             f"--adaptive-shedding requires --operator scuba, "
             f"got {args.operator}"
+        )
+    if args.incremental and args.operator != "scuba":
+        raise SystemExit(
+            f"--incremental requires --operator scuba, got {args.operator}"
         )
     city = grid_city(rows=args.city, cols=args.city)
     if args.replay:
@@ -164,6 +204,7 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 query_range=(args.query_range, args.query_range),
                 update_fraction=args.update_fraction,
+                stopped_fraction=args.stopped_fraction,
             ),
         )
     if args.record:
@@ -218,6 +259,7 @@ def main(argv=None) -> int:
         )
     print("-" * len(header))
     print(engine.stats.summary())
+    print_cache_footer(engine.stats.counters)
     if isinstance(operator, Scuba):
         print(f"clusters: {operator.cluster_count} | "
               f"between {operator.between_hits}/{operator.between_tests} | "

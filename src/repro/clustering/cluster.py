@@ -123,6 +123,9 @@ class MovingCluster:
     __slots__ = (
         "cid",
         "version",
+        "struct_version",
+        "disp_x",
+        "disp_y",
         "cx",
         "cy",
         "radius",
@@ -161,6 +164,21 @@ class MovingCluster:
         #: bump it: they rebase member storage without changing any
         #: reconstructed position.
         self.version = 0
+        #: Monotonic *structural* change counter: bumped only by mutations
+        #: that change member geometry relative to the cluster — membership
+        #: churn (absorb/remove), shed-state transitions, and split
+        #: hand-offs.  Rigid translation (advance/flush) and derived-shape
+        #: refreshes (recentre, recompute_radius) do NOT bump it: they
+        #: cannot change which member pairs match.  The incremental join
+        #: sweep keys its match memos on this counter.
+        self.struct_version = 0
+        #: Cumulative rigid displacement applied by :meth:`advance` over the
+        #: cluster's lifetime.  Unlike ``trans_x``/``trans_y`` it is never
+        #: reset by :meth:`flush_transform`, so two snapshots of it tell the
+        #: incremental sweep exactly how far the cluster translated between
+        #: two evaluations.
+        self.disp_x = 0.0
+        self.disp_y = 0.0
         self.cx = centroid.x
         self.cy = centroid.y
         self.radius = 0.0
@@ -307,12 +325,27 @@ class MovingCluster:
         """
         kind = update.kind
         is_object = kind is EntityKind.OBJECT
-        self.version += 1
         table = self.objects if is_object else self.queries
         member = table.get(update.entity_id)
         loc = update.loc
         x, y = loc.x, loc.y
         if member is not None:
+            if (
+                not member.position_shed
+                and update.speed == member.speed
+                and update.cn_node == member.cn_node
+                and x == member.abs_x + (self.trans_x - member.tr_x)
+                and y == member.abs_y + (self.trans_y - member.tr_y)
+            ):
+                # Heartbeat: the member re-reported exactly where the
+                # cluster already places it, at the same speed, bound for
+                # the same node.  Nothing join-relevant changed, so no
+                # version bumps — parked traffic stays cacheable (and,
+                # under incremental mode, replayable) while reporting.
+                member.last_t = update.t
+                return
+            self.version += 1
+            self.struct_version += 1
             # Refresh — the per-tuple steady state, kept deliberately lean.
             # The paper "refrains from constantly updating" cluster-relative
             # state: a re-reporting member just overwrites its position and
@@ -351,6 +384,8 @@ class MovingCluster:
             if dist_sq > self.radius * self.radius:
                 self.radius = math.sqrt(dist_sq)
             return
+        self.version += 1
+        self.struct_version += 1
         # Absorption of a new member (paper §3.2 Step 4): the centroid is
         # adjusted toward the member by 1/n of the gap.  That adjustment
         # moves every *other* member relatively outward by the shift
@@ -394,6 +429,7 @@ class MovingCluster:
         table = self.objects if kind is EntityKind.OBJECT else self.queries
         member = table.pop(entity_id)
         self.version += 1
+        self.struct_version += 1
         self._speed_sum -= member.speed
         if member.position_shed:
             self.shed_count -= 1
@@ -508,6 +544,8 @@ class MovingCluster:
         self.cy += dy * frac
         self.trans_x += dx * frac
         self.trans_y += dy * frac
+        self.disp_x += dx * frac
+        self.disp_y += dy * frac
 
     def advance_to(self, t: float) -> None:
         """Lazily advance the cluster along its velocity vector to time ``t``.

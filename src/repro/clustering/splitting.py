@@ -115,6 +115,7 @@ def _finalise(successor: MovingCluster, now: float) -> None:
     count = successor.n
     # Bulk transfer bypassed absorb(); invalidate any derived snapshots.
     successor.version += 1
+    successor.struct_version += 1
     successor.avespeed = successor._speed_sum / count if count else 0.0
     radius = 0.0
     for member in successor.members():

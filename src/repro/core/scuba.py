@@ -33,6 +33,25 @@ verdicts are cached keyed on cluster version counters (see
 change between evaluations are snapshotted and pre-filtered exactly once.
 The caches are pure memoisation — logical test counters and emitted
 matches are identical with and without them.
+
+With ``ScubaConfig(incremental=True)`` the sweep additionally **replays**
+memoized join-within answers instead of re-running the kernels.  The key
+observation (shared with MOIST's co-moving "schools"): between two
+evaluations most clusters either translate rigidly or do not move at all,
+so their member geometry — and therefore their match set against any
+partner with the same displacement — is unchanged.  ``MovingCluster``
+separates *structural* change (membership churn, shed transitions, split
+hand-offs; tracked by ``struct_version``) from *rigid translation*
+(tracked by the cumulative displacement ``disp_x``/``disp_y``); a
+pair-level memo records the between verdict, the logical within-test
+count and the matched ``(qid, oid)`` pairs, and is replayed with
+re-stamped timestamps whenever both clusters are structurally clean,
+shed-free and their displacement deltas since the memo cancel exactly.
+Cells untouched by any dirty cluster replay their whole pair list
+wholesale via the grid's dirty-cell set.  Replay is answer-preserving
+(multiset-equal to full recompute): structurally-clean stationary
+clusters present bitwise-identical member positions to the kernels, and
+the memoized matches came from a real kernel run over those positions.
 """
 
 from __future__ import annotations
@@ -112,6 +131,12 @@ class ScubaConfig:
     #: ``perf`` extra) and the batched pure-Python backend otherwise;
     #: ``"scalar"`` is the seed-faithful reference path.
     kernel_backend: str = "auto"
+    #: Delta-driven incremental sweep: memoize per-pair and per-cluster
+    #: join-within answers and replay them (with re-stamped timestamps)
+    #: for structurally-clean, relatively-unmoved cluster pairs instead of
+    #: re-running the kernels; clean grid cells replay their pair lists
+    #: wholesale.  Answers stay multiset-identical to the full recompute.
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.grid_size < 1:
@@ -180,6 +205,32 @@ class Scuba(StagedJoinOperator):
         self._between_cache: Dict[Tuple[int, int], Tuple[int, int, bool]] = {}
         # Reused across sweeps to avoid re-growing a large set every Δ.
         self._seen_pairs: Set[Tuple[int, int]] = set()
+        # Full between-cache scans only fire once the cache outgrows this
+        # watermark (doubled past the live size after every prune), so
+        # stable runs skip the per-interval scan entirely.
+        self._between_watermark = 64
+        # Incremental-sweep state (config.incremental): match memos keyed on
+        # structural marks, the previous sweep's marks, and per-cell pair
+        # lists for wholesale cell replay.  A mark is the immutable triple
+        # ``(struct_version, disp_x, disp_y)``.  All are dropped on
+        # pickling; an empty mark table just makes the next sweep a full
+        # recompute.
+        self._pair_memo: Dict[
+            Tuple[int, int],
+            Tuple[
+                Tuple[int, float, float],
+                Tuple[int, float, float],
+                bool,
+                int,
+                Tuple[Tuple[int, int], ...],
+            ],
+        ] = {}
+        self._pair_memo_watermark = 64
+        self._self_memo: Dict[int, Tuple[int, int, Tuple[Tuple[int, int], ...]]] = {}
+        self._sweep_marks: Dict[int, Tuple[int, float, float]] = {}
+        self._cell_pairs: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        if self.config.incremental:
+            self.world.grid.enable_dirty_tracking()
         # Phase timings of the most recent evaluate().
         self.last_join_seconds = 0.0
         self.last_maintenance_seconds = 0.0
@@ -192,6 +243,16 @@ class Scuba(StagedJoinOperator):
         self.view_cache_misses = 0
         self.between_cache_hits = 0
         self.between_cache_misses = 0
+        # Incremental-sweep instrumentation: replayed vs freshly-computed
+        # join units (self joins + surviving pairs), wholesale-replayed vs
+        # fully-enumerated cells, and per-sweep clean vs dirty clusters.
+        # The hits/misses naming lets RunStats derive ``*_hit_rate``s.
+        self.replay_hits = 0
+        self.replay_misses = 0
+        self.cell_replay_hits = 0
+        self.cell_replay_misses = 0
+        self.cluster_clean_hits = 0
+        self.cluster_clean_misses = 0
 
     # -- phase 1: pre-join maintenance ------------------------------------------
 
@@ -264,6 +325,9 @@ class Scuba(StagedJoinOperator):
 
     def _joining_phase(self, now: float, results: List[QueryMatch]) -> None:
         """Algorithm 1, lines 8-21: the cell sweep."""
+        if self.config.incremental:
+            self._joining_phase_incremental(now, results)
+            return
         storage = self.world.storage
         view_of = self._view_of
         backend = self.kernels
@@ -329,6 +393,270 @@ class Scuba(StagedJoinOperator):
                         view_of(left), view_of(right), now, results, backend
                     )
 
+    # -- incremental sweep (config.incremental) -----------------------------------
+
+    def _refresh_sweep_marks(
+        self,
+    ) -> Tuple[Dict[int, Tuple[int, float, float]], Set[int]]:
+        """Snapshot every cluster's structural mark; classify clean vs dirty.
+
+        A cluster is *clean* when its mark — ``(struct_version, disp_x,
+        disp_y)`` — is unchanged since the previous sweep and it has no
+        shed members (shed answers depend on nucleus geometry the marks do
+        not cover).  Replacing the mark table wholesale also prunes marks
+        of dissolved clusters for free.
+        """
+        prev = self._sweep_marks
+        marks: Dict[int, Tuple[int, float, float]] = {}
+        clean: Set[int] = set()
+        for cluster in self.world.storage:
+            cid = cluster.cid
+            mark = (cluster.struct_version, cluster.disp_x, cluster.disp_y)
+            marks[cid] = mark
+            if cluster.shed_count == 0 and prev.get(cid) == mark:
+                clean.add(cid)
+        self._sweep_marks = marks
+        self.cluster_clean_hits += len(clean)
+        self.cluster_clean_misses += len(marks) - len(clean)
+        return marks, clean
+
+    def _compute_pair_fresh(
+        self,
+        pair: Tuple[int, int],
+        left: MovingCluster,
+        right: MovingCluster,
+        now: float,
+        results: List[QueryMatch],
+        marks: Dict[int, Tuple[int, float, float]],
+    ) -> None:
+        """Compute one pair with the kernels and memoize the answer.
+
+        Mirrors the full sweep's per-pair logic (between filter + cache,
+        then join-within), then records the verdict, the logical test count
+        and the matched ``(qid, oid)`` pairs under the clusters' current
+        structural marks.  Shed clusters are never memoized: their answers
+        depend on nucleus geometry the marks do not cover.
+        """
+        self.replay_misses += 1
+        verdict = True
+        if self.config.use_between_filter:
+            self.between_tests += 1
+            between_cache = self._between_cache
+            cached = between_cache.get(pair)
+            if (
+                cached is not None
+                and cached[0] == left.version
+                and cached[1] == right.version
+            ):
+                self.between_cache_hits += 1
+                verdict = cached[2]
+            else:
+                self.between_cache_misses += 1
+                verdict = join_between(left, right)
+                between_cache[pair] = (left.version, right.version, verdict)
+            if verdict:
+                self.between_hits += 1
+        start = len(results)
+        tests = 0
+        if verdict:
+            tests = join_within_pair(
+                self._view_of(left), self._view_of(right), now, results, self.kernels
+            )
+            self.within_tests += tests
+        if left.shed_count == 0 and right.shed_count == 0:
+            self._pair_memo[pair] = (
+                marks[pair[0]],
+                marks[pair[1]],
+                verdict,
+                tests,
+                tuple(m.pair for m in results[start:]),
+            )
+        else:
+            self._pair_memo.pop(pair, None)
+
+    def _joining_phase_incremental(
+        self, now: float, results: List[QueryMatch]
+    ) -> None:
+        """The delta-driven sweep: same visit order, replayed answers.
+
+        Self joins and the cell sweep run in exactly the full sweep's
+        order, so fresh computations interleave with replays exactly where
+        the full recompute would have produced the same matches.  Cells
+        whose membership is untouched (grid dirty set) and whose residents
+        are all clean replay their memoized pair list wholesale without
+        enumerating cluster combinations.
+
+        Pair replay requires both clusters structurally unchanged since
+        the memo *and* their displacement deltas to cancel exactly — then
+        every member position the kernels would see is bitwise identical
+        to the memoized run (memos are never recorded for shed clusters,
+        and a shed transition bumps ``struct_version``, so shed geometry
+        can never be replayed).  The memoized between verdict stays sound
+        even though maintenance may since have recentred or re-tightened
+        the clusters: the verdict was lossless with respect to the member
+        positions, and those are unchanged.  The replay counters are
+        kept in locals through the sweep (hot path) and flushed at the
+        end.
+        """
+        storage = self.world.storage
+        marks, clean = self._refresh_sweep_marks()
+        self_memo = self._self_memo
+        use_filter = self.config.use_between_filter
+        replay_hits = 0
+        replayed_tests = 0
+        replayed_between = 0
+        replayed_between_hits = 0
+
+        for cluster in storage.clusters():
+            if not cluster.is_mixed:
+                continue
+            cid = cluster.cid
+            memo = self_memo.get(cid)
+            if (
+                memo is not None
+                and memo[0] == cluster.struct_version
+                and cluster.shed_count == 0
+            ):
+                # A cluster co-moves with itself: rigid translation cannot
+                # change its self-join answer, so struct-clean suffices.
+                replay_hits += 1
+                replayed_tests += memo[1]
+                if memo[2]:
+                    results.extend(
+                        [QueryMatch(qid, oid, now) for qid, oid in memo[2]]
+                    )
+                continue
+            self.replay_misses += 1
+            start = len(results)
+            tests = join_within_self(
+                self._view_of(cluster), now, results, self.kernels
+            )
+            self.within_tests += tests
+            if cluster.shed_count == 0:
+                self_memo[cid] = (
+                    cluster.struct_version,
+                    tests,
+                    tuple(m.pair for m in results[start:]),
+                )
+            else:
+                self_memo.pop(cid, None)
+
+        seen_pairs = self._seen_pairs
+        seen_pairs.clear()
+        grid = self.world.grid
+        dirty_cells = grid.dirty_cells()
+        cell_pairs = self._cell_pairs
+        pair_memo = self._pair_memo
+        compute_fresh = self._compute_pair_fresh
+        clean_superset = clean.issuperset
+        for cell, members in grid.occupied_cells():
+            if len(members) < 2:
+                continue
+            cids = grid.sorted_members(cell)
+            if cell not in dirty_cells:
+                cached = cell_pairs.get(cell)
+                if cached is not None and clean_superset(cids):
+                    # Membership untouched and every resident clean: the
+                    # cached pair list is exactly what enumeration would
+                    # find, and every memo on it is valid.
+                    self.cell_replay_hits += 1
+                    for pair in cached:
+                        if pair in seen_pairs:
+                            continue
+                        seen_pairs.add(pair)
+                        memo = pair_memo.get(pair)
+                        if memo is not None:
+                            lm = marks.get(pair[0])
+                            rm = marks.get(pair[1])
+                            ml = memo[0]
+                            mr = memo[1]
+                            if (
+                                lm is not None
+                                and rm is not None
+                                and lm[0] == ml[0]
+                                and rm[0] == mr[0]
+                                and lm[1] - ml[1] == rm[1] - mr[1]
+                                and lm[2] - ml[2] == rm[2] - mr[2]
+                            ):
+                                replay_hits += 1
+                                replayed_tests += memo[3]
+                                if use_filter:
+                                    replayed_between += 1
+                                    if memo[2]:
+                                        replayed_between_hits += 1
+                                if memo[4]:
+                                    results.extend(
+                                        [
+                                            QueryMatch(qid, oid, now)
+                                            for qid, oid in memo[4]
+                                        ]
+                                    )
+                                continue
+                        compute_fresh(
+                            pair,
+                            storage.get(pair[0]),
+                            storage.get(pair[1]),
+                            now,
+                            results,
+                            marks,
+                        )
+                    continue
+            self.cell_replay_misses += 1
+            # Full enumeration; rebuild this cell's mixed-pair list.  Pairs
+            # already handled in an earlier cell are *not* listed here —
+            # the sweep's deterministic cell order makes the earlier cell
+            # replay them first next time too.
+            mixed_pairs: List[Tuple[int, int]] = []
+            for i, cid_l in enumerate(cids):
+                left = storage.get(cid_l)
+                for cid_r in cids[i + 1 :]:
+                    pair = (cid_l, cid_r)
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
+                    right = storage.get(cid_r)
+                    if not (
+                        (left.objects and right.queries)
+                        or (left.queries and right.objects)
+                    ):
+                        continue
+                    mixed_pairs.append(pair)
+                    memo = pair_memo.get(pair)
+                    if memo is not None:
+                        lm = marks.get(cid_l)
+                        rm = marks.get(cid_r)
+                        ml = memo[0]
+                        mr = memo[1]
+                        if (
+                            lm is not None
+                            and rm is not None
+                            and lm[0] == ml[0]
+                            and rm[0] == mr[0]
+                            and lm[1] - ml[1] == rm[1] - mr[1]
+                            and lm[2] - ml[2] == rm[2] - mr[2]
+                        ):
+                            replay_hits += 1
+                            replayed_tests += memo[3]
+                            if use_filter:
+                                replayed_between += 1
+                                if memo[2]:
+                                    replayed_between_hits += 1
+                            if memo[4]:
+                                results.extend(
+                                    [
+                                        QueryMatch(qid, oid, now)
+                                        for qid, oid in memo[4]
+                                    ]
+                                )
+                            continue
+                    compute_fresh(pair, left, right, now, results, marks)
+            cell_pairs[cell] = tuple(mixed_pairs)
+        grid.clear_dirty()
+        self.replay_hits += replay_hits
+        self.within_tests += replayed_tests
+        self.between_tests += replayed_between
+        self.between_hits += replayed_between_hits
+
     def _post_join_maintenance(self, now: float) -> None:
         """Dissolve arrivals, advance survivors, refresh the grid."""
         cfg = self.config
@@ -373,15 +701,47 @@ class Scuba(StagedJoinOperator):
             dead = [cid for cid in view_cache if cid not in storage]
             for cid in dead:
                 del view_cache[cid]
-        between_cache = self._between_cache
-        if between_cache:
-            dead_pairs = [
-                pair
-                for pair in between_cache
-                if pair[0] not in storage or pair[1] not in storage
-            ]
-            for pair in dead_pairs:
-                del between_cache[pair]
+        self_memo = self._self_memo
+        if len(self_memo) > len(storage):
+            dead = [cid for cid in self_memo if cid not in storage]
+            for cid in dead:
+                del self_memo[cid]
+        # Pair-keyed caches have no cheap live-size reference, so the full
+        # scan only fires past a watermark that doubles beyond the live
+        # size after each prune: stable runs never scan, and memory stays
+        # within 2x of the live pair population.
+        self._between_watermark = self._prune_pair_cache(
+            self._between_cache, self._between_watermark
+        )
+        self._pair_memo_watermark = self._prune_pair_cache(
+            self._pair_memo, self._pair_memo_watermark
+        )
+        cell_pairs = self._cell_pairs
+        grid = self.world.grid
+        if len(cell_pairs) > 2 * grid.occupied_cell_count + 64:
+            vacant = [cell for cell in cell_pairs if not grid.members(cell)]
+            for cell in vacant:
+                del cell_pairs[cell]
+
+    def _prune_pair_cache(
+        self, cache: Dict[Tuple[int, int], Any], watermark: int
+    ) -> int:
+        """Drop dead-cid entries from a pair-keyed cache past ``watermark``.
+
+        Returns the next watermark: twice the surviving size (floor 64),
+        so prune cost is amortised against actual growth.
+        """
+        if len(cache) <= watermark:
+            return watermark
+        storage = self.world.storage
+        dead_pairs = [
+            pair
+            for pair in cache
+            if pair[0] not in storage or pair[1] not in storage
+        ]
+        for pair in dead_pairs:
+            del cache[pair]
+        return max(64, 2 * len(cache))
 
     # -- introspection ---------------------------------------------------------------
 
@@ -398,10 +758,17 @@ class Scuba(StagedJoinOperator):
         """Kernel/cache instrumentation folded into run statistics."""
         return {
             "kernel_backend": self.kernels.name,
+            "incremental": self.config.incremental,
             "view_cache_hits": self.view_cache_hits,
             "view_cache_misses": self.view_cache_misses,
             "between_cache_hits": self.between_cache_hits,
             "between_cache_misses": self.between_cache_misses,
+            "replay_hits": self.replay_hits,
+            "replay_misses": self.replay_misses,
+            "cell_replay_hits": self.cell_replay_hits,
+            "cell_replay_misses": self.cell_replay_misses,
+            "cluster_clean_hits": self.cluster_clean_hits,
+            "cluster_clean_misses": self.cluster_clean_misses,
         }
 
     def state_roots(self) -> List[object]:
@@ -429,7 +796,16 @@ class Scuba(StagedJoinOperator):
         shipped to a worker without NumPy degrades gracefully.
         """
         state = self.__dict__.copy()
-        for transient in ("kernels", "_view_cache", "_between_cache", "_seen_pairs"):
+        for transient in (
+            "kernels",
+            "_view_cache",
+            "_between_cache",
+            "_seen_pairs",
+            "_pair_memo",
+            "_self_memo",
+            "_sweep_marks",
+            "_cell_pairs",
+        ):
             state.pop(transient, None)
         return state
 
@@ -439,6 +815,12 @@ class Scuba(StagedJoinOperator):
         self._view_cache = {}
         self._between_cache = {}
         self._seen_pairs = set()
+        # Empty memos and an empty mark table make the first post-unpickle
+        # sweep a plain full recompute; replay resumes from there.
+        self._pair_memo = {}
+        self._self_memo = {}
+        self._sweep_marks = {}
+        self._cell_pairs = {}
 
     def __repr__(self) -> str:
         return (

@@ -69,6 +69,13 @@ class GeneratorConfig:
     #: volume grows with the skew factor (useful for shedding/accuracy
     #: studies that want dense matches).
     mixed_groups: bool = False
+    #: Fraction of skew groups that are *parked*: their members stand still
+    #: (speed factor 0) at their initial positions, like congested or
+    #: parked traffic.  Stationary entities still report per
+    #: ``update_fraction`` — real reporting policies keep sending
+    #: heartbeats — but their clusters never move, which is the
+    #: steady-state regime the incremental join sweep replays.
+    stopped_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_objects < 0 or self.num_queries < 0:
@@ -82,6 +89,10 @@ class GeneratorConfig:
         lo, hi = self.speed_factor_range
         if not 0.0 < lo <= hi <= 1.0:
             raise ValueError(f"bad speed_factor_range: {self.speed_factor_range}")
+        if not 0.0 <= self.stopped_fraction <= 1.0:
+            raise ValueError(
+                f"stopped_fraction must be in [0, 1], got {self.stopped_fraction}"
+            )
 
 
 class NetworkBasedGenerator:
@@ -147,6 +158,9 @@ class NetworkBasedGenerator:
         rng = self._rng
         plan = DestinationPlan((cfg.seed, group_index), self._node_ids)
         base_factor = rng.uniform(*cfg.speed_factor_range)
+        # Guarding the draw keeps the stream bit-identical to configs that
+        # predate stopped_fraction whenever the knob is off.
+        stopped = cfg.stopped_fraction > 0.0 and rng.random() < cfg.stopped_fraction
 
         # Shared initial route: origin -> first planned destination.
         origin = self._node_ids[rng.randrange(len(self._node_ids))]
@@ -183,8 +197,11 @@ class NetworkBasedGenerator:
                 leg_index += 1
             offset = min(along - cumulative[leg_index], edges[leg_index].length)
             position = EdgePosition(edges[leg_index], path[leg_index], offset)
-            jitter = 1.0 + cfg.speed_jitter * rng.uniform(-1.0, 1.0)
-            factor = min(max(base_factor * jitter, 0.05), 1.0)
+            if stopped:
+                factor = 0.0
+            else:
+                jitter = 1.0 + cfg.speed_jitter * rng.uniform(-1.0, 1.0)
+                factor = min(max(base_factor * jitter, 0.05), 1.0)
             entity = MovingEntity(
                 entity_id=next_id[kind],
                 kind=kind,

@@ -85,8 +85,10 @@ class MovingEntity:
         range_width: float = 0.0,
         range_height: float = 0.0,
     ) -> None:
-        if not 0.0 < speed_factor <= 1.0:
-            raise ValueError(f"speed factor must be in (0, 1], got {speed_factor}")
+        # Zero is a legitimate factor: parked/congested entities stand
+        # still but keep reporting (see GeneratorConfig.stopped_fraction).
+        if not 0.0 <= speed_factor <= 1.0:
+            raise ValueError(f"speed factor must be in [0, 1], got {speed_factor}")
         if kind is EntityKind.QUERY and (range_width <= 0 or range_height <= 0):
             raise ValueError("queries need a positive range extent")
         self.entity_id = entity_id
@@ -133,7 +135,9 @@ class MovingEntity:
             # Reach the connection node; consume the time it took.
             if self.speed > 0:
                 budget -= remaining / self.speed
-            else:  # pragma: no cover - speed is always positive by construction
+            else:
+                # A parked entity flush against its connection node: it is
+                # not going anywhere, so the budget is spent.
                 budget = 0.0
             self.distance_travelled += remaining
             self._enter_next_edge(network)

@@ -144,6 +144,15 @@ class TestMovingEntityUpdates:
 
     def test_invalid_speed_factor_rejected(self, city, router):
         with pytest.raises(ValueError):
-            make_entity(city, router, speed_factor=0.0)
+            make_entity(city, router, speed_factor=-0.1)
         with pytest.raises(ValueError):
             make_entity(city, router, speed_factor=1.5)
+
+    def test_zero_speed_factor_is_parked(self, city, router):
+        # Zero is legitimate: parked/congested entities stand still but
+        # keep reporting (GeneratorConfig.stopped_fraction).
+        entity = make_entity(city, router, speed_factor=0.0)
+        before = entity.location(city)
+        entity.advance(5.0, city)
+        assert entity.location(city) == before
+        assert entity.speed == 0.0
