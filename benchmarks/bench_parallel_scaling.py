@@ -59,6 +59,13 @@ def run_config(
     data["critical_path_seconds"] = sum(
         max(i["shard_join_seconds"], default=0.0) for i in data["intervals"]
     )
+    # Ingest's share of the operator work (ingest + join): the number
+    # that says whether cluster maintenance or the Δ-join dominates this
+    # configuration — sharding attacks the join, the batched ingest
+    # kernels attack the rest.
+    ingest = data["totals"]["ingest_seconds"]
+    busy = ingest + data["totals"]["join_seconds"]
+    data["ingest_share"] = ingest / busy if busy > 0 else None
     return data
 
 
@@ -82,11 +89,14 @@ def sweep(
             runs.append(data)
             if verbose:
                 p = data["parallel"]
+                share = data["ingest_share"]
                 print(
                     f"  K={shards:<2d} {executor:<8s} "
                     f"join {join:7.3f}s  "
                     f"critical-path {data['critical_path_seconds']:7.3f}s  "
-                    f"imbalance {p['load_imbalance']:.2f}  "
+                    f"ingest share "
+                    + (f"{share:5.1%}  " if share is not None else "  n/a  ")
+                    + f"imbalance {p['load_imbalance']:.2f}  "
                     f"replication {p['replication_factor']:.2f}  "
                     f"results {data['totals']['result_count']}"
                 )

@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="delta-driven incremental join sweep: replay "
                              "memoized matches for structurally-clean, "
                              "relatively-unmoved cluster pairs (scuba only)")
+    parser.add_argument("--batched-ingest", action="store_true",
+                        help="batched columnar ingest: process each tick's "
+                             "updates per cluster group through the "
+                             "--kernel-backend ingest kernel instead of one "
+                             "at a time (scuba only; answers unchanged)")
     parser.add_argument("--grid", type=int, default=100,
                         help="spatial grid size (NxN cells)")
     parser.add_argument("--record", metavar="TRACE",
@@ -98,6 +103,7 @@ def make_scuba_config(args: argparse.Namespace) -> ScubaConfig:
         split_at_destination=args.split,
         kernel_backend=args.kernel_backend,
         incremental=args.incremental,
+        batched_ingest=args.batched_ingest,
     )
 
 
@@ -171,6 +177,15 @@ def print_cache_footer(counters: dict) -> None:
             f"clean clusters {_hit_rate(counters, 'cluster_clean')}"
         )
     print(line)
+    if counters.get("batched_ingest"):
+        print(
+            f"ingest [{counters.get('ingest_backend', '?')}]: "
+            f"batched {counters.get('fast_path_batched', 0)} | "
+            f"bulk absorbs {counters.get('bulk_absorbs', 0)} | "
+            f"grid refreshes deduped {counters.get('grid_refresh_deduped', 0)} "
+            f"(+{counters.get('grid_refresh_skips', 0)} skipped) | "
+            f"fallbacks {counters.get('batch_fallbacks', 0)}"
+        )
 
 
 def main(argv=None) -> int:
@@ -188,6 +203,10 @@ def main(argv=None) -> int:
     if args.incremental and args.operator != "scuba":
         raise SystemExit(
             f"--incremental requires --operator scuba, got {args.operator}"
+        )
+    if args.batched_ingest and args.operator != "scuba":
+        raise SystemExit(
+            f"--batched-ingest requires --operator scuba, got {args.operator}"
         )
     city = grid_city(rows=args.city, cols=args.city)
     if args.replay:

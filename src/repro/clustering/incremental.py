@@ -148,31 +148,41 @@ class IncrementalClusterer:
         return None
 
     def _find_cluster(self, update: Update) -> Optional[MovingCluster]:
-        """Steps 1 and 3: grid probe, then nearest qualifying candidate."""
+        """Steps 1 and 3: grid probe, then nearest qualifying candidate.
+
+        Candidates are scanned in one pass straight off the grid cells with
+        a ``(dist, cid)`` min-key — equivalent to the sort-by-cid +
+        strictly-closer scan it replaces (ascending-cid iteration with a
+        strict ``<`` keeps the lowest cid among distance ties, i.e. the
+        lexicographic minimum) without materialising and sorting the
+        candidate set per probe.
+        """
         world = self.world
-        cells = world.grid.cells_for_circle(
-            update.loc.x, update.loc.y, self.spec.theta_d
-        )
-        candidate_ids = set()
-        for cell in cells:
-            candidate_ids.update(world.grid.members(cell))
+        spec = self.spec
+        storage = world.storage
+        grid = world.grid
+        loc = update.loc
         best: Optional[MovingCluster] = None
-        best_dist = math.inf
-        for cid in sorted(candidate_ids):
-            cluster = world.storage.get(cid)
-            if self.spec.require_same_destination and (
-                update.cn_node != cluster.cn_node
-            ):
-                continue
-            cluster.advance_to(update.t)
-            dist = math.hypot(
-                update.loc.x - cluster.cx, update.loc.y - cluster.cy
-            )
-            if dist > self.spec.theta_d:
-                continue
-            if abs(update.speed - cluster.avespeed) > self.spec.theta_s:
-                continue
-            if dist < best_dist:
-                best = cluster
-                best_dist = dist
+        best_key: Optional[tuple] = None
+        seen: set = set()
+        for cell in grid.cells_for_circle(loc.x, loc.y, spec.theta_d):
+            for cid in grid.members(cell):
+                if cid in seen:
+                    continue
+                seen.add(cid)
+                cluster = storage.get(cid)
+                if spec.require_same_destination and (
+                    update.cn_node != cluster.cn_node
+                ):
+                    continue
+                cluster.advance_to(update.t)
+                dist = math.hypot(loc.x - cluster.cx, loc.y - cluster.cy)
+                if dist > spec.theta_d:
+                    continue
+                if abs(update.speed - cluster.avespeed) > spec.theta_s:
+                    continue
+                key = (dist, cid)
+                if best_key is None or key < best_key:
+                    best = cluster
+                    best_key = key
         return best

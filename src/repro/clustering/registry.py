@@ -85,6 +85,22 @@ class ClusterHome:
     def cluster_of(self, entity_id: int, kind: EntityKind) -> Optional[int]:
         return self._home.get(entity_id * 2 + (kind is EntityKind.OBJECT))
 
+    def cluster_of_key(self, key: int) -> Optional[int]:
+        """Lookup by pre-packed key (``entity_id * 2 + is_object``).
+
+        The batched ingest path packs keys once per tick into columnar
+        arrays; this entry point skips re-deriving them per lookup.
+        """
+        return self._home.get(key)
+
+    def key_map(self) -> Dict[int, int]:
+        """The key → cid table itself (treat as read-only).
+
+        The batched grouping pass binds this dict's ``.get`` once per
+        tick, turning the per-update home lookup into a bare dict probe.
+        """
+        return self._home
+
     def assign(self, entity_id: int, kind: EntityKind, cid: int) -> None:
         self._home[entity_id * 2 + (kind is EntityKind.OBJECT)] = cid
 
@@ -116,6 +132,15 @@ class ClusterGrid(SpatialGrid):
         super().__init__(*args, **kwargs)
         # (center_x, center_y, inflated_radius) registered per cluster id.
         self._registered: Dict[int, Tuple[float, float, float]] = {}
+        # (version, cx, cy, radius) at the last refresh that verified
+        # containment: while those are unchanged the containment verdict
+        # cannot have changed, so refresh is a guaranteed no-op.  Parked
+        # convoys from ``--stopped-fraction`` heartbeat without moving,
+        # turning their per-update refresh into a dict probe plus three
+        # equality compares — no sqrt, no re-registration arithmetic.
+        self._verified: Dict[int, Tuple[int, float, float, float]] = {}
+        #: Refresh calls answered by the version early-out (diagnostics).
+        self.refresh_skips = 0
         self._slack = 0.5 * min(
             self.bounds.width / self.nx, self.bounds.height / self.ny
         )
@@ -127,10 +152,21 @@ class ClusterGrid(SpatialGrid):
         self.insert(cluster.cid, cells)
         cluster.grid_cells = cells
         self._registered[cluster.cid] = (cx, cy, radius)
+        self._verified[cluster.cid] = (
+            cluster.version, cx, cy, cluster.radius
+        )
 
     def refresh(self, cluster: MovingCluster) -> None:
         """Re-register if the footprint escaped its slack-inflated cover."""
-        reg = self._registered.get(cluster.cid)
+        cid = cluster.cid
+        if self._verified.get(cid) == (
+            cluster.version, cluster.cx, cluster.cy, cluster.radius
+        ):
+            # Verified unchanged since the last containment check: the
+            # covering cells are still a superset of the footprint.
+            self.refresh_skips += 1
+            return
+        reg = self._registered.get(cid)
         if reg is not None:
             # Still inside the registered circle? Then the registered cells
             # cover every cell the exact footprint touches.  Runs for every
@@ -139,14 +175,18 @@ class ClusterGrid(SpatialGrid):
             dy = cluster.cy - reg[1]
             needed_r = cluster.radius + cluster.max_query_half_diag
             if (dx * dx + dy * dy) ** 0.5 + needed_r <= reg[2]:
+                self._verified[cid] = (
+                    cluster.version, cluster.cx, cluster.cy, cluster.radius
+                )
                 return
-            self.remove(cluster.cid, cluster.grid_cells)
+            self.remove(cid, cluster.grid_cells)
         self.register(cluster)
 
     def unregister(self, cluster: MovingCluster) -> None:
         self.remove(cluster.cid, cluster.grid_cells)
         cluster.grid_cells = ()
         self._registered.pop(cluster.cid, None)
+        self._verified.pop(cluster.cid, None)
 
 
 class ClusterWorld:
@@ -156,6 +196,14 @@ class ClusterWorld:
         self.storage = ClusterStorage()
         self.home = ClusterHome()
         self.grid = ClusterGrid(bounds, grid_size)
+        #: Optional callable invoked with the target cluster right before
+        #: a membership mutation (absorb/evict).  The batched ingest
+        #: kernel installs it for the duration of one tick's walk so
+        #: slow-path rows that touch a cluster with uncommitted batched
+        #: rows first flush those rows in arrival order — keeping the
+        #: mutation sequence identical to the scalar loop.  Always
+        #: ``None`` outside a batched walk (and never pickled set).
+        self.pre_absorb_hook = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -187,12 +235,18 @@ class ClusterWorld:
 
     def absorb(self, cluster: MovingCluster, update) -> None:
         """Absorb ``update`` into ``cluster`` and keep home/grid in sync."""
+        hook = self.pre_absorb_hook
+        if hook is not None:
+            hook(cluster)
         cluster.absorb(update)
         self.home.assign(update.entity_id, update.kind, cluster.cid)
         self.grid.refresh(cluster)
 
     def evict(self, cluster: MovingCluster, entity_id: int, kind: EntityKind) -> None:
         """Remove one member; dissolve the cluster if it becomes empty."""
+        hook = self.pre_absorb_hook
+        if hook is not None:
+            hook(cluster)
         cluster.remove(entity_id, kind)
         self.home.release(entity_id, kind)
         if cluster.is_empty:

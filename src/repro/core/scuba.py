@@ -69,6 +69,7 @@ from ..clustering import (
 )
 from ..generator import EntityKind, Update
 from ..geometry import Rect
+from ..ingest import make_ingest_kernel
 from ..kernels import BACKEND_CHOICES, resolve_backend
 from ..network import DEFAULT_BOUNDS
 from ..shedding import AdaptiveShedder, NoShedding, SheddingPolicy
@@ -137,6 +138,14 @@ class ScubaConfig:
     #: re-running the kernels; clean grid cells replay their pair lists
     #: wholesale.  Answers stay multiset-identical to the full recompute.
     incremental: bool = False
+    #: Batched columnar ingest: build one
+    #: :class:`~repro.ingest.UpdateBatch` per evaluation tick and run the
+    #: steady-state cluster-maintenance fast path per cluster group
+    #: (vectorised under the NumPy backend) instead of per update.  The
+    #: ingest kernel backend follows ``kernel_backend``.  Answers and
+    #: cluster assignments stay identical to the scalar loop (see
+    #: :mod:`repro.ingest.base` for the exactness contract).
+    batched_ingest: bool = False
 
     def __post_init__(self) -> None:
         if self.grid_size < 1:
@@ -198,6 +207,14 @@ class Scuba(StagedJoinOperator):
         else:
             self.shedder = None
         self.kernels = resolve_backend(self.config.kernel_backend)
+        # Ingest kernels are stateful (counters, member-view caches), so
+        # each operator owns a fresh instance; ``None`` keeps the scalar
+        # per-update loop byte-for-byte untouched when batching is off.
+        self.ingest_kernel = (
+            make_ingest_kernel(self.config.kernel_backend)
+            if self.config.batched_ingest
+            else None
+        )
         # Cross-evaluation caches, all keyed on cluster version counters
         # (cids are never reused, so a stale cid can only miss or be
         # pruned, never alias).  Dropped on pickling and rebuilt lazily.
@@ -266,6 +283,45 @@ class Scuba(StagedJoinOperator):
         if not self._shed_is_noop:
             dist = hypot(update.loc.x - cluster.cx, update.loc.y - cluster.cy)
             self.config.shedding.apply(cluster, update, dist)
+
+    def record_update(self, update: Update) -> None:
+        """Tables-only half of :meth:`on_update` (no clustering).
+
+        The batched ingest kernels record fast-path rows at their arrival
+        position and commit their cluster maintenance as a group later.
+        """
+        if update.kind is EntityKind.OBJECT:
+            self.objects_table.record(update.entity_id, update.attrs, update.t)
+        else:
+            self.queries_table.record(update.entity_id, update.attrs, update.t)
+
+    def record_updates(self, updates: Sequence[Update]) -> None:
+        """Bulk :meth:`record_update`: one tick's table rows, arrival
+        order, with the table methods bound once for the whole run."""
+        obj_record = self.objects_table.record
+        qry_record = self.queries_table.record
+        obj = EntityKind.OBJECT
+        for update in updates:
+            if update.kind is obj:
+                obj_record(update.entity_id, update.attrs, update.t)
+            else:
+                qry_record(update.entity_id, update.attrs, update.t)
+
+    def ingest_clustered(self, update: Update) -> None:
+        """Clustering half of :meth:`on_update` (tables already recorded)."""
+        cluster = self.clusterer.ingest(update)
+        if not self._shed_is_noop:
+            dist = hypot(update.loc.x - cluster.cx, update.loc.y - cluster.cy)
+            self.config.shedding.apply(cluster, update, dist)
+
+    def ingest_batch(self, updates: Sequence[Update]) -> None:
+        kernel = self.ingest_kernel
+        if kernel is None:
+            on_update = self.on_update
+            for update in updates:
+                on_update(update)
+        else:
+            kernel.run(self, updates)
 
     def retract(self, entity_id: int, kind: EntityKind) -> None:
         """Forget one entity: evict it from its cluster and its table.
@@ -756,9 +812,27 @@ class Scuba(StagedJoinOperator):
 
     def join_counters(self) -> Dict[str, Any]:
         """Kernel/cache instrumentation folded into run statistics."""
-        return {
+        kernel = self.ingest_kernel
+        counters: Dict[str, Any] = {
             "kernel_backend": self.kernels.name,
             "incremental": self.config.incremental,
+            "batched_ingest": self.config.batched_ingest,
+            # Zeros when batching is off, so merged/reported stat shapes
+            # do not depend on the flag.
+            "fast_path_batched": 0,
+            "bulk_absorbs": 0,
+            "grid_refresh_deduped": 0,
+            "batch_fallbacks": 0,
+            "grid_refresh_skips": self.world.grid.refresh_skips,
+        }
+        if kernel is not None:
+            counters["ingest_backend"] = kernel.name
+            counters.update(kernel.counters())
+        counters.update(self._join_cache_counters())
+        return counters
+
+    def _join_cache_counters(self) -> Dict[str, Any]:
+        return {
             "view_cache_hits": self.view_cache_hits,
             "view_cache_misses": self.view_cache_misses,
             "between_cache_hits": self.between_cache_hits,
@@ -798,6 +872,7 @@ class Scuba(StagedJoinOperator):
         state = self.__dict__.copy()
         for transient in (
             "kernels",
+            "ingest_kernel",
             "_view_cache",
             "_between_cache",
             "_seen_pairs",
@@ -812,6 +887,11 @@ class Scuba(StagedJoinOperator):
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self.kernels = resolve_backend(self.config.kernel_backend)
+        self.ingest_kernel = (
+            make_ingest_kernel(self.config.kernel_backend)
+            if self.config.batched_ingest
+            else None
+        )
         self._view_cache = {}
         self._between_cache = {}
         self._seen_pairs = set()

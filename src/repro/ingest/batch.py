@@ -1,0 +1,105 @@
+"""Columnar update batches — the SoA view of one tick's stream tuples.
+
+The scalar ingest path reads each update's fields through Python attribute
+access, once per call-chain hop.  The batched ingest kernels instead build
+one :class:`UpdateBatch` per evaluation tick: parallel flat lists (and,
+under the numpy kernel, ``float64``/``int64`` arrays materialised lazily)
+of the admission-relevant columns — entity key, kind, position, speed,
+destination node, timestamp — plus the original update objects for the
+slow-path fallback and the tables.
+
+Entity keys use the same packing as
+:class:`~repro.clustering.registry.ClusterHome` (``entity_id * 2 +
+is_object``), so a batch column can be joined directly against the home
+table and against per-cluster member snapshots without touching the
+:class:`~repro.generator.EntityKind` enum on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..generator import EntityKind, Update
+
+__all__ = ["UpdateBatch"]
+
+
+class UpdateBatch:
+    """Struct-of-arrays snapshot of one tick's updates, in arrival order."""
+
+    __slots__ = (
+        "updates",
+        "keys",
+        "kinds",
+        "xs",
+        "ys",
+        "speeds",
+        "cns",
+        "ts",
+        "_np_columns",
+    )
+
+    def __init__(self, updates: Sequence[Update]) -> None:
+        self.updates: Sequence[Update] = updates
+        keys: List[int] = []
+        kinds: List[bool] = []
+        xs: List[float] = []
+        ys: List[float] = []
+        speeds: List[float] = []
+        cns: List[int] = []
+        ts: List[float] = []
+        obj = EntityKind.OBJECT
+        for update in updates:
+            is_object = update.kind is obj
+            keys.append(update.entity_id * 2 + is_object)
+            kinds.append(is_object)
+            loc = update.loc
+            xs.append(loc.x)
+            ys.append(loc.y)
+            speeds.append(update.speed)
+            cns.append(update.cn_node)
+            ts.append(update.t)
+        self.keys = keys
+        self.kinds = kinds
+        self.xs = xs
+        self.ys = ys
+        self.speeds = speeds
+        self.cns = cns
+        self.ts = ts
+        self._np_columns: Optional[tuple] = None
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    @property
+    def uniform_t(self) -> Optional[float]:
+        """The batch's single timestamp, or ``None`` when timestamps mix.
+
+        Generator ticks emit every update at the same simulation time; the
+        batched fast path relies on that (one ``advance_to`` per cluster
+        per batch), so mixed-timestamp batches fall back to the scalar
+        loop.
+        """
+        ts = self.ts
+        if not ts:
+            return None
+        t = ts[0]
+        for other in ts:
+            if other != t:
+                return None
+        return t
+
+    def numpy_columns(self, np: Any) -> tuple:
+        """``(keys, xs, ys, speeds, cns)`` as ndarrays, built once per batch."""
+        columns = self._np_columns
+        if columns is None:
+            n = len(self.keys)
+            columns = (
+                np.fromiter(self.keys, dtype=np.int64, count=n),
+                np.fromiter(self.xs, dtype=np.float64, count=n),
+                np.fromiter(self.ys, dtype=np.float64, count=n),
+                np.fromiter(self.speeds, dtype=np.float64, count=n),
+                np.fromiter(self.cns, dtype=np.int64, count=n),
+            )
+            self._np_columns = columns
+        return columns

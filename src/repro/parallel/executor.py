@@ -60,14 +60,26 @@ class ShardResult:
 
 
 def _apply_ops(operator, ops: Sequence[ShardOp]) -> int:
-    """Apply one tick's operations in order; returns updates ingested."""
+    """Apply one tick's operations in order; returns updates ingested.
+
+    Maximal runs of consecutive updates go through the operator's
+    ``ingest_batch`` (Retracts are run boundaries applied in place), so a
+    batched ingest path sees whole-tick groups while the op order — and
+    therefore the resulting state — matches the one-at-a-time loop.
+    """
     ingested = 0
-    for op in ops:
+    ingest_batch = operator.ingest_batch
+    run_start = 0
+    for i, op in enumerate(ops):
         if type(op) is Retract:
+            if run_start < i:
+                ingest_batch(ops[run_start:i])
+                ingested += i - run_start
             operator.retract(op.entity_id, op.kind)
-        else:
-            operator.on_update(op)
-            ingested += 1
+            run_start = i + 1
+    if run_start < len(ops):
+        ingest_batch(ops[run_start:])
+        ingested += len(ops) - run_start
     return ingested
 
 

@@ -86,9 +86,9 @@ class OperatorPlan(StagePlan):
         )
 
     def ingest(self, ctx: EvaluationContext, updates: Sequence[Any]) -> None:
-        on_update = self.operator.on_update
-        for update in updates:
-            on_update(update)
+        # One tick per call: operators with a batched ingest path process
+        # the tick as a group; the default is the per-update loop.
+        self.operator.ingest_batch(updates)
 
     def join(self, ctx: EvaluationContext) -> None:
         ctx.matches = self.operator.join_phase(ctx.now)

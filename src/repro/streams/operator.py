@@ -22,7 +22,7 @@ working: the default ``join_phase`` falls back to it.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 from ..generator import EntityKind, Update
 from .metrics import Timer
@@ -42,6 +42,17 @@ class ContinuousJoinOperator(abc.ABC):
         per-tuple state maintenance (hashing into a grid, incremental
         clustering, ...) happens here.
         """
+
+    def ingest_batch(self, updates: Sequence[Update]) -> None:
+        """Ingest one tick's updates, in arrival order.
+
+        The pipeline and the shard executors deliver updates through this
+        entry point so operators with a batched ingest path (see
+        :mod:`repro.ingest`) can process a tick at a time.  The default is
+        the per-update loop, semantically identical for every operator.
+        """
+        for update in updates:
+            self.on_update(update)
 
     @abc.abstractmethod
     def evaluate(self, now: float) -> List[QueryMatch]:

@@ -121,6 +121,72 @@ class TestSplitCluster:
         assert successors[0].max_query_half_diag > 0
 
 
+class TestSuccessorLinks:
+    """Edge cases of `_follow_successor` — the link must only be taken
+    when it still points at a live, same-destination, qualifying cluster,
+    and `split_joins` must count nothing else."""
+
+    @pytest.fixture
+    def split_setup(self):
+        world = ClusterWorld(BOUNDS, 100)
+        clusterer = IncrementalClusterer(
+            world, ClusteringSpec(enable_splitting=True)
+        )
+        return world, clusterer
+
+    def _platoon_with_link(self, world, clusterer):
+        """Two objects heading to node 1; object 1 crosses to node 2,
+        recording a successor link on the old cluster."""
+        clusterer.ingest(obj(1, 500, 500, cn=1))
+        clusterer.ingest(obj(2, 505, 500, cn=1))
+        old = world.storage.get(world.home.cluster_of(1, EntityKind.OBJECT))
+        clusterer.ingest(obj(1, 510, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        assert old.successors is not None
+        return old, old.successors[2]
+
+    def test_valid_link_joins_successor(self, split_setup):
+        world, clusterer = split_setup
+        _old, succ_cid = self._platoon_with_link(world, clusterer)
+        clusterer.ingest(obj(2, 512, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        assert clusterer.split_joins == 1
+        assert world.home.cluster_of(2, EntityKind.OBJECT) == succ_cid
+
+    def test_stale_link_to_deleted_cluster_ignored(self, split_setup):
+        world, clusterer = split_setup
+        old, succ_cid = self._platoon_with_link(world, clusterer)
+        world.dissolve(world.storage.get(succ_cid))
+        assert old.successors[2] == succ_cid  # link left dangling
+        clusterer.ingest(obj(2, 512, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        assert clusterer.split_joins == 0
+        # Object 2 re-clustered through the normal path instead.
+        new_cid = world.home.cluster_of(2, EntityKind.OBJECT)
+        assert new_cid is not None and new_cid != succ_cid
+
+    def test_redestined_successor_rejected(self, split_setup):
+        world, clusterer = split_setup
+        old, succ_cid = self._platoon_with_link(world, clusterer)
+        # Re-point the link at a live cluster heading somewhere else.
+        clusterer.ingest(obj(9, 511, 500, t=1.0, cn=3, cn_loc=Point(9000, 9000)))
+        decoy_cid = world.home.cluster_of(9, EntityKind.OBJECT)
+        old.successors[2] = decoy_cid
+        clusterer.ingest(obj(2, 512, 500, t=1.0, cn=2, cn_loc=Point(0, 9000)))
+        # The decoy's destination no longer matches: not a split join —
+        # the grid probe still finds the genuine successor.
+        assert clusterer.split_joins == 0
+        assert world.home.cluster_of(2, EntityKind.OBJECT) == succ_cid
+
+    def test_unqualifying_successor_not_counted(self, split_setup):
+        world, clusterer = split_setup
+        _old, succ_cid = self._platoon_with_link(world, clusterer)
+        # Crossing member's speed is far outside Θ_S of the successor.
+        clusterer.ingest(
+            obj(2, 512, 500, t=1.0, speed=90.0, cn=2, cn_loc=Point(0, 9000))
+        )
+        assert clusterer.split_joins == 0
+        new_cid = world.home.cluster_of(2, EntityKind.OBJECT)
+        assert new_cid is not None and new_cid != succ_cid
+
+
 class TestSplitInScuba:
     def test_operator_splits_and_stays_exact(self, make_generator):
         from repro.core import NaiveJoin, Scuba, ScubaConfig
