@@ -1,0 +1,91 @@
+"""Live service: stream ticks to ``python -m repro.serve`` over TCP and
+tail the JSON-line result stream.
+
+The script plays both sides of a deployment: it starts the service as a
+subprocess with a socket tick source, connects as a producer streaming
+generator ticks with the ``scuba-ticks`` line protocol, and tails the
+service's stdout events — answers per interval, any overload/shedding
+decisions, and the final summary.
+
+Run with::
+
+    python examples/live_service.py
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import threading
+
+from repro import GeneratorConfig, NetworkBasedGenerator, grid_city
+from repro.serve import TICKS_FORMAT, TICKS_VERSION, tick_to_line
+
+TICKS = 30
+
+
+def stream_ticks(port: int) -> None:
+    """The producer side: one JSON tick per line over TCP."""
+    generator = NetworkBasedGenerator(
+        grid_city(),
+        GeneratorConfig(num_objects=300, num_queries=300, skew=20, seed=7,
+                        query_range=(120.0, 120.0)),
+    )
+    with socket.create_connection(("127.0.0.1", port)) as sock:
+        with sock.makefile("w") as out:
+            out.write(json.dumps(
+                {"format": TICKS_FORMAT, "version": TICKS_VERSION}) + "\n")
+            for _ in range(TICKS):
+                updates = generator.tick(1.0)
+                out.write(tick_to_line(generator.time, updates) + "\n")
+            out.write(json.dumps({"eof": True}) + "\n")
+            out.flush()
+    print(f"[producer] streamed {TICKS} ticks, sent eof")
+
+
+def main() -> None:
+    # 1. Start the service with a TCP tick source on an ephemeral port.
+    #    A small queue makes backpressure observable in the event stream.
+    service = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.serve",
+         "--source", "socket", "--port", "0",
+         "--intervals", "0", "--queue-depth", "8", "--emit-matches"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    started = json.loads(service.stdout.readline())
+    print(f"[service] listening on port {started['port']} "
+          f"(policy={started['policy']}, queue={started['queue_depth']})")
+
+    # 2. Stream ticks from a producer thread while this thread tails the
+    #    result events.
+    producer = threading.Thread(
+        target=stream_ticks, args=(started["port"],), daemon=True
+    )
+    producer.start()
+
+    # 3. Tail the event stream until the summary arrives.
+    for line in service.stdout:
+        event = json.loads(line)
+        if event["event"] == "results":
+            preview = ", ".join(
+                f"(q{m['qid']} sees o{m['oid']})"
+                for m in event["matches"][:3]
+            )
+            suffix = " ..." if event["count"] > 3 else ""
+            print(f"  t={event['t']:4.0f}: {event['count']:5d} matches   "
+                  f"{preview}{suffix}")
+        elif event["event"] in ("overload", "shedding"):
+            print(f"[service] {event['event']}: {event}")
+        elif event["event"] == "summary":
+            print(f"[service] {event['summary']}")
+            print(f"[service] ticks consumed: {event['cursor']}, "
+                  f"queue peak: {event['counters']['bp_queue_peak']}")
+            break
+
+    producer.join(timeout=10)
+    service.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    main()

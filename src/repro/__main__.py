@@ -268,17 +268,30 @@ def main(argv=None) -> int:
     header = f"{'t':>6}  {'ingest':>8}  {'join':>8}  {'maint':>8}  {'results':>8}"
     print(header)
     print("-" * len(header))
-    for _ in range(args.intervals):
-        stats = engine.run_interval()
-        print(
-            f"{stats.t:6.0f}  {stats.ingest_seconds * 1e3:7.1f}m  "
-            f"{stats.join_seconds * 1e3:7.1f}m  "
-            f"{stats.maintenance_seconds * 1e3:7.1f}m  "
-            f"{stats.result_count:8d}"
-        )
+    interrupted = False
+    try:
+        for _ in range(args.intervals):
+            stats = engine.run_interval()
+            print(
+                f"{stats.t:6.0f}  {stats.ingest_seconds * 1e3:7.1f}m  "
+                f"{stats.join_seconds * 1e3:7.1f}m  "
+                f"{stats.maintenance_seconds * 1e3:7.1f}m  "
+                f"{stats.result_count:8d}"
+            )
+    except KeyboardInterrupt:
+        # Ctrl-C mid-run still gets the partial accounting: completed
+        # intervals are in RunStats, and the footer below prints them
+        # before the conventional 130 exit.
+        interrupted = True
     print("-" * len(header))
+    if interrupted:
+        print(f"interrupted after {engine.stats.interval_count} of "
+              f"{args.intervals} intervals")
     print(engine.stats.summary())
     print_cache_footer(engine.stats.counters)
+    dropped = engine.stats.counters.get("sink_dropped_matches", 0)
+    if dropped:
+        print(f"sink: {dropped} matches evicted by the retention cap")
     if isinstance(operator, Scuba):
         print(f"clusters: {operator.cluster_count} | "
               f"between {operator.between_hits}/{operator.between_tests} | "
@@ -295,7 +308,7 @@ def main(argv=None) -> int:
     if args.record:
         generator.close()
         print(f"trace recorded to {args.record}")
-    return 0
+    return 130 if interrupted else 0
 
 
 if __name__ == "__main__":

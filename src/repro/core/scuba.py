@@ -368,6 +368,25 @@ class Scuba(StagedJoinOperator):
         self.config.shedding = policy
         self._shed_is_noop = isinstance(policy, NoShedding)
 
+    def escalate_shedding(self, now: float) -> bool:
+        """External overload signal: force η one rung up the ladder.
+
+        The service front-end calls this when ingest outruns evaluation
+        (queue pressure), independent of the retained-position feedback.
+        No-op (False) without ``adaptive_shedding``.
+        """
+        if self.shedder is None or not self.shedder.escalate(now):
+            return False
+        self.set_shedding_policy(self.shedder.policy)
+        return True
+
+    def relax_shedding(self, now: float) -> bool:
+        """Release one rung of forced shedding escalation (pressure gone)."""
+        if self.shedder is None or not self.shedder.relax(now):
+            return False
+        self.set_shedding_policy(self.shedder.policy)
+        return True
+
     def _view_of(self, cluster: MovingCluster) -> ClusterJoinView:
         """Cached join view of ``cluster``, rebuilt only when it changed."""
         view = self._view_cache.get(cluster.cid)

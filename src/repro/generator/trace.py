@@ -145,6 +145,29 @@ class TraceReplayer:
     def ticks_remaining(self) -> int:
         return len(self._ticks) - self._cursor
 
+    @property
+    def ticks_elapsed(self) -> int:
+        """Ticks already replayed — the replayer's resumable cursor."""
+        return self._cursor
+
+    def seek(self, ticks: int) -> None:
+        """Fast-forward to just after the ``ticks``-th recorded tick.
+
+        Replays the skipped ticks' updates into the latest-known table (so
+        :meth:`snapshot` stays correct) without returning them — the resume
+        path of a checkpointed trace-driven run.
+        """
+        if not 0 <= ticks <= len(self._ticks):
+            raise ValueError(
+                f"cannot seek to tick {ticks} of a {len(self._ticks)}-tick trace"
+            )
+        if ticks < self._cursor:
+            self._cursor = 0
+            self.time = 0.0
+            self._latest.clear()
+        while self._cursor < ticks:
+            self.tick()
+
     def tick(self, dt: float = 1.0) -> List[Update]:
         if self._cursor >= len(self._ticks):
             raise StopIteration(f"trace exhausted after {len(self._ticks)} ticks")

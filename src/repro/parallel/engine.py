@@ -478,6 +478,64 @@ class ShardedEngine:
         """Run ``intervals`` consecutive Δ intervals and return the stats."""
         return self.pipeline.run(intervals)
 
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable engine state at an interval barrier.
+
+        The sharded snapshot is a manifest: one operator blob per shard
+        (gathered from the executor — off-process workers pickle and ship
+        their state), the partitioner's routing memory, the plan geometry
+        for validation, and the pipeline clock/accounting.
+        """
+        plan = self.plan
+        return {
+            "kind": "sharded",
+            "manifest": {
+                "num_shards": plan.num_shards,
+                "kx": plan.kx,
+                "ky": plan.ky,
+                "halo_margin": plan.halo_margin,
+                "bounds": plan.bounds,
+            },
+            "operators": self.executor.snapshot_operators(),
+            "partitioner": self.partitioner.snapshot_state(),
+            "pipeline": self.pipeline.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` on a freshly built engine.
+
+        The engine must have been constructed with the same shard plan the
+        snapshot was taken under — per-shard state is only meaningful over
+        identical tile geometry.
+        """
+        if state.get("kind") != "sharded":
+            raise ValueError(
+                f"snapshot is for a {state.get('kind')!r} engine, not sharded"
+            )
+        manifest = state["manifest"]
+        plan = self.plan
+        current = (plan.num_shards, plan.kx, plan.ky, plan.halo_margin)
+        recorded = (
+            manifest["num_shards"],
+            manifest["kx"],
+            manifest["ky"],
+            manifest["halo_margin"],
+        )
+        if current != recorded:
+            raise ValueError(
+                f"snapshot shard plan {recorded} does not match engine "
+                f"plan {current}"
+            )
+        self.executor.restore_operators(state["operators"])
+        self.partitioner.restore_state(state["partitioner"])
+        self.pipeline.restore_state(state["pipeline"])
+
+    def broadcast(self, method: str, *args) -> List[Any]:
+        """Invoke an operator method on every shard (see executor.apply)."""
+        return self.executor.apply(method, *args)
+
     def close(self) -> None:
         """Shut down the executor (worker processes, if any)."""
         if not self._closed:

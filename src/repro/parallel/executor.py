@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence, Tuple
@@ -101,6 +102,28 @@ class ShardExecutor(abc.ABC):
     def evaluate(self, now: float) -> List[ShardResult]:
         """Run the Δ-triggered evaluation on every shard and gather."""
 
+    @abc.abstractmethod
+    def snapshot_operators(self) -> List[bytes]:
+        """Pickle every shard operator's state (checkpoint barrier).
+
+        Call only between intervals — mid-interval operator state is not a
+        resumable point.  The blobs restore through
+        :meth:`restore_operators` on an executor of the same shard count.
+        """
+
+    @abc.abstractmethod
+    def restore_operators(self, blobs: Sequence[bytes]) -> None:
+        """Replace every shard operator with its pickled snapshot."""
+
+    @abc.abstractmethod
+    def apply(self, method: str, *args: object) -> List[object]:
+        """Invoke ``operator.method(*args)`` on every shard, gather results.
+
+        Shards whose operator lacks the method contribute ``None`` — the
+        broadcast channel for cross-shard control signals (e.g. forced
+        shedding escalation) that must also reach off-process workers.
+        """
+
     def close(self) -> None:
         """Release executor resources (idempotent)."""
 
@@ -158,6 +181,25 @@ class SerialExecutor(ShardExecutor):
             self._tuples[shard] = 0
         return results
 
+    def snapshot_operators(self) -> List[bytes]:
+        return [pickle.dumps(operator) for operator in self.operators]
+
+    def restore_operators(self, blobs: Sequence[bytes]) -> None:
+        if len(blobs) != len(self.operators):
+            raise ValueError(
+                f"snapshot has {len(blobs)} shards, executor has "
+                f"{len(self.operators)}"
+            )
+        self.operators = [pickle.loads(blob) for blob in blobs]
+
+    def apply(self, method: str, *args: object) -> List[object]:
+        return [
+            getattr(operator, method)(*args)
+            if hasattr(operator, method)
+            else None
+            for operator in self.operators
+        ]
+
 
 def _shard_worker(conn, factory: OperatorFactory, bounds: Rect) -> None:
     """Worker-process loop: build the operator, then serve the pipe."""
@@ -185,6 +227,16 @@ def _shard_worker(conn, factory: OperatorFactory, bounds: Rect) -> None:
             conn.send((matches, stats, operator.join_counters()))
             ingest_seconds = 0.0
             tuples = 0
+        elif tag == "snapshot":
+            conn.send(pickle.dumps(operator))
+        elif tag == "restore":
+            operator = pickle.loads(message[1])
+            ingest_seconds = 0.0
+            tuples = 0
+        elif tag == "apply":
+            method, args = message[1], message[2]
+            bound = getattr(operator, method, None)
+            conn.send(bound(*args) if bound is not None else None)
         elif tag == "close":
             conn.close()
             return
@@ -237,6 +289,25 @@ class ProcessExecutor(ShardExecutor):
                 ShardResult(matches=matches, stats=stats, counters=counters)
             )
         return results
+
+    def snapshot_operators(self) -> List[bytes]:
+        for pipe in self._pipes:
+            pipe.send(("snapshot",))
+        return [pipe.recv() for pipe in self._pipes]
+
+    def restore_operators(self, blobs: Sequence[bytes]) -> None:
+        if len(blobs) != len(self._pipes):
+            raise ValueError(
+                f"snapshot has {len(blobs)} shards, executor has "
+                f"{len(self._pipes)}"
+            )
+        for pipe, blob in zip(self._pipes, blobs):
+            pipe.send(("restore", blob))
+
+    def apply(self, method: str, *args: object) -> List[object]:
+        for pipe in self._pipes:
+            pipe.send(("apply", method, args))
+        return [pipe.recv() for pipe in self._pipes]
 
     def close(self) -> None:
         for pipe in self._pipes:

@@ -243,6 +243,25 @@ class SpatialPartitioner:
             return 1.0
         return self.deliveries / self.updates_routed
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """Picklable routing state for a checkpoint (plan geometry excluded —
+        the restoring engine must already run the identical plan)."""
+        return {
+            "placement": dict(self._placement),
+            "owner": dict(self._owner),
+            "updates_routed": self.updates_routed,
+            "deliveries": self.deliveries,
+            "retractions": self.retractions,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._placement = dict(state["placement"])
+        self._owner = dict(state["owner"])
+        self.updates_routed = state["updates_routed"]
+        self.deliveries = state["deliveries"]
+        self.retractions = state["retractions"]
+
     def __repr__(self) -> str:
         return (
             f"SpatialPartitioner({self.plan!r}, "

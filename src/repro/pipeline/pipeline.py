@@ -87,6 +87,12 @@ class EvaluationPipeline:
         stats = plan.interval_stats(ctx)
         self.stats.add(stats)
         self.stats.record_counters(plan.counters(ctx))
+        # A bounded sink that evicted answers must say so in the run
+        # record: silent loss would make long-run result counts look
+        # complete when they are not.
+        dropped = getattr(self.sink, "dropped_matches", 0)
+        if dropped:
+            self.stats.counters["sink_dropped_matches"] = dropped
         for hook in self.hooks:
             hook.on_interval_end(ctx, stats)
         return stats
@@ -98,6 +104,29 @@ class EvaluationPipeline:
         for _ in range(intervals):
             self.run_interval()
         return self.stats
+
+    # -- checkpoint barrier --------------------------------------------------
+    #
+    # The pipeline's accounting state is only resumable *between* intervals
+    # (mid-interval there are half-ingested ticks and armed timers), so
+    # checkpointing callers snapshot right after run_interval() returns.
+    # Plan/operator state is snapshotted separately by the engines — the
+    # pipeline owns only the clock and the run accounting.
+
+    def snapshot_state(self) -> dict:
+        """Accounting state at an interval barrier (picklable)."""
+        return {
+            "interval_index": self.context.interval_index,
+            "run_stage_seconds": dict(self.context.run_stage_seconds),
+            "stats": self.stats,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`, applied before the next
+        interval runs."""
+        self.context.interval_index = state["interval_index"]
+        self.context.run_stage_seconds.update(state["run_stage_seconds"])
+        self.stats = state["stats"]
 
     @property
     def stage_names(self) -> tuple:

@@ -77,6 +77,15 @@ class OperatorPlan(StagePlan):
     """Single in-process operator: the ``StreamEngine`` execution shape."""
 
     def __init__(self, operator: ContinuousJoinOperator) -> None:
+        self.rebind(operator)
+
+    def rebind(self, operator: ContinuousJoinOperator) -> None:
+        """Point the plan at (a restored copy of) its operator.
+
+        Checkpoint restore swaps the operator object wholesale; rebinding
+        re-derives the staged flag so a restored legacy operator keeps its
+        evaluate()-in-join execution shape.
+        """
         self.operator = operator
         #: Whether the operator implements the phase decomposition.  When
         #: it does not, its whole evaluate() runs inside the join stage

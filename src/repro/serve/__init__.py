@@ -1,0 +1,83 @@
+"""Service mode: the evaluation engines as a long-lived process.
+
+``python -m repro.serve`` wraps the staged pipeline (serial or sharded)
+in an asyncio service: ticks arrive through an async
+:class:`~repro.serve.sources.TickSource` (in-process generator, trace
+replay, or a TCP line-protocol server) into a bounded queue; a
+:class:`~repro.serve.backpressure.BackpressureController` watches the
+queue and walks the shedding ladder when ingest outruns evaluation;
+answers stream out through async emitters as JSON-line events; and
+periodic versioned snapshots make the whole thing kill-and-resume safe —
+a resumed service's answer stream is identical to an uninterrupted run
+(under the answer-preserving ``block`` overload policy).
+"""
+
+from .backpressure import (
+    OVERLOAD_POLICIES,
+    BackpressureConfig,
+    BackpressureController,
+)
+from .checkpoint import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    engine_state_digest,
+    load_snapshot,
+    save_snapshot,
+    state_digest,
+)
+from .service import EvaluationService, QueuedTickSource, ServeConfig
+from .sinks import (
+    CallbackEmitter,
+    EmitterFanout,
+    IntervalBufferSink,
+    JsonlEmitter,
+    ResultEmitter,
+    SocketEmitter,
+    match_to_dict,
+)
+from .sources import (
+    TICKS_FORMAT,
+    TICKS_VERSION,
+    GeneratorTickSource,
+    SocketTickSource,
+    TickBatch,
+    TickSource,
+    TraceTickSource,
+    build_source,
+    generator_spec,
+    tick_to_line,
+)
+
+__all__ = [
+    "OVERLOAD_POLICIES",
+    "BackpressureConfig",
+    "BackpressureController",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "engine_state_digest",
+    "load_snapshot",
+    "save_snapshot",
+    "state_digest",
+    "EvaluationService",
+    "QueuedTickSource",
+    "ServeConfig",
+    "CallbackEmitter",
+    "EmitterFanout",
+    "IntervalBufferSink",
+    "JsonlEmitter",
+    "ResultEmitter",
+    "SocketEmitter",
+    "match_to_dict",
+    "TICKS_FORMAT",
+    "TICKS_VERSION",
+    "GeneratorTickSource",
+    "SocketTickSource",
+    "TickBatch",
+    "TickSource",
+    "TraceTickSource",
+    "build_source",
+    "generator_spec",
+    "tick_to_line",
+]

@@ -1,0 +1,194 @@
+"""Bounded-queue backpressure: keep the service up when ingest outruns
+evaluation.
+
+The service puts every incoming tick through a bounded queue.  The queue
+alone guarantees bounded memory; this module decides what *else* happens
+as it fills.  :class:`BackpressureController` watches the queue depth and
+walks an escalation ladder, mirroring the paper's §5 story ("nucleus
+first, everything if that's not enough") one level up the stack:
+
+=====  ====================================================================
+level  reaction
+=====  ====================================================================
+0      nothing — normal operation
+1      force the operators' adaptive shedder one rung up its η ladder
+       (cheaper approximate answers drain the queue faster)
+2      additionally drop *heartbeat-only* updates — reports whose position
+       and window are unchanged since the entity's last report carry no
+       join-relevant information, only freshness
+=====  ====================================================================
+
+Transitions are hysteretic (escalate at the high watermark, relax at the
+low watermark) and every decision is counted, so overload is visible in
+the run record instead of silent.  The ``overload_policy`` selects the
+behaviour at the very top of the ladder, when the queue is *full*:
+
+* ``block`` — never touch the stream; the producer waits (for the socket
+  source this propagates as TCP backpressure to the client).  The ladder
+  is disabled: answers stay exact, only timing degrades.
+* ``shed`` — walk the ladder, but still block at a full queue.
+* ``drop`` — walk the ladder and additionally discard the newest whole
+  tick when the queue is full; ingest never blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..generator import EntityKind
+from .sources import TickBatch
+
+__all__ = ["OVERLOAD_POLICIES", "BackpressureConfig", "BackpressureController"]
+
+OVERLOAD_POLICIES = ("block", "shed", "drop")
+
+#: Highest ladder level (see module table).
+MAX_LEVEL = 2
+
+
+@dataclass
+class BackpressureConfig:
+    """Queue sizing and ladder watermarks."""
+
+    queue_depth: int = 64
+    policy: str = "block"
+    #: Queue-depth fraction at which the ladder escalates one level.
+    high_water: float = 0.75
+    #: Queue-depth fraction at which the ladder relaxes one level.
+    low_water: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload policy must be one of {OVERLOAD_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if not 0.0 <= self.low_water < self.high_water <= 1.0:
+            raise ValueError(
+                f"watermarks must satisfy 0 <= low < high <= 1, got "
+                f"{self.low_water}/{self.high_water}"
+            )
+
+
+@dataclass
+class BackpressureController:
+    """Watches queue depth, walks the ladder, filters admitted ticks."""
+
+    config: BackpressureConfig = field(default_factory=BackpressureConfig)
+
+    def __post_init__(self) -> None:
+        #: Current ladder level (0 = normal).
+        self.level = 0
+        #: Cumulative decision counters, folded into the run record under
+        #: a ``bp_`` prefix (see :meth:`counters`).
+        self._counters: Dict[str, int] = {
+            "ticks_admitted": 0,
+            "ticks_dropped": 0,
+            "heartbeats_dropped": 0,
+            "escalations": 0,
+            "relaxations": 0,
+            "overload_events": 0,
+            "queue_peak": 0,
+        }
+        # entity key -> (x, y, range_w, range_h) at its last report, for
+        # heartbeat detection.  Tracked at every level so the first
+        # escalated tick already has history to compare against.
+        self._last_report: Dict[int, tuple] = {}
+
+    # -- ladder ---------------------------------------------------------------
+
+    def observe_depth(self, depth: int) -> Optional[str]:
+        """Fold one queue-depth observation into the ladder.
+
+        Returns ``"escalate"`` / ``"relax"`` when the level changed (the
+        service turns transitions into shedder signals and emitted
+        events), else ``None``.
+        """
+        cfg = self.config
+        if depth > self._counters["queue_peak"]:
+            self._counters["queue_peak"] = depth
+        if cfg.policy == "block":
+            return None
+        if depth >= cfg.high_water * cfg.queue_depth and self.level < MAX_LEVEL:
+            self.level += 1
+            self._counters["escalations"] += 1
+            return "escalate"
+        if depth <= cfg.low_water * cfg.queue_depth and self.level > 0:
+            self.level -= 1
+            self._counters["relaxations"] += 1
+            return "relax"
+        return None
+
+    def note_overload(self) -> None:
+        """Record one queue-full encounter (emitted as an overload event)."""
+        self._counters["overload_events"] += 1
+
+    def note_tick_dropped(self) -> None:
+        """Record one whole tick discarded at a full queue (drop policy)."""
+        self._counters["ticks_dropped"] += 1
+
+    # -- admission ------------------------------------------------------------
+
+    @staticmethod
+    def _key(update) -> int:
+        return update.entity_id * 2 + (update.kind is EntityKind.OBJECT)
+
+    @staticmethod
+    def _fingerprint(update) -> tuple:
+        return (
+            update.loc.x,
+            update.loc.y,
+            getattr(update, "range_width", 0.0),
+            getattr(update, "range_height", 0.0),
+        )
+
+    def admit(self, batch: TickBatch) -> TickBatch:
+        """Apply the current ladder level to one incoming tick.
+
+        At level >= 2, heartbeat-only updates (identical position and
+        window to the entity's previous report) are dropped; the tick
+        record itself always survives — it carries the clock, and an
+        empty tick is a valid (cheap) one.
+        """
+        self._counters["ticks_admitted"] += 1
+        last = self._last_report
+        if self.level >= 2:
+            kept = []
+            for update in batch.updates:
+                key = self._key(update)
+                fp = self._fingerprint(update)
+                if last.get(key) == fp:
+                    self._counters["heartbeats_dropped"] += 1
+                else:
+                    last[key] = fp
+                    kept.append(update)
+            if len(kept) != len(batch.updates):
+                return TickBatch(batch.t, kept)
+            return batch
+        for update in batch.updates:
+            last[self._key(update)] = self._fingerprint(update)
+        return batch
+
+    # -- reporting ------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Any]:
+        """``bp_``-prefixed cumulative counters plus the live level."""
+        out = {f"bp_{name}": value for name, value in self._counters.items()}
+        out["bp_level"] = self.level
+        return out
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Resumable controller state (counters and ladder position).
+
+        The heartbeat history intentionally restarts empty: after a resume
+        every entity's first report is treated as fresh, which only errs
+        toward keeping updates.
+        """
+        return {"level": self.level, "counters": dict(self._counters)}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.level = state["level"]
+        self._counters.update(state["counters"])

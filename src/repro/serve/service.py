@@ -1,0 +1,344 @@
+"""The long-lived evaluation service.
+
+:class:`EvaluationService` turns the batch engines into a server: an
+async *producer* pulls ticks from a :class:`~repro.serve.sources.TickSource`
+into a bounded queue, a *consumer* loop gathers one Δ interval's worth of
+ticks at a time and runs the synchronous engine in a worker thread, and
+every interval's answers stream out through the configured emitters.  The
+pieces in between are the point:
+
+* **Backpressure** — the queue bounds memory; the
+  :class:`~repro.serve.backpressure.BackpressureController` watches its
+  depth and walks the shedding ladder.  Ladder transitions are *applied*
+  here, between intervals: level 1 forces the operators' adaptive shedder
+  one rung up (``escalate_shedding`` on the serial operator, broadcast to
+  every shard when sharded), level 2 additionally drops heartbeat-only
+  updates at admission.  Every transition and every queue-full encounter
+  is emitted as an event and counted in the run record.
+
+* **Checkpointing** — every ``checkpoint_every`` intervals the service
+  writes a snapshot: the engine's state (taken at the interval barrier,
+  where it is exact), the source's rebuild spec, the tick cursor, and
+  the service's own counters.  The cursor is **ticks consumed by
+  evaluation** — ticks sitting unevaluated in the queue at a crash are
+  deliberately *not* counted, so a resume re-ingests them and the
+  continued answer stream is identical to an uninterrupted run (under
+  the answer-preserving ``block`` policy; ``drop`` is lossy by design
+  and a resume may re-ingest ticks that were previously dropped).
+
+The engine evaluates over a :class:`QueuedTickSource` — a bridge that
+looks like a generator to the pipeline (``tick()`` / ``time``) but is
+fed from the queue by the consumer.  The service never touches the
+engine mid-interval: feed, evaluate in the executor thread, drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..streams.engine import EngineConfig
+from .backpressure import BackpressureConfig, BackpressureController
+from .checkpoint import save_snapshot
+from .sinks import EmitterFanout, IntervalBufferSink, ResultEmitter, match_to_dict
+from .sources import TickBatch, TickSource
+
+__all__ = ["ServeConfig", "QueuedTickSource", "EvaluationService"]
+
+#: Queue sentinel marking the end of the tick stream.
+_EOF = None
+
+
+class QueuedTickSource:
+    """Generator-shaped facade over externally fed ticks.
+
+    The pipeline calls ``tick(dt)`` exactly ``ticks_per_interval`` times
+    per interval; the service guarantees that many batches are queued
+    (via :meth:`feed`) before it lets the engine run.  ``ticks_consumed``
+    is the authoritative resume cursor — it counts ticks the evaluation
+    actually took, and starts at the resume offset so a restored service
+    continues the count.
+    """
+
+    def __init__(self, ticks_consumed: int = 0) -> None:
+        self._pending: deque = deque()
+        self.time = 0.0
+        self.ticks_consumed = ticks_consumed
+
+    def feed(self, batch: TickBatch) -> None:
+        self._pending.append(batch)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def tick(self, dt: float) -> List[Any]:
+        if not self._pending:
+            raise RuntimeError(
+                "engine asked for a tick the service has not fed "
+                "(interval started without a full interval of ticks queued)"
+            )
+        batch = self._pending.popleft()
+        self.time = batch.t
+        self.ticks_consumed += 1
+        return batch.updates
+
+
+@dataclass
+class ServeConfig:
+    """Service-level knobs (engine clocking rides along unchanged)."""
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
+    #: Snapshot period in intervals (0 = no periodic checkpoints).
+    checkpoint_every: int = 0
+    #: Where snapshots are written (required when ``checkpoint_every`` > 0).
+    checkpoint_path: Optional[str] = None
+    #: Stop after this many intervals (0 = run until the source ends).
+    max_intervals: int = 0
+    #: Include the individual matches in ``results`` events (the count is
+    #: always present; full matches can be bulky).
+    emit_matches: bool = False
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every and not self.checkpoint_path:
+            raise ValueError("checkpoint_every > 0 requires checkpoint_path")
+
+
+class EvaluationService:
+    """Producer/consumer service around one engine (serial or sharded).
+
+    ``engine`` must have been constructed over ``bridge`` as its source
+    and an :class:`IntervalBufferSink` as its sink.  ``engine_manifest``
+    is an opaque rebuild recipe stored verbatim in snapshots (the CLI
+    knows how to turn it back into an engine; the service does not).
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        bridge: QueuedTickSource,
+        source: TickSource,
+        buffer_sink: IntervalBufferSink,
+        emitters: Optional[List[ResultEmitter]] = None,
+        config: Optional[ServeConfig] = None,
+        engine_manifest: Optional[Dict[str, Any]] = None,
+        resume_serve_state: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.engine = engine
+        self.bridge = bridge
+        self.source = source
+        self.buffer_sink = buffer_sink
+        self.fanout = EmitterFanout(emitters or [])
+        self.config = config if config is not None else ServeConfig()
+        self.engine_manifest = dict(engine_manifest or {})
+        self.controller = BackpressureController(self.config.backpressure)
+        #: Service-level counters, folded into the engine's run record
+        #: (RunStats.counters) before every snapshot and at the summary.
+        self.counters: Dict[str, int] = {
+            "intervals_completed": 0,
+            "checkpoints_written": 0,
+            "ticks_discarded_at_eof": 0,
+        }
+        # Ladder level actually applied to the engine's shedder; trails
+        # controller.level and is synchronized between intervals.  On
+        # resume it is restored explicitly (the shedder side of it came
+        # back pickled inside the operators).
+        self._applied_level = self.controller.level
+        if resume_serve_state:
+            self.controller.restore_state(resume_serve_state["controller"])
+            self.counters.update(resume_serve_state["counters"])
+            self._applied_level = resume_serve_state.get(
+                "applied_level", self.controller.level
+            )
+        self._producer_blocked = False
+
+    # -- producer -------------------------------------------------------------
+
+    async def _produce(self, queue: asyncio.Queue) -> None:
+        policy = self.config.backpressure.policy
+        while True:
+            batch = await self.source.next_batch()
+            if batch is None:
+                await queue.put(_EOF)
+                return
+            self.controller.observe_depth(queue.qsize())
+            batch = self.controller.admit(batch)
+            if queue.full():
+                self.controller.note_overload()
+                if not self._producer_blocked:
+                    self._producer_blocked = True
+                    await self.fanout.emit(
+                        {
+                            "event": "overload",
+                            "t": batch.t,
+                            "policy": policy,
+                            "queue_depth": queue.qsize(),
+                            "level": self.controller.level,
+                        }
+                    )
+                if policy == "drop":
+                    self.controller.note_tick_dropped()
+                    continue
+            else:
+                self._producer_blocked = False
+            await queue.put(batch)
+
+    # -- shedding ladder application ------------------------------------------
+
+    def _signal_shedder(self, method: str, now: float) -> bool:
+        """Invoke escalate_shedding/relax_shedding on every operator."""
+        broadcast = getattr(self.engine, "broadcast", None)
+        if broadcast is not None:
+            return any(broadcast(method, now))
+        operator = getattr(self.engine, "operator", None)
+        fn = getattr(operator, method, None)
+        return bool(fn(now)) if fn is not None else False
+
+    async def _sync_shedding(self, now: float) -> None:
+        while self._applied_level != self.controller.level:
+            if self._applied_level < self.controller.level:
+                self._applied_level += 1
+                changed = self._signal_shedder("escalate_shedding", now)
+                direction = "escalate"
+            else:
+                self._applied_level -= 1
+                changed = self._signal_shedder("relax_shedding", now)
+                direction = "relax"
+            await self.fanout.emit(
+                {
+                    "event": "shedding",
+                    "t": now,
+                    "direction": direction,
+                    "level": self._applied_level,
+                    "shedder_changed": changed,
+                }
+            )
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _fold_counters(self) -> None:
+        self.engine.stats.counters.update(self.controller.counters())
+        self.engine.stats.counters.update(self.counters)
+
+    def snapshot_payload(self) -> Dict[str, Any]:
+        """The full resumable state, valid only at an interval barrier."""
+        self._fold_counters()
+        return {
+            "engine": dict(self.engine_manifest),
+            "engine_state": self.engine.snapshot_state(),
+            "source_spec": self.source.spec(),
+            "cursor": self.bridge.ticks_consumed,
+            "serve": {
+                "controller": self.controller.snapshot_state(),
+                "counters": dict(self.counters),
+                "applied_level": self._applied_level,
+            },
+        }
+
+    async def _checkpoint(self) -> None:
+        path = save_snapshot(self.config.checkpoint_path, self.snapshot_payload())
+        self.counters["checkpoints_written"] += 1
+        await self.fanout.emit(
+            {
+                "event": "checkpoint",
+                "path": str(path),
+                "interval": self.counters["intervals_completed"],
+                "cursor": self.bridge.ticks_consumed,
+            }
+        )
+
+    # -- consumer -------------------------------------------------------------
+
+    async def _emit_results(self) -> None:
+        for t, matches in self.buffer_sink.drain():
+            record = {"event": "results", "t": t, "count": len(matches)}
+            if self.config.emit_matches:
+                record["matches"] = [match_to_dict(m) for m in matches]
+            await self.fanout.emit(record)
+
+    async def run(self) -> Dict[str, Any]:
+        """Serve until the source ends or ``max_intervals`` is reached.
+
+        Returns the summary event record (also emitted as the stream's
+        last event).
+        """
+        cfg = self.config
+        await self.source.start()
+        await self.fanout.start()
+        started = {
+            "event": "started",
+            "source": self.source.spec().get("kind"),
+            "cursor": self.bridge.ticks_consumed,
+            "queue_depth": cfg.backpressure.queue_depth,
+            "policy": cfg.backpressure.policy,
+        }
+        port = getattr(self.source, "bound_port", None)
+        if port is not None:
+            started["port"] = port
+        await self.fanout.emit(started)
+
+        queue: asyncio.Queue = asyncio.Queue(maxsize=cfg.backpressure.queue_depth)
+        producer = asyncio.ensure_future(self._produce(queue))
+        loop = asyncio.get_event_loop()
+        ticks_per_interval = cfg.engine.ticks_per_interval
+        eof = False
+        try:
+            while not eof:
+                if cfg.max_intervals and (
+                    self.counters["intervals_completed"] >= cfg.max_intervals
+                ):
+                    break
+                batches: List[TickBatch] = []
+                while len(batches) < ticks_per_interval:
+                    item = await queue.get()
+                    if item is _EOF:
+                        eof = True
+                        break
+                    batches.append(item)
+                if len(batches) < ticks_per_interval:
+                    # A trailing partial interval cannot be evaluated (Δ
+                    # fires on whole intervals); the ticks are dropped,
+                    # visibly.
+                    self.counters["ticks_discarded_at_eof"] += len(batches)
+                    break
+                for item in batches:
+                    self.bridge.feed(item)
+                await loop.run_in_executor(None, self.engine.run_interval)
+                self.counters["intervals_completed"] += 1
+                await self._emit_results()
+                await self._sync_shedding(self.bridge.time)
+                if cfg.checkpoint_every and (
+                    self.counters["intervals_completed"] % cfg.checkpoint_every
+                    == 0
+                ):
+                    await self._checkpoint()
+        finally:
+            producer.cancel()
+            try:
+                await producer
+            except asyncio.CancelledError:
+                pass
+            await self.source.close()
+        self._fold_counters()
+        summary = {
+            "event": "summary",
+            "intervals": self.counters["intervals_completed"],
+            "cursor": self.bridge.ticks_consumed,
+            "total_matches": self.buffer_sink.total_matches,
+            "counters": dict(self.engine.stats.counters),
+            "summary": self.engine.stats.summary(),
+        }
+        await self.fanout.emit(summary)
+        await self.fanout.close()
+        return summary
+
+    def run_forever(self) -> Dict[str, Any]:
+        """Synchronous entry point: serve on a fresh event loop."""
+        return asyncio.run(self.run())

@@ -1,0 +1,186 @@
+"""Streaming result emission: where a long-lived service's answers go.
+
+The batch engines hand matches to an in-process :class:`ResultSink` and
+the caller inspects it afterwards; a service has no "afterwards".  Here
+the pipeline still delivers into a sink — :class:`IntervalBufferSink`,
+which only buffers — and the service drains that buffer after every
+interval into one or more async :class:`ResultEmitter`\\ s:
+
+* :class:`JsonlEmitter` — one JSON object per line on a stream
+  (stdout by default), the service-mode answer channel and the thing
+  ``examples/live_service.py`` tails;
+* :class:`CallbackEmitter` — in-process delivery for embedding tests;
+* :class:`SocketEmitter` — a broadcast TCP server: every connected
+  client receives the event stream as JSON lines.
+
+Everything the service says — answers, overload, shedding transitions,
+checkpoints, the final summary — travels as one *event record* shape:
+a dict with an ``"event"`` key (``results`` / ``overload`` / ``shedding``
+/ ``checkpoint`` / ``started`` / ``summary``), so a consumer can follow
+one stream and filter.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import json
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+from ..streams.results import QueryMatch
+from ..streams.sink import ResultSink
+
+__all__ = [
+    "ResultEmitter",
+    "JsonlEmitter",
+    "CallbackEmitter",
+    "SocketEmitter",
+    "EmitterFanout",
+    "IntervalBufferSink",
+    "match_to_dict",
+]
+
+
+def match_to_dict(match: QueryMatch) -> Dict[str, Any]:
+    return {"qid": match.qid, "oid": match.oid, "t": match.t}
+
+
+class ResultEmitter(abc.ABC):
+    """Async outbound channel for service event records."""
+
+    async def start(self) -> None:
+        """Bind resources.  Idempotent."""
+
+    @abc.abstractmethod
+    async def emit(self, record: Dict[str, Any]) -> None:
+        """Deliver one event record."""
+
+    async def close(self) -> None:
+        """Flush and release.  Idempotent."""
+
+
+class JsonlEmitter(ResultEmitter):
+    """One JSON object per line on a text stream (stdout by default).
+
+    Flushes per record: the reader on the other end of a pipe is tailing
+    live, and a crashed service must not owe it buffered answers.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    async def emit(self, record: Dict[str, Any]) -> None:
+        self.stream.write(json.dumps(record) + "\n")
+        self.stream.flush()
+
+
+class CallbackEmitter(ResultEmitter):
+    """Hands every event record to an in-process callable."""
+
+    def __init__(self, callback: Callable[[Dict[str, Any]], Any]) -> None:
+        self.callback = callback
+
+    async def emit(self, record: Dict[str, Any]) -> None:
+        self.callback(record)
+
+
+class SocketEmitter(ResultEmitter):
+    """A broadcast TCP server: each connected client gets the JSON-line
+    event stream from its moment of connection onward.
+
+    A slow or dead client never stalls the service: writes are queued on
+    its transport and the connection is dropped on error.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: List[asyncio.StreamWriter] = []
+
+    async def start(self) -> None:
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._on_connect, self.host, self.port
+            )
+
+    @property
+    def bound_port(self) -> int:
+        """The actual listening port (resolves a requested port of 0)."""
+        if self._server is None:
+            raise RuntimeError("socket emitter is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.append(writer)
+
+    async def emit(self, record: Dict[str, Any]) -> None:
+        if not self._writers:
+            return
+        line = (json.dumps(record) + "\n").encode("utf-8")
+        alive = []
+        for writer in self._writers:
+            try:
+                writer.write(line)
+                await writer.drain()
+                alive.append(writer)
+            except (ConnectionError, RuntimeError):
+                writer.close()
+        self._writers = alive
+
+    async def close(self) -> None:
+        for writer in self._writers:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+        self._writers = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+class EmitterFanout(ResultEmitter):
+    """Delivers every record to each of several emitters, in order."""
+
+    def __init__(self, emitters: List[ResultEmitter]) -> None:
+        self.emitters = list(emitters)
+
+    async def start(self) -> None:
+        for emitter in self.emitters:
+            await emitter.start()
+
+    async def emit(self, record: Dict[str, Any]) -> None:
+        for emitter in self.emitters:
+            await emitter.emit(record)
+
+    async def close(self) -> None:
+        for emitter in self.emitters:
+            await emitter.close()
+
+
+class IntervalBufferSink(ResultSink):
+    """The pipeline-facing half of streaming emission.
+
+    The synchronous pipeline delivers into this sink from whatever thread
+    runs the interval; the async service drains it *between* intervals
+    (never concurrently), so no locking is needed.  ``total_matches``
+    counts across the whole run for the summary event.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[tuple] = []
+        self.total_matches = 0
+
+    def accept(self, matches: List[QueryMatch], t: float) -> None:
+        self._pending.append((t, list(matches)))
+        self.total_matches += len(matches)
+
+    def drain(self) -> List[tuple]:
+        """All buffered ``(t, matches)`` deliveries, clearing the buffer."""
+        pending, self._pending = self._pending, []
+        return pending

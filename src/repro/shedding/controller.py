@@ -65,12 +65,59 @@ class AdaptiveShedder:
         old_level = self._level
         if retained > self.max_positions and self._level < len(self.ladder) - 1:
             self._level += 1
-        elif retained < self.max_positions // 2 and self._level > 0:
+        elif (
+            retained < self.max_positions // 2
+            and self._level > self.level_floor
+        ):
             self._level -= 1
         if self._level != old_level:
             self.policy = policy_for_eta(self.ladder[self._level], self.theta_d)
             self.history.append((now, self.eta))
         return self.policy
+
+    # -- external escalation ------------------------------------------------
+    #
+    # The memory-pressure feedback above reacts to *retained positions*; a
+    # long-lived service has a second pressure source — ingest outrunning
+    # evaluation — and signals it through these methods.  The level floor
+    # keeps observe() from immediately undoing a forced escalation while the
+    # external pressure persists.
+
+    #: Lowest rung observe() may de-escalate to (raised by escalate()).
+    level_floor: int = 0
+
+    def _move_to(self, level: int, now: float) -> bool:
+        if level == self._level:
+            return False
+        self._level = level
+        self.policy = policy_for_eta(self.ladder[level], self.theta_d)
+        self.history.append((now, self.eta))
+        return True
+
+    def escalate(self, now: float) -> bool:
+        """Force η one rung up the ladder (external overload signal).
+
+        Pins the level floor at the new rung so the retained-position
+        feedback cannot immediately step back down; :meth:`relax` lowers
+        the floor again.  Returns True when η actually changed.
+        """
+        if self._level >= len(self.ladder) - 1:
+            return False
+        moved = self._move_to(self._level + 1, now)
+        self.level_floor = max(self.level_floor, self._level)
+        return moved
+
+    def relax(self, now: float) -> bool:
+        """Release one rung of forced escalation (overload subsided).
+
+        Lowers the floor and steps η down one rung when the controller is
+        sitting on the floor.  Returns True when η actually changed.
+        """
+        if self.level_floor > 0:
+            self.level_floor -= 1
+        if self._level > self.level_floor:
+            return self._move_to(self._level - 1, now)
+        return False
 
     def __repr__(self) -> str:
         return (

@@ -18,6 +18,7 @@ boundaries (see :class:`repro.pipeline.PipelineHook`).
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -100,3 +101,29 @@ class StreamEngine:
     def run(self, intervals: int) -> RunStats:
         """Run ``intervals`` consecutive Δ intervals and return the stats."""
         return self.pipeline.run(intervals)
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable engine state at an interval barrier.
+
+        Captures the operator wholesale (its pickle contract drops caches,
+        which rebuild on first use without changing answers) plus the
+        pipeline's clock/accounting.  The source is *not* included — its
+        cursor travels separately so snapshots stay source-agnostic.
+        """
+        return {
+            "kind": "serial",
+            "operator": pickle.dumps(self.operator),
+            "pipeline": self.pipeline.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` on a freshly built engine."""
+        if state.get("kind") != "serial":
+            raise ValueError(
+                f"snapshot is for a {state.get('kind')!r} engine, not serial"
+            )
+        self.operator = pickle.loads(state["operator"])
+        self.pipeline.plan.rebind(self.operator)
+        self.pipeline.restore_state(state["pipeline"])

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.trajectories",
     "repro.viz",
     "repro.experiments",
+    "repro.serve",
 ]
 
 

@@ -1,0 +1,247 @@
+"""Checkpoint/restore determinism.
+
+The contract under test: a run that snapshots at an interval barrier,
+dies, and resumes from the snapshot produces (a) the same answer
+multiset and (b) bit-identical final operator state (canonical digest)
+as a run that was never interrupted — for the serial and the sharded
+engine, with the incremental sweep and batched ingest on or off.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import Scuba, ScubaConfig
+from repro.generator import GeneratorConfig
+from repro.parallel import ScubaShardFactory, ShardedEngine
+from repro.serve import (
+    SNAPSHOT_VERSION,
+    QueuedTickSource,
+    SnapshotError,
+    TickBatch,
+    build_source,
+    engine_state_digest,
+    generator_spec,
+    load_snapshot,
+    save_snapshot,
+    state_digest,
+)
+from repro.streams import CollectingSink, EngineConfig, StreamEngine
+
+QUERY_RANGE = (120.0, 120.0)
+
+SCUBA_VARIANTS = {
+    "plain": {},
+    "incremental": {"incremental": True},
+    "batched": {"batched_ingest": True},
+}
+
+
+def workload_spec(seed: int = 11) -> dict:
+    return generator_spec(
+        city_rows=11,
+        city_cols=11,
+        generator_config=GeneratorConfig(
+            num_objects=120,
+            num_queries=120,
+            skew=15,
+            seed=seed,
+            query_range=QUERY_RANGE,
+        ),
+    )
+
+
+def drive(engine, source, intervals: int, bridge: QueuedTickSource) -> None:
+    """Synchronously pump ``intervals`` Δ intervals from source to engine."""
+    import asyncio
+
+    async def pump():
+        per = engine.config.ticks_per_interval
+        for _ in range(intervals):
+            for _ in range(per):
+                batch = await source.next_batch()
+                assert batch is not None
+                bridge.feed(batch)
+            engine.run_interval()
+
+    asyncio.run(pump())
+
+
+def build_serial(bridge, scuba_kwargs):
+    return StreamEngine(
+        bridge, Scuba(ScubaConfig(**scuba_kwargs)), CollectingSink(), EngineConfig()
+    )
+
+
+def build_sharded(bridge, scuba_kwargs):
+    return ShardedEngine(
+        bridge,
+        ScubaShardFactory(
+            ScubaConfig(**scuba_kwargs), max_query_extent=QUERY_RANGE
+        ),
+        shards=4,
+        sink=CollectingSink(),
+        config=EngineConfig(),
+    )
+
+
+def answers(engine):
+    return sorted(engine.sink.all_matches)
+
+
+@pytest.mark.parametrize("variant", sorted(SCUBA_VARIANTS))
+@pytest.mark.parametrize("build", [build_serial, build_sharded],
+                         ids=["serial", "sharded"])
+def test_resume_matches_uninterrupted(tmp_path, build, variant):
+    scuba_kwargs = SCUBA_VARIANTS[variant]
+
+    # Reference: 6 uninterrupted intervals.
+    ref_bridge = QueuedTickSource()
+    ref_engine = build(ref_bridge, scuba_kwargs)
+    drive(ref_engine, build_source(workload_spec()), 6, ref_bridge)
+    ref_answers = answers(ref_engine)
+    ref_digest = engine_state_digest(ref_engine)
+    assert ref_answers, "workload must produce matches for the test to bite"
+
+    # Interrupted run: 3 intervals, snapshot, die.
+    bridge_a = QueuedTickSource()
+    engine_a = build(bridge_a, scuba_kwargs)
+    drive(engine_a, build_source(workload_spec()), 3, bridge_a)
+    first_half = answers(engine_a)
+    path = save_snapshot(
+        tmp_path / "snap.pkl",
+        {
+            "engine_state": engine_a.snapshot_state(),
+            "cursor": bridge_a.ticks_consumed,
+            "source_spec": workload_spec(),
+        },
+    )
+    if hasattr(engine_a, "close"):
+        engine_a.close()
+
+    # Resume in a fresh engine and finish the run.
+    envelope = load_snapshot(path)
+    cursor = envelope["cursor"]
+    bridge_b = QueuedTickSource(ticks_consumed=cursor)
+    engine_b = build(bridge_b, scuba_kwargs)
+    engine_b.restore_state(envelope["engine_state"])
+    source = build_source(envelope["source_spec"], skip_ticks=cursor)
+    drive(engine_b, source, 3, bridge_b)
+    second_half = answers(engine_b)
+
+    assert sorted(first_half + second_half) == ref_answers
+    assert engine_state_digest(engine_b) == ref_digest
+    if hasattr(engine_b, "close"):
+        engine_b.close()
+
+
+def test_restored_run_stats_continue(tmp_path):
+    """Interval accounting carries across the restore, not just answers."""
+    bridge = QueuedTickSource()
+    engine = build_serial(bridge, {})
+    drive(engine, build_source(workload_spec()), 2, bridge)
+    state = engine.snapshot_state()
+    cursor = bridge.ticks_consumed
+
+    bridge2 = QueuedTickSource(ticks_consumed=cursor)
+    engine2 = build_serial(bridge2, {})
+    engine2.restore_state(state)
+    assert engine2.stats.interval_count == 2
+    drive(engine2, build_source(workload_spec(), skip_ticks=cursor), 1, bridge2)
+    assert engine2.stats.interval_count == 3
+    assert engine2.pipeline.context.interval_index == 3
+
+
+def test_snapshot_envelope_rejects_foreign_files(tmp_path):
+    path = tmp_path / "junk.pkl"
+    path.write_bytes(pickle.dumps({"hello": "world"}))
+    with pytest.raises(SnapshotError):
+        load_snapshot(path)
+    path.write_bytes(b"not a pickle at all")
+    with pytest.raises(SnapshotError):
+        load_snapshot(path)
+    with pytest.raises(SnapshotError):
+        load_snapshot(tmp_path / "missing.pkl")
+
+
+def test_snapshot_envelope_rejects_future_versions(tmp_path):
+    path = save_snapshot(tmp_path / "snap.pkl", {"cursor": 0})
+    envelope = pickle.loads(path.read_bytes())
+    envelope["version"] = SNAPSHOT_VERSION + 1
+    path.write_bytes(pickle.dumps(envelope))
+    with pytest.raises(SnapshotError):
+        load_snapshot(path)
+
+
+def test_state_digest_tracks_operator_state():
+    """Identically driven operators digest equal; divergent ones do not."""
+    bridge_a, bridge_b = QueuedTickSource(), QueuedTickSource()
+    a = build_serial(bridge_a, {})
+    b = build_serial(bridge_b, {})
+    drive(a, build_source(workload_spec()), 2, bridge_a)
+    drive(b, build_source(workload_spec()), 2, bridge_b)
+    assert state_digest(a.operator) == state_digest(b.operator)
+    drive(b, build_source(workload_spec(), skip_ticks=4), 1, bridge_b)
+    assert state_digest(a.operator) != state_digest(b.operator)
+
+
+def test_generator_fast_forward_is_exact():
+    """A fast-forwarded generator continues the exact update stream."""
+    from repro.generator.trace import update_to_dict
+
+    def canon(ticks):
+        return [[update_to_dict(u) for u in tick] for tick in ticks]
+
+    src_full = build_source(workload_spec())
+    full = [src_full.generator.tick(1.0) for _ in range(8)]
+
+    src_resumed = build_source(workload_spec(), skip_ticks=5)
+    assert src_resumed.generator.ticks_elapsed == 5
+    resumed = [src_resumed.generator.tick(1.0) for _ in range(3)]
+    assert canon(full[5:]) == canon(resumed)
+
+
+def test_trace_source_resumes_mid_stream(tmp_path):
+    """Trace sources seek to the cursor and replay the identical suffix."""
+    import asyncio
+
+    from repro.generator import TraceRecorder
+    from repro.network import grid_city
+
+    trace = tmp_path / "run.jsonl"
+    spec = workload_spec()
+    src = build_source(spec)
+    recorder = TraceRecorder(src.generator, str(trace))
+    for _ in range(6):
+        recorder.tick(1.0)
+    recorder.close()
+
+    async def collect(source, n):
+        out = []
+        for _ in range(n):
+            batch = await source.next_batch()
+            out.append(batch)
+        return out
+
+    from repro.generator.trace import update_to_dict
+
+    def canon(batches):
+        return [(b.t, [update_to_dict(u) for u in b.updates]) for b in batches]
+
+    full = asyncio.run(collect(build_source({"kind": "trace", "path": str(trace)}), 6))
+    tail = asyncio.run(
+        collect(build_source({"kind": "trace", "path": str(trace)}, skip_ticks=4), 2)
+    )
+    assert canon(full[4:]) == canon(tail)
+
+
+def test_queued_source_raises_when_starved():
+    bridge = QueuedTickSource()
+    with pytest.raises(RuntimeError, match="has not fed"):
+        bridge.tick(1.0)
+    bridge.feed(TickBatch(1.0, []))
+    assert bridge.tick(1.0) == []
+    assert bridge.ticks_consumed == 1
+    assert bridge.time == 1.0

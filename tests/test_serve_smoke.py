@@ -1,0 +1,213 @@
+"""Kill-and-resume smoke: the service as a real process.
+
+The scenario CI runs as its ``serve-smoke`` job: start ``python -m
+repro.serve`` with a TCP tick source and an undersized ingest queue,
+stream ~200 generated ticks over the socket, let it checkpoint, SIGKILL
+it mid-stream, resume from the snapshot with a reconnecting client, and
+assert the stitched answer stream is multiset-identical to an
+uninterrupted batch evaluation — with nonzero backpressure counters to
+prove the bounded queue actually bit.
+
+Also here: the batch CLI's graceful Ctrl-C (partial footer, exit 130),
+which needs a real subprocess to deliver a real SIGINT.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket as socketlib
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+TICK_COUNT = 200
+QUEUE_DEPTH = 4
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn(args):
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m"] + args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=_env(),
+    )
+    # Last-resort watchdog so a wedged service fails the test instead of
+    # hanging the suite.
+    timer = threading.Timer(180.0, proc.kill)
+    timer.daemon = True
+    timer.start()
+    return proc, timer
+
+
+def _tick_lines(n=TICK_COUNT):
+    from repro.generator import GeneratorConfig, NetworkBasedGenerator
+    from repro.network import grid_city
+    from repro.serve import tick_to_line
+
+    generator = NetworkBasedGenerator(
+        grid_city(),
+        GeneratorConfig(
+            num_objects=200,
+            num_queries=200,
+            skew=20,
+            seed=7,
+            query_range=(120.0, 120.0),
+        ),
+    )
+    lines = []
+    for _ in range(n):
+        updates = generator.tick(1.0)
+        lines.append(tick_to_line(generator.time, updates))
+    return lines
+
+
+def _feed(port, lines):
+    """Stream tick lines + EOF to the service, tolerating its death."""
+    try:
+        sock = socketlib.create_connection(("127.0.0.1", port))
+        with sock, sock.makefile("w") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+            fh.write(json.dumps({"eof": True}) + "\n")
+            fh.flush()
+    except OSError:
+        pass  # service killed mid-stream — expected in the kill phase
+
+
+def _feeder_thread(port, lines):
+    thread = threading.Thread(target=_feed, args=(port, lines), daemon=True)
+    thread.start()
+    return thread
+
+
+def _result_tuples(events, t_max=None):
+    return [
+        (m["qid"], m["oid"], m["t"])
+        for e in events
+        if e["event"] == "results" and (t_max is None or e["t"] <= t_max)
+        for m in e["matches"]
+    ]
+
+
+def _reference_answers(lines):
+    """The uninterrupted answer multiset, via the batch engine over the
+    exact same ticks using the CLI's default operator configuration."""
+    from repro.__main__ import build_parser, make_operator
+    from repro.generator.trace import update_from_dict
+    from repro.serve import QueuedTickSource, TickBatch
+    from repro.streams import CollectingSink, EngineConfig, StreamEngine
+
+    args = build_parser().parse_args([])
+    bridge = QueuedTickSource()
+    sink = CollectingSink()
+    engine = StreamEngine(bridge, make_operator(args), sink, EngineConfig())
+    for line in lines:
+        record = json.loads(line)
+        bridge.feed(
+            TickBatch(record["t"], [update_from_dict(d) for d in record["updates"]])
+        )
+    for _ in range(len(lines) // engine.config.ticks_per_interval):
+        engine.run_interval()
+    return sorted((m.qid, m.oid, m.t) for m in sink.all_matches)
+
+
+@pytest.mark.slow
+def test_socket_kill_resume_equivalence(tmp_path):
+    lines = _tick_lines()
+    reference = _reference_answers(lines)
+    assert reference, "workload must produce matches for the gate to bite"
+    snap = tmp_path / "snap.pkl"
+
+    serve_args = [
+        "repro.serve", "--source", "socket", "--port", "0",
+        "--intervals", "0", "--queue-depth", str(QUEUE_DEPTH),
+        "--overload-policy", "block", "--emit-matches",
+        "--checkpoint-every", "2", "--checkpoint", str(snap),
+    ]
+    proc1, timer1 = _spawn(serve_args)
+    events1 = []
+    started = json.loads(proc1.stdout.readline())
+    assert started["event"] == "started"
+    _feeder_thread(started["port"], lines)
+
+    # Let it work past a few checkpoints, then kill it dead.
+    for line in proc1.stdout:
+        event = json.loads(line)
+        events1.append(event)
+        if event["event"] == "checkpoint" and event["interval"] >= 10:
+            break
+    else:
+        pytest.fail("service ended before reaching checkpoint interval 10")
+    proc1.kill()
+    proc1.wait()
+    # Whatever was flushed before the kill is still in the pipe.
+    for line in proc1.stdout.read().splitlines():
+        events1.append(json.loads(line))
+    timer1.cancel()
+    assert snap.exists()
+
+    # Resume: fresh process, reconnecting client replaying from tick 0.
+    proc2, timer2 = _spawn(
+        ["repro.serve", "--resume", str(snap), "--intervals", "0",
+         "--queue-depth", str(QUEUE_DEPTH), "--emit-matches"]
+    )
+    started2 = json.loads(proc2.stdout.readline())
+    assert started2["event"] == "started"
+    cursor = started2["cursor"]
+    assert cursor > 0 and cursor % 2 == 0
+    _feeder_thread(started2["port"], lines)
+    out, _ = proc2.communicate(timeout=170)
+    timer2.cancel()
+    assert proc2.returncode == 0
+    events2 = [json.loads(line) for line in out.splitlines()]
+    summary = events2[-1]
+    assert summary["event"] == "summary"
+
+    # Stitch: run 1's answers up to the snapshot cursor (tick times are
+    # 1,2,3,... so t <= cursor is exactly the checkpointed prefix), then
+    # everything the resumed run produced.
+    stitched = sorted(
+        _result_tuples(events1, t_max=cursor) + _result_tuples(events2)
+    )
+    assert stitched == reference
+    assert summary["cursor"] == TICK_COUNT
+
+    # The undersized queue must have exerted visible backpressure at some
+    # point across the two runs (counters survive the checkpoint).
+    assert summary["counters"]["bp_overload_events"] > 0
+    assert summary["counters"]["bp_queue_peak"] >= QUEUE_DEPTH - 1
+
+
+@pytest.mark.slow
+def test_batch_cli_sigint_graceful():
+    """Ctrl-C mid-run: partial footer with completed intervals, exit 130."""
+    proc, timer = _spawn(
+        ["repro", "--objects", "800", "--queries", "800", "--skew", "40",
+         "--intervals", "500", "--query-range", "120"]
+    )
+    rows_seen = 0
+    for line in proc.stdout:
+        token = line.split()[0] if line.split() else ""
+        if token.replace(".", "").isdigit():
+            rows_seen += 1
+            if rows_seen >= 2:
+                break
+    proc.send_signal(signal.SIGINT)
+    out, _ = proc.communicate(timeout=170)
+    timer.cancel()
+    assert proc.returncode == 130
+    assert "interrupted after" in out
+    assert "intervals |" in out  # the RunStats summary footer still printed
