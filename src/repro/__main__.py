@@ -72,6 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "updates per cluster group through the "
                              "--kernel-backend ingest kernel instead of one "
                              "at a time (scuba only; answers unchanged)")
+    parser.add_argument("--columnar", action="store_true",
+                        help="columnar-first storage: cluster members and "
+                             "table bookkeeping rest in parallel arrays and "
+                             "post-join maintenance runs as whole-world "
+                             "vectorized sweeps (scuba only; answers and "
+                             "cluster state bit-identical)")
+    parser.add_argument("--columnar-backend",
+                        choices=["auto", "numpy", "array"], default="auto",
+                        help="columnar sweep backend (auto = numpy if "
+                             "installed, array = exact stdlib fallback)")
+    parser.add_argument("--stale-after", type=float, default=None,
+                        metavar="T",
+                        help="evict table rows for entities silent longer "
+                             "than T time units (scuba only; default: keep "
+                             "forever)")
     parser.add_argument("--grid", type=int, default=100,
                         help="spatial grid size (NxN cells)")
     parser.add_argument("--record", metavar="TRACE",
@@ -104,6 +119,9 @@ def make_scuba_config(args: argparse.Namespace) -> ScubaConfig:
         kernel_backend=args.kernel_backend,
         incremental=args.incremental,
         batched_ingest=args.batched_ingest,
+        columnar=args.columnar,
+        columnar_backend=args.columnar_backend,
+        stale_after=args.stale_after,
     )
 
 
@@ -186,6 +204,12 @@ def print_cache_footer(counters: dict) -> None:
             f"(+{counters.get('grid_refresh_skips', 0)} skipped) | "
             f"fallbacks {counters.get('batch_fallbacks', 0)}"
         )
+    if counters.get("columnar"):
+        print(
+            f"columnar [{counters.get('columnar_backend', '?')}]: "
+            f"store compactions {counters.get('store_compactions', 0)} | "
+            f"stale evicted {counters.get('evicted_stale', 0)}"
+        )
 
 
 def main(argv=None) -> int:
@@ -207,6 +231,14 @@ def main(argv=None) -> int:
     if args.batched_ingest and args.operator != "scuba":
         raise SystemExit(
             f"--batched-ingest requires --operator scuba, got {args.operator}"
+        )
+    if args.columnar and args.operator != "scuba":
+        raise SystemExit(
+            f"--columnar requires --operator scuba, got {args.operator}"
+        )
+    if args.stale_after is not None and args.operator != "scuba":
+        raise SystemExit(
+            f"--stale-after requires --operator scuba, got {args.operator}"
         )
     city = grid_city(rows=args.city, cols=args.city)
     if args.replay:

@@ -454,6 +454,34 @@ class MovingCluster:
             self.max_query_half_diag = 0.0
         return member
 
+    def adopt(self, member: ClusterMember) -> None:
+        """Take a member wholesale during a split — no re-absorption.
+
+        The caller (``split_cluster``) owns the derived-state rebuild via
+        ``_finalise``; this only files the member and folds it into the
+        running sums.  The adopting cluster starts with a zero translation
+        vector and the member was flushed by the split, so its snapshot is
+        reset to zero.
+        """
+        table = self.objects if member.kind is EntityKind.OBJECT else self.queries
+        table[member.entity_id] = member
+        member.tr_x = 0.0
+        member.tr_y = 0.0
+        if member.position_shed:
+            self.shed_count += 1
+        self._speed_sum += member.speed
+        if member.kind is EntityKind.QUERY and member.half_diag > self.max_query_half_diag:
+            self.max_query_half_diag = member.half_diag
+
+    def discard(self, entity_id: int, kind: EntityKind) -> None:
+        """Drop a member with *no* derived-state rebalance (split hand-off).
+
+        Unlike :meth:`remove`, the member was already adopted elsewhere and
+        this cluster is about to dissolve — nothing to keep consistent.
+        """
+        table = self.objects if kind is EntityKind.OBJECT else self.queries
+        table.pop(entity_id, None)
+
     def _recompute_query_reach(self) -> None:
         self.max_query_half_diag = max(
             (q.half_diag for q in self.queries.values()), default=0.0

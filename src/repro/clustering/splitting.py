@@ -26,7 +26,6 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
-from ..generator import EntityKind
 from ..geometry import Point
 from .cluster import ClusterMember, MovingCluster
 from .registry import ClusterWorld
@@ -69,7 +68,10 @@ def split_cluster(
             now=now,
         )
         for member in members:
-            _transfer(successor, member)
+            # adopt() moves the member without re-absorption (the columnar
+            # cluster copies the columns; the object cluster keeps the
+            # instance and zeroes its translation snapshot).
+            successor.adopt(member)
             transferred.append((member, successor))
         _finalise(successor, now)
         world.grid.refresh(successor)
@@ -79,10 +81,7 @@ def split_cluster(
     # dissolution only releases the members that truly fall back to
     # re-clustering.
     for member, successor in transferred:
-        table = (
-            cluster.objects if member.kind is EntityKind.OBJECT else cluster.queries
-        )
-        table.pop(member.entity_id, None)
+        cluster.discard(member.entity_id, member.kind)
         world.home.assign(member.entity_id, member.kind, successor.cid)
     world.dissolve(cluster)
     # dissolve() released every remaining home entry AND cleared the
@@ -91,23 +90,6 @@ def split_cluster(
     for member, successor in transferred:
         world.home.assign(member.entity_id, member.kind, successor.cid)
     return successors
-
-
-def _transfer(successor: MovingCluster, member: ClusterMember) -> None:
-    """Move one member into ``successor`` without re-absorption."""
-    table = (
-        successor.objects if member.kind is EntityKind.OBJECT else successor.queries
-    )
-    table[member.entity_id] = member
-    # The successor starts with a zero translation vector; flushed members
-    # carry current absolute positions.
-    member.tr_x = 0.0
-    member.tr_y = 0.0
-    if member.position_shed:
-        successor.shed_count += 1
-    successor._speed_sum += member.speed
-    if member.kind is EntityKind.QUERY and member.half_diag > successor.max_query_half_diag:
-        successor.max_query_half_diag = member.half_diag
 
 
 def _finalise(successor: MovingCluster, now: float) -> None:

@@ -1,0 +1,51 @@
+"""Columnar-first storage: array-backed cluster/table state (ROADMAP item 2).
+
+Makes structure-of-arrays the *resting* representation instead of a view
+built per use: cluster members live in parallel ``array('d')`` columns
+(:mod:`repro.columnar.store`), attribute tables keep last-seen
+timestamps in columns (:mod:`repro.columnar.tables`), and the per-tick
+post-join maintenance runs as whole-world vectorized sweeps
+(:mod:`repro.columnar.engine`).  Enabled via ``ScubaConfig(columnar=True)``
+/ CLI ``--columnar``; numpy is the primary backend with an exact
+stdlib-``array`` scalar fallback.
+
+Everything here is gated on bit-identical cluster state and answer
+multisets versus the object-based path — see DESIGN.md §12 for the
+layout and the exactness argument.
+"""
+
+from .backend import (
+    COLUMNAR_BACKEND_CHOICES,
+    columnar_numpy,
+    columnar_numpy_available,
+    resolved_backend_name,
+)
+from .cluster import (
+    VECTOR_MIN_MEMBERS,
+    ColumnarClusterFactory,
+    ColumnarMovingCluster,
+)
+from .engine import MaintenanceEngine
+from .store import ColumnMember, MemberColumnStore, MemberTableView
+from .tables import (
+    ColumnarEntityAttributeTable,
+    ColumnarObjectsTable,
+    ColumnarQueriesTable,
+)
+
+__all__ = [
+    "COLUMNAR_BACKEND_CHOICES",
+    "columnar_numpy",
+    "columnar_numpy_available",
+    "resolved_backend_name",
+    "VECTOR_MIN_MEMBERS",
+    "ColumnarClusterFactory",
+    "ColumnarMovingCluster",
+    "MaintenanceEngine",
+    "ColumnMember",
+    "MemberColumnStore",
+    "MemberTableView",
+    "ColumnarEntityAttributeTable",
+    "ColumnarObjectsTable",
+    "ColumnarQueriesTable",
+]

@@ -1,0 +1,70 @@
+"""Columnar backend resolution (mirrors ``repro.kernels``' pattern).
+
+The columnar subsystem stores member and table state in parallel
+``array.array`` columns regardless of backend; the backend only decides
+whether per-tick maintenance sweeps may run as numpy array expressions
+over those buffers (zero-copy via the buffer protocol) or must fall back
+to exact scalar loops over the columns.
+
+``auto`` resolves to numpy when importable, else the stdlib-``array``
+scalar path.  Only the backend *name* is ever stored on long-lived
+objects — the module reference is re-resolved lazily so pickled operators
+(sharded workers, checkpoints) never carry a numpy module.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COLUMNAR_BACKEND_CHOICES",
+    "columnar_numpy",
+    "columnar_numpy_available",
+    "resolved_backend_name",
+]
+
+#: Accepted ``ScubaConfig.columnar_backend`` / ``--columnar-backend`` values.
+COLUMNAR_BACKEND_CHOICES = ("auto", "numpy", "array")
+
+_UNSET = object()
+_numpy = _UNSET
+
+
+def _import_numpy():
+    global _numpy
+    if _numpy is _UNSET:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy = numpy
+    return _numpy
+
+
+def columnar_numpy_available() -> bool:
+    """True when the numpy columnar backend can resolve."""
+    return _import_numpy() is not None
+
+
+def columnar_numpy(name: str = "auto"):
+    """The numpy module for ``name``, or ``None`` for the scalar fallback.
+
+    ``auto`` degrades silently; an explicit ``numpy`` request raises if
+    numpy is missing (same contract as ``kernels.resolve_backend``).
+    """
+    if name not in COLUMNAR_BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown columnar backend {name!r}; "
+            f"choices: {COLUMNAR_BACKEND_CHOICES}"
+        )
+    if name == "array":
+        return None
+    np = _import_numpy()
+    if np is None and name == "numpy":
+        raise ImportError(
+            "columnar_backend='numpy' requested but numpy is not installed"
+        )
+    return np
+
+
+def resolved_backend_name(name: str = "auto") -> str:
+    """``"numpy"`` or ``"array"`` — what ``name`` resolves to right now."""
+    return "numpy" if columnar_numpy(name) is not None else "array"

@@ -1,0 +1,136 @@
+"""Cross-cluster vectorized post-join maintenance.
+
+The object-based ``Scuba._post_join_maintenance`` runs one Python loop
+over all clusters doing expiry checks, advancement, member compaction
+(flush / recentre / radius) and grid refreshes per cluster.  The
+:class:`MaintenanceEngine` restructures the same work into per-tick
+passes across *all* clusters:
+
+1. **Expiry classification** — one vectorized pass computing
+   ``has_expired OR will_pass_destination`` for every cluster from
+   gathered scalar columns.  ``has_expired`` (``exptime <= now``) is an
+   exact comparison; ``will_pass`` compares ``step >= math.hypot(...)``
+   in the scalar path, so the vector pass compares ``step²`` against
+   ``dist²`` with a ±1e-9 relative band and rechecks the (rare)
+   borderline clusters with the exact scalar predicate — verdicts are
+   identical, never approximated.
+2. **Per-cluster maintenance** in storage order — expired clusters
+   split/dissolve exactly as before (same successor-cid allocation
+   order); survivors advance and run the columnar member sweeps
+   (compact-first, then vectorized flush/recentre/radius).
+3. **Grid-refresh eligibility pass** — survivors' refreshes are batched
+   through :meth:`ClusterGrid.refresh_all`: one pass compares each
+   cluster's ``(version, cx, cy, radius)`` against the grid's verified
+   snapshot and only escapees pay the real refresh.
+
+Deferring the grid refreshes behind the maintenance loop can only
+permute grid-internal cell list order (the join sweep sorts cell
+members by cid, and answers are multisets), and expiry inputs of
+cluster *i* are never written while processing cluster *j ≠ i* — so
+cluster state and answer multisets are identical to the object path.
+
+The engine is part of the operator's pickled state: it carries only its
+backend *name* and counters, re-resolving numpy lazily per run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..clustering import split_cluster
+from .backend import columnar_numpy, resolved_backend_name
+
+__all__ = ["MaintenanceEngine"]
+
+#: Cluster count below which expiry classification stays scalar.
+EXPIRY_VECTOR_MIN = 8
+
+
+class MaintenanceEngine:
+    """Vectorized whole-world post-join maintenance for columnar worlds."""
+
+    __slots__ = ("backend_name", "compactions")
+
+    def __init__(self, backend_name: str = "auto") -> None:
+        self.backend_name = backend_name
+        #: Member-store compactions triggered before vectorized sweeps.
+        self.compactions = 0
+
+    @property
+    def resolved_name(self) -> str:
+        return resolved_backend_name(self.backend_name)
+
+    def run(self, operator: Any, now: float) -> None:
+        """Post-join maintenance over ``operator``'s whole cluster world."""
+        cfg = operator.config
+        world = operator.world
+        np = columnar_numpy(self.backend_name)
+        clusters = list(world.storage)
+        if cfg.expire_clusters and clusters:
+            expired = self._classify_expired(clusters, now, cfg.delta, np)
+        else:
+            expired = None
+        recompute = cfg.recompute_radius
+        survivors: List[Any] = []
+        for i, cluster in enumerate(clusters):
+            if expired is not None and expired[i]:
+                if cfg.split_at_destination:
+                    split_cluster(world, cluster, now)
+                else:
+                    world.dissolve(cluster)
+                continue
+            cluster.advance_to(now)
+            if recompute:
+                self.compactions += cluster.ensure_compact(np)
+                cluster.maintenance_sweep(np)
+            cluster.update_expiry(now)
+            survivors.append(cluster)
+        world.grid.refresh_all(survivors)
+        operator._prune_caches()
+
+    def _classify_expired(self, clusters, now: float, delta: float, np):
+        """Per-cluster ``has_expired or will_pass_destination`` verdicts.
+
+        Bit-identical to the scalar predicates: only clusters whose
+        squared step/distance comparison is decided far outside floating
+        error (or whose distance is exactly zero) are classified
+        vectorized; everything near the boundary — or down in the
+        denormal range, where relative-error bounds break — re-runs the
+        exact scalar test.
+        """
+        n = len(clusters)
+        if np is None or n < EXPIRY_VECTOR_MIN:
+            return [
+                c.has_expired(now) or c.will_pass_destination(delta)
+                for c in clusters
+            ]
+        ex = np.fromiter((c.exptime for c in clusters), dtype=np.float64, count=n)
+        speed = np.fromiter(
+            (c.avespeed for c in clusters), dtype=np.float64, count=n
+        )
+        cx = np.fromiter((c.cx for c in clusters), dtype=np.float64, count=n)
+        cy = np.fromiter((c.cy for c in clusters), dtype=np.float64, count=n)
+        cnx = np.fromiter(
+            (c.cn_loc.x for c in clusters), dtype=np.float64, count=n
+        )
+        cny = np.fromiter(
+            (c.cn_loc.y for c in clusters), dtype=np.float64, count=n
+        )
+        expired = ex <= now
+        dx = cnx - cx
+        dy = cny - cy
+        d2 = dx * dx + dy * dy
+        step = speed * delta
+        s2 = step * step
+        # d2 this small with a nonzero offset means denormal arithmetic:
+        # route to the exact test rather than trust the relative band.
+        unsafe = (d2 < 1e-300) & ((dx != 0.0) | (dy != 0.0))
+        definite_hi = (s2 >= d2 * (1.0 + 1e-9)) & ~unsafe
+        definite_lo = (s2 <= d2 * (1.0 - 1e-9)) & ~unsafe
+        verdict = expired | definite_hi
+        border = ~(definite_hi | definite_lo | expired)
+        out = verdict.tolist()
+        if border.any():
+            for i in np.nonzero(border)[0].tolist():
+                out[i] = clusters[i].will_pass_destination(delta)
+        return out

@@ -1,0 +1,130 @@
+"""Array-backed last-seen columns for the attribute tables.
+
+:class:`ColumnarEntityAttributeTable` keeps the attribute mappings in the
+parent dict (they are arbitrary Python objects) but moves the last-seen
+timestamps into parallel ``array('q')``/``array('d')`` columns with a
+free list, so :meth:`evict_stale` is one vectorized ``ts < cutoff``
+comparison over the whole column instead of a dict scan.  Freed slots
+have their timestamp poisoned to ``+inf`` (never stale) and are reused
+by the next :meth:`record`; the columns compact once free slots
+outnumber live rows.
+
+Timestamps are stored and returned verbatim (no arithmetic), so
+``last_seen`` stays bit-identical to the dict-backed path.  The
+last-seen side-table is not part of the checkpoint state digest.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Any, Mapping, Optional
+
+from ..core.tables import EntityAttributeTable
+from .backend import columnar_numpy
+
+__all__ = [
+    "ColumnarEntityAttributeTable",
+    "ColumnarObjectsTable",
+    "ColumnarQueriesTable",
+]
+
+
+class ColumnarEntityAttributeTable(EntityAttributeTable):
+    """Attribute table whose last-seen bookkeeping lives in columns."""
+
+    def __init__(self, backend_name: str = "auto") -> None:
+        super().__init__()
+        self.backend_name = backend_name
+        self._eids = array("q")
+        self._ts = array("d")
+        self._slot: dict = {}
+        self._free: list = []
+
+    def record(self, entity_id: int, attrs: Optional[Mapping[str, Any]], t: float) -> None:
+        if attrs:
+            self._attrs[entity_id] = attrs
+        elif entity_id not in self._attrs:
+            self._attrs[entity_id] = {}
+        slot = self._slot.get(entity_id)
+        if slot is not None:
+            self._ts[slot] = t
+            return
+        if self._free:
+            slot = self._free.pop()
+            self._eids[slot] = entity_id
+            self._ts[slot] = t
+        else:
+            slot = len(self._eids)
+            self._eids.append(entity_id)
+            self._ts.append(t)
+        self._slot[entity_id] = slot
+
+    def last_seen(self, entity_id: int) -> Optional[float]:
+        slot = self._slot.get(entity_id)
+        if slot is None:
+            return None
+        return self._ts[slot]
+
+    def evict(self, entity_id: int) -> bool:
+        existed = self._attrs.pop(entity_id, None) is not None
+        slot = self._slot.pop(entity_id, None)
+        if slot is not None:
+            self._eids[slot] = -1
+            self._ts[slot] = math.inf
+            self._free.append(slot)
+            self._maybe_compact()
+        return existed
+
+    def evict_stale(self, cutoff: float) -> int:
+        n = len(self._eids)
+        if n == 0:
+            return 0
+        np = columnar_numpy(self.backend_name)
+        ts = self._ts
+        if np is not None:
+            col = np.frombuffer(ts, dtype=np.float64)
+            mask = col < cutoff  # free slots sit at +inf, never stale
+            if not mask.any():
+                return 0
+            stale_slots = np.nonzero(mask)[0].tolist()
+        else:
+            stale_slots = [slot for slot in range(n) if ts[slot] < cutoff]
+            if not stale_slots:
+                return 0
+        eids = self._eids
+        for slot in stale_slots:
+            eid = eids[slot]
+            del self._attrs[eid]
+            del self._slot[eid]
+            eids[slot] = -1
+            ts[slot] = math.inf
+            self._free.append(slot)
+        self._maybe_compact()
+        return len(stale_slots)
+
+    def _maybe_compact(self) -> None:
+        free = len(self._free)
+        if free <= 16 or free <= len(self._slot):
+            return
+        eids = array("q")
+        ts = array("d")
+        slot_of: dict = {}
+        old_eids, old_ts = self._eids, self._ts
+        for slot in sorted(self._slot.values()):
+            eid = old_eids[slot]
+            slot_of[eid] = len(eids)
+            eids.append(eid)
+            ts.append(old_ts[slot])
+        self._eids = eids
+        self._ts = ts
+        self._slot = slot_of
+        self._free = []
+
+
+class ColumnarObjectsTable(ColumnarEntityAttributeTable):
+    """Columnar variant of :class:`repro.core.tables.ObjectsTable`."""
+
+
+class ColumnarQueriesTable(ColumnarEntityAttributeTable):
+    """Columnar variant of :class:`repro.core.tables.QueriesTable`."""

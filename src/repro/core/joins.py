@@ -119,6 +119,30 @@ class ClusterJoinView:
         # Shed members provably lie within the cluster; the nucleus cannot
         # usefully exceed the cluster's own radius.
         self.approx_radius = min(cluster.nucleus_radius, cluster.radius)
+        columns = getattr(cluster, "join_view_columns", None)
+        data = columns() if columns is not None else None
+        if data is not None:
+            # Columnar cluster with no shed members: the store's flushed
+            # columns *are* the view (zero-copy ndarray slices; ids stay
+            # Python lists so truthiness and iteration behave as before).
+            (
+                self.obj_ids,
+                self.obj_xs,
+                self.obj_ys,
+                self.obj_min_x,
+                self.obj_min_y,
+                self.obj_max_x,
+                self.obj_max_y,
+                self.query_ids,
+                self.query_xs,
+                self.query_ys,
+                self.query_hws,
+                self.query_hhs,
+            ) = data
+            self.shed_object_ids = []
+            self.shed_query_groups = {}
+            self.scratch = {}
+            return
         self.obj_ids: List[int] = []
         self.obj_xs: List[float] = []
         self.obj_ys: List[float] = []

@@ -146,6 +146,18 @@ class ScubaConfig:
     #: cluster assignments stay identical to the scalar loop (see
     #: :mod:`repro.ingest.base` for the exactness contract).
     batched_ingest: bool = False
+    #: Columnar-first storage: cluster members and table last-seen stamps
+    #: rest in parallel arrays (:mod:`repro.columnar`) and post-join
+    #: maintenance runs as whole-world vectorized sweeps.  Cluster state
+    #: and answers stay bit-identical to the object path (DESIGN.md §12).
+    columnar: bool = False
+    #: Columnar sweep backend: ``"auto"`` uses NumPy when installed,
+    #: ``"array"`` forces the exact stdlib scalar fallback.
+    columnar_backend: str = "auto"
+    #: Evict table rows for entities silent for longer than this many time
+    #: units, checked once per post-join maintenance pass.  ``None``
+    #: (default) keeps rows forever (seed behaviour).
+    stale_after: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.grid_size < 1:
@@ -160,6 +172,15 @@ class ScubaConfig:
             raise ValueError(
                 f"kernel_backend must be one of {BACKEND_CHOICES}, "
                 f"got {self.kernel_backend!r}"
+            )
+        if self.columnar_backend not in ("auto", "numpy", "array"):
+            raise ValueError(
+                "columnar_backend must be one of ('auto', 'numpy', 'array'), "
+                f"got {self.columnar_backend!r}"
+            )
+        if self.stale_after is not None and self.stale_after <= 0:
+            raise ValueError(
+                f"stale_after must be positive, got {self.stale_after}"
             )
 
     def clustering_spec(self) -> ClusteringSpec:
@@ -185,12 +206,35 @@ class Scuba(StagedJoinOperator):
         drift from construction (the seed re-called ``__init__``, which
         breaks under subclassing and re-validates config needlessly).
         """
-        self.world = ClusterWorld(self.config.bounds, self.config.grid_size)
+        if self.config.columnar:
+            # Imported lazily: repro.columnar depends on repro.clustering /
+            # repro.core, so a module-level import would be circular.
+            from ..columnar import (
+                ColumnarClusterFactory,
+                ColumnarObjectsTable,
+                ColumnarQueriesTable,
+                MaintenanceEngine,
+            )
+
+            backend = self.config.columnar_backend
+            self.world = ClusterWorld(
+                self.config.bounds,
+                self.config.grid_size,
+                cluster_factory=ColumnarClusterFactory(backend),
+            )
+            self.objects_table = ColumnarObjectsTable(backend)
+            self.queries_table = ColumnarQueriesTable(backend)
+            self.maintenance_engine: Optional[Any] = MaintenanceEngine(backend)
+        else:
+            self.world = ClusterWorld(self.config.bounds, self.config.grid_size)
+            self.objects_table = ObjectsTable()
+            self.queries_table = QueriesTable()
+            self.maintenance_engine = None
         self.clusterer = IncrementalClusterer(
             self.world, self.config.clustering_spec()
         )
-        self.objects_table = ObjectsTable()
-        self.queries_table = QueriesTable()
+        #: Table rows dropped by ``stale_after`` garbage collection.
+        self.evicted_stale = 0
         self._shed_is_noop = isinstance(self.config.shedding, NoShedding)
         if self.config.adaptive_shedding:
             ladder = self.config.shed_ladder
@@ -735,6 +779,16 @@ class Scuba(StagedJoinOperator):
     def _post_join_maintenance(self, now: float) -> None:
         """Dissolve arrivals, advance survivors, refresh the grid."""
         cfg = self.config
+        if cfg.stale_after is not None:
+            cutoff = now - cfg.stale_after
+            self.evicted_stale += self.objects_table.evict_stale(cutoff)
+            self.evicted_stale += self.queries_table.evict_stale(cutoff)
+        engine = self.maintenance_engine
+        if engine is not None:
+            # Columnar path: same per-cluster semantics, restructured into
+            # whole-world vectorized passes (see repro.columnar.engine).
+            engine.run(self, now)
+            return
         for cluster in list(self.world.storage):
             if cfg.expire_clusters and (
                 cluster.has_expired(now) or cluster.will_pass_destination(cfg.delta)
@@ -836,6 +890,13 @@ class Scuba(StagedJoinOperator):
             "kernel_backend": self.kernels.name,
             "incremental": self.config.incremental,
             "batched_ingest": self.config.batched_ingest,
+            "columnar": self.config.columnar,
+            "evicted_stale": self.evicted_stale,
+            "store_compactions": (
+                self.maintenance_engine.compactions
+                if self.maintenance_engine is not None
+                else 0
+            ),
             # Zeros when batching is off, so merged/reported stat shapes
             # do not depend on the flag.
             "fast_path_batched": 0,
@@ -847,6 +908,8 @@ class Scuba(StagedJoinOperator):
         if kernel is not None:
             counters["ingest_backend"] = kernel.name
             counters.update(kernel.counters())
+        if self.maintenance_engine is not None:
+            counters["columnar_backend"] = self.maintenance_engine.resolved_name
         counters.update(self._join_cache_counters())
         return counters
 

@@ -55,13 +55,24 @@ class EntityAttributeTable:
         """Drop entities not heard from since ``cutoff``; returns count.
 
         Streams have no explicit end-of-entity signal; garbage-collecting
-        silent entities bounds table growth in long runs.
+        silent entities bounds table growth in long runs.  The common
+        serve-loop case — nothing stale — is a single allocation-free
+        scan; only when something actually is stale do we rebuild the
+        dicts (allocation bounded by the survivors, never a full
+        stale-id list).
         """
-        stale = [eid for eid, t in self._last_seen.items() if t < cutoff]
-        for eid in stale:
-            del self._attrs[eid]
-            del self._last_seen[eid]
-        return len(stale)
+        last_seen = self._last_seen
+        for t in last_seen.values():
+            if t < cutoff:
+                break
+        else:
+            return 0
+        attrs = self._attrs
+        survivors = {eid: t for eid, t in last_seen.items() if t >= cutoff}
+        evicted = len(last_seen) - len(survivors)
+        self._attrs = {eid: attrs[eid] for eid in survivors}
+        self._last_seen = survivors
+        return evicted
 
 
 class ObjectsTable(EntityAttributeTable):

@@ -106,6 +106,25 @@ class IngestView:
 
     def __init__(self, cluster: Any, spec: Any) -> None:
         self.version: int = cluster.version
+        columns = getattr(cluster, "ingest_view_columns", None)
+        data = columns() if columns is not None else None
+        if data is not None:
+            # Columnar cluster: speed/cn/shed columns are zero-copy array
+            # slices and the reconstructed positions one vectorized
+            # expression (same ``abs + (trans − tr)`` op order, so
+            # bit-identical to the scalar loop below).
+            (
+                self.rows,
+                self.members,
+                self.speeds,
+                self.recon_x,
+                self.recon_y,
+                self.cns,
+                self.sheds,
+            ) = data
+            self.hb_ok = None
+            self._np_tables = None
+            return
         rows: Dict[int, int] = {}
         members: List[Any] = []
         speeds: List[float] = []
@@ -186,14 +205,16 @@ class IngestView:
             keys = np.fromiter(self.rows.keys(), dtype=np.int64, count=n)
             rows = np.fromiter(self.rows.values(), dtype=np.int64, count=n)
             order = np.argsort(keys, kind="stable")
+            # asarray is a no-copy passthrough when a column is already an
+            # ndarray of the right dtype (the columnar fast path).
             tables = (
                 keys[order],
                 rows[order],
-                np.fromiter(self.speeds, dtype=np.float64, count=n),
-                np.fromiter(self.recon_x, dtype=np.float64, count=n),
-                np.fromiter(self.recon_y, dtype=np.float64, count=n),
-                np.fromiter(self.cns, dtype=np.int64, count=n),
-                np.fromiter(self.sheds, dtype=bool, count=n),
+                np.asarray(self.speeds, dtype=np.float64),
+                np.asarray(self.recon_x, dtype=np.float64),
+                np.asarray(self.recon_y, dtype=np.float64),
+                np.asarray(self.cns, dtype=np.int64),
+                np.asarray(self.sheds, dtype=bool),
                 np.fromiter(self.hb_ok, dtype=bool, count=n),
             )
             self._np_tables = tables

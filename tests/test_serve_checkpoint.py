@@ -36,6 +36,7 @@ SCUBA_VARIANTS = {
     "plain": {},
     "incremental": {"incremental": True},
     "batched": {"batched_ingest": True},
+    "columnar": {"columnar": True},
 }
 
 
