@@ -58,16 +58,31 @@ def run_worker(args) -> dict:
             stopped_fraction=0.0,
         ),
     )
-    operator = Scuba(
-        ScubaConfig(
-            grid_size=args.grid,
-            delta=DELTA,
-            columnar=args.columnar,
+    scuba_config = ScubaConfig(
+        grid_size=args.grid,
+        delta=DELTA,
+        columnar=args.columnar,
+    )
+    operator = None
+    if args.shards > 1:
+        from repro.parallel import ScubaShardFactory, ShardedEngine
+
+        engine = ShardedEngine(
+            generator,
+            ScubaShardFactory(
+                scuba_config,
+                max_query_extent=(args.query_range, args.query_range),
+            ),
+            shards=args.shards,
+            sink=CountingSink(),
+            config=EngineConfig(delta=DELTA, tick=1.0),
         )
-    )
-    engine = StreamEngine(
-        generator, operator, CountingSink(), EngineConfig(delta=DELTA, tick=1.0)
-    )
+    else:
+        operator = Scuba(scuba_config)
+        engine = StreamEngine(
+            generator, operator, CountingSink(),
+            EngineConfig(delta=DELTA, tick=1.0),
+        )
     for _ in range(args.warmup):
         engine.run_interval()
     stages = {"generate": 0.0, "ingest": 0.0, "join": 0.0, "maintenance": 0.0}
@@ -81,15 +96,27 @@ def run_worker(args) -> dict:
         stages["maintenance"] += stats.maintenance_seconds
         results += stats.result_count
     wall = time.perf_counter() - started
+    run_stats = engine.stats
     return {
         "population": population,
         "columnar": args.columnar,
+        "shards": args.shards,
         "wall_seconds": wall,
         "stages": stages,
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "result_count": results,
-        "cluster_count": operator.world.cluster_count,
-        "counters": operator.join_counters(),
+        "cluster_count": (
+            operator.world.cluster_count if operator is not None else None
+        ),
+        "counters": (
+            operator.join_counters()
+            if operator is not None
+            else dict(run_stats.counters)
+        ),
+        # Sharded-run balance metrics; identity values for serial cells so
+        # every JSON row has the same shape.
+        "load_imbalance": getattr(run_stats, "load_imbalance", 1.0),
+        "replication_factor": getattr(run_stats, "replication_factor", 1.0),
     }
 
 
@@ -105,6 +132,7 @@ def measure_cell(args, population: int, columnar: bool) -> dict:
         "--query-range", str(args.query_range),
         "--warmup", str(args.warmup),
         "--intervals", str(args.intervals),
+        "--shards", str(args.shards),
     ]
     if columnar:
         cmd.append("--columnar")
@@ -128,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--city", type=int, default=11)
     parser.add_argument("--grid", type=int, default=100)
     parser.add_argument("--query-range", type=float, default=60.0)
+    parser.add_argument("--shards", type=int, default=1, metavar="K",
+                        help="spatial shards per cell (1 = serial engine); "
+                             "sharded cells report load_imbalance and "
+                             "replication_factor")
     parser.add_argument("--warmup", type=int, default=2,
                         help="warm-up intervals (untimed)")
     parser.add_argument("--intervals", type=int, default=5,
@@ -162,12 +194,16 @@ def main(argv=None) -> int:
             cells.append(cell)
             mode = "columnar" if columnar else "objects "
             stages = cell["stages"]
-            print(f"  {population:>8} {mode}: wall {cell['wall_seconds']:.3f}s  "
-                  f"ingest {stages['ingest']:.3f}s  "
-                  f"join {stages['join']:.3f}s  "
-                  f"maintenance {stages['maintenance']:.3f}s  "
-                  f"peak RSS {cell['peak_rss_kb'] / 1024:.1f} MiB  "
-                  f"matches {cell['result_count']}")
+            line = (f"  {population:>8} {mode}: wall {cell['wall_seconds']:.3f}s  "
+                    f"ingest {stages['ingest']:.3f}s  "
+                    f"join {stages['join']:.3f}s  "
+                    f"maintenance {stages['maintenance']:.3f}s  "
+                    f"peak RSS {cell['peak_rss_kb'] / 1024:.1f} MiB  "
+                    f"matches {cell['result_count']}")
+            if args.shards > 1:
+                line += (f"  imbalance {cell['load_imbalance']:.2f}  "
+                         f"replication {cell['replication_factor']:.2f}")
+            print(line)
     report = {
         "workload": {
             "rungs": rungs,
@@ -176,6 +212,7 @@ def main(argv=None) -> int:
             "city": [args.city, args.city],
             "grid_size": args.grid,
             "query_range": args.query_range,
+            "shards": args.shards,
             "delta": DELTA,
             "warmup_intervals": args.warmup,
             "timed_intervals": args.intervals,

@@ -49,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of convoys parked in place (still "
                              "reporting) — the steady-state regime "
                              "--incremental replays")
+    parser.add_argument("--hotspot", type=float, default=0.0,
+                        help="fraction of convoys whose origins and "
+                             "destinations stay inside a downtown sub-rect "
+                             "(spatial skew; 0=uniform coverage)")
     parser.add_argument("--operator",
                         choices=["scuba", "regular", "naive", "incremental"],
                         default="scuba")
@@ -98,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--executor", choices=["serial", "process"],
                         default="serial",
                         help="where shard operators run (with --shards > 1)")
+    parser.add_argument("--adaptive-sharding", action="store_true",
+                        help="runtime-adaptive shard plan: split hot / merge "
+                             "cold tiles at interval boundaries, live-"
+                             "migrating affected clusters (with --shards > 1)")
+    parser.add_argument("--reshard-interval", type=int, default=4, metavar="N",
+                        help="consider a rebalance every N intervals "
+                             "(with --adaptive-sharding)")
     from .kernels import BACKEND_CHOICES
 
     parser.add_argument("--kernel-backend", choices=list(BACKEND_CHOICES),
@@ -256,6 +267,7 @@ def main(argv=None) -> int:
                 query_range=(args.query_range, args.query_range),
                 update_fraction=args.update_fraction,
                 stopped_fraction=args.stopped_fraction,
+                hotspot=args.hotspot,
             ),
         )
     if args.record:
@@ -275,6 +287,8 @@ def main(argv=None) -> int:
             sink=sink,
             config=EngineConfig(delta=args.delta, tick=1.0),
             executor=args.executor,
+            adaptive=args.adaptive_sharding,
+            reshard_interval=args.reshard_interval,
         )
     else:
         operator = make_operator(args)
@@ -320,6 +334,22 @@ def main(argv=None) -> int:
         print(f"interrupted after {engine.stats.interval_count} of "
               f"{args.intervals} intervals")
     print(engine.stats.summary())
+    if sharded:
+        stats = engine.stats
+        line = (
+            f"parallel: load imbalance {stats.load_imbalance:.2f} | "
+            f"replication {stats.replication_factor:.2f}"
+        )
+        if args.adaptive_sharding:
+            c = stats.counters
+            line += (
+                f" | resharding: {c.get('reshard_splits', 0)} splits, "
+                f"{c.get('reshard_merges', 0)} merges, "
+                f"{c.get('clusters_migrated', 0)} clusters migrated in "
+                f"{c.get('migration_seconds', 0.0) * 1e3:.1f}ms "
+                f"(epoch {engine.plan_epoch})"
+            )
+        print(line)
     print_cache_footer(engine.stats.counters)
     dropped = engine.stats.counters.get("sink_dropped_matches", 0)
     if dropped:

@@ -21,10 +21,10 @@ contender whose costs concentrate in ingest rather than in the join phase
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..generator import EntityKind, Update
-from ..geometry import Rect
+from ..generator import EntityKind, LocationUpdate, QueryUpdate, Update
+from ..geometry import Point, Rect
 from ..index import SpatialGrid
 from ..network import DEFAULT_BOUNDS
 from ..streams import QueryMatch, StagedJoinOperator
@@ -181,6 +181,47 @@ class IncrementalGridJoin(StagedJoinOperator):
             query = self.queries.pop(entity_id, None)
             if query is not None:
                 self.query_grid.remove(entity_id, query.cells)
+
+    def export_entity_updates(
+        self, keys: Sequence[Tuple[int, EntityKind]]
+    ) -> Dict[str, Any]:
+        """Serialize entity state as replayable updates (shard migration).
+
+        Positions and windows fully determine the maintained answers, so
+        the synthesized updates carry neutral kinematics (zero speed, no
+        connection node) at t=0 — the destination's delta processing
+        rebuilds the answer sets from them.  Entities this shard no
+        longer holds are skipped.
+        """
+        updates: List[Update] = []
+        for entity_id, kind in keys:
+            if kind is EntityKind.OBJECT:
+                entry = self.objects.get(entity_id)
+                if entry is None:
+                    continue
+                loc = Point(entry.x, entry.y)
+                updates.append(
+                    LocationUpdate(entity_id, loc, 0.0, 0.0, -1, loc, None)
+                )
+            else:
+                query = self.queries.get(entity_id)
+                if query is None:
+                    continue
+                loc = Point(query.x, query.y)
+                updates.append(
+                    QueryUpdate(
+                        entity_id,
+                        loc,
+                        0.0,
+                        0.0,
+                        -1,
+                        loc,
+                        2.0 * query.hw,
+                        2.0 * query.hh,
+                        None,
+                    )
+                )
+        return {"updates": updates, "clusters": len(updates)}
 
     # -- evaluation: read off the maintained answers --------------------------------
 

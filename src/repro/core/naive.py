@@ -8,9 +8,10 @@ reported positions, with no index, no clusters and no approximation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
-from ..generator import EntityKind, Update
+from ..generator import EntityKind, LocationUpdate, QueryUpdate, Update
+from ..geometry import Point
 from ..streams import QueryMatch, StagedJoinOperator
 
 __all__ = ["NaiveJoin"]
@@ -40,6 +41,49 @@ class NaiveJoin(StagedJoinOperator):
         """Drop one entity (sharded halo hand-off)."""
         table = self.objects if kind is EntityKind.OBJECT else self.queries
         table.pop(entity_id, None)
+
+    def export_entity_updates(
+        self, keys: Sequence[Tuple[int, EntityKind]]
+    ) -> Dict[str, Any]:
+        """Serialize entity state as replayable updates (shard migration).
+
+        The naive join keeps only positions and windows, so the
+        synthesized updates carry neutral kinematics (zero speed, no
+        connection node) stamped at t=0 — replaying them reconstructs the
+        join-relevant state exactly.  Entities this shard no longer holds
+        are skipped.
+        """
+        updates: List[Update] = []
+        for entity_id, kind in keys:
+            if kind is EntityKind.OBJECT:
+                pos = self.objects.get(entity_id)
+                if pos is None:
+                    continue
+                x, y = pos
+                updates.append(
+                    LocationUpdate(
+                        entity_id, Point(x, y), 0.0, 0.0, -1, Point(x, y), None
+                    )
+                )
+            else:
+                entry = self.queries.get(entity_id)
+                if entry is None:
+                    continue
+                x, y, hw, hh = entry
+                updates.append(
+                    QueryUpdate(
+                        entity_id,
+                        Point(x, y),
+                        0.0,
+                        0.0,
+                        -1,
+                        Point(x, y),
+                        2.0 * hw,
+                        2.0 * hh,
+                        None,
+                    )
+                )
+        return {"updates": updates, "clusters": len(updates)}
 
     def join_phase(self, now: float) -> List[QueryMatch]:
         results: List[QueryMatch] = []

@@ -20,10 +20,10 @@ to SCUBA is the cluster abstraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..generator import EntityKind, Update
-from ..geometry import Rect
+from ..generator import EntityKind, LocationUpdate, QueryUpdate, Update
+from ..geometry import Point, Rect
 from ..index import SpatialGrid
 from ..kernels import BACKEND_CHOICES, PointBatch, resolve_backend
 from ..network import DEFAULT_BOUNDS
@@ -146,6 +146,47 @@ class RegularGridJoin(StagedJoinOperator):
             qentry = self.queries.pop(entity_id, None)
             if qentry is not None:
                 self.query_grid.remove(entity_id, qentry.cells)
+
+    def export_entity_updates(
+        self, keys: Sequence[Tuple[int, EntityKind]]
+    ) -> Dict[str, Any]:
+        """Serialize entity state as replayable updates (shard migration).
+
+        The grid index holds only positions and windows, so the
+        synthesized updates carry neutral kinematics (zero speed, no
+        connection node) at t=0 — re-hashing them in the destination
+        reconstructs the join-relevant state exactly.  Entities this
+        shard no longer holds are skipped.
+        """
+        updates: List[Update] = []
+        for entity_id, kind in keys:
+            if kind is EntityKind.OBJECT:
+                entry = self.objects.get(entity_id)
+                if entry is None:
+                    continue
+                loc = Point(entry.x, entry.y)
+                updates.append(
+                    LocationUpdate(entity_id, loc, 0.0, 0.0, -1, loc, None)
+                )
+            else:
+                qentry = self.queries.get(entity_id)
+                if qentry is None:
+                    continue
+                loc = Point(qentry.x, qentry.y)
+                updates.append(
+                    QueryUpdate(
+                        entity_id,
+                        loc,
+                        0.0,
+                        0.0,
+                        -1,
+                        loc,
+                        2.0 * qentry.hw,
+                        2.0 * qentry.hh,
+                        None,
+                    )
+                )
+        return {"updates": updates, "clusters": len(updates)}
 
     # -- evaluation ---------------------------------------------------------------
 

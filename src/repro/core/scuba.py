@@ -67,8 +67,8 @@ from ..clustering import (
     MovingCluster,
     split_cluster,
 )
-from ..generator import EntityKind, Update
-from ..geometry import Rect
+from ..generator import EntityKind, LocationUpdate, QueryUpdate, Update
+from ..geometry import Point, Rect
 from ..ingest import make_ingest_kernel
 from ..kernels import BACKEND_CHOICES, resolve_backend
 from ..network import DEFAULT_BOUNDS
@@ -382,6 +382,77 @@ class Scuba(StagedJoinOperator):
             self.objects_table if kind is EntityKind.OBJECT else self.queries_table
         )
         table.evict(entity_id)
+
+    def export_entity_updates(self, keys: Sequence[Tuple[int, EntityKind]]) -> Dict[str, Any]:
+        """Serialize entity state as replayable updates (shard migration).
+
+        For each ``(entity_id, kind)`` key this shard holds, synthesize the
+        update that reconstructs the entity in another shard: best-known
+        absolute position (the reported position carried by any rigid
+        translation since — bit-identical to what this shard would join
+        with), the member's speed/heading, the query window, the table
+        attributes, stamped with the member's last report time so table
+        bookkeeping (``last_seen``, staleness) transfers unchanged.
+        Members whose position was load shed fall back to the cluster
+        centroid — the same nucleus approximation their join uses here.
+
+        Reads only the shared member API (``get_member`` /
+        ``member_location``), so the object-backed and columnar storage
+        paths export identically, without touching columnar slot proxies.
+        Entities this shard no longer holds are skipped.  Returns
+        ``{"updates": [...], "clusters": N}`` with ``N`` the distinct
+        source clusters touched.
+        """
+        updates: List[Update] = []
+        touched: Set[int] = set()
+        cluster_of = self.world.home.cluster_of
+        storage = self.world.storage
+        for entity_id, kind in keys:
+            cid = cluster_of(entity_id, kind)
+            if cid is None:
+                continue
+            cluster = storage.get(cid)
+            member = cluster.get_member(entity_id, kind)
+            if member is None:
+                continue
+            loc = cluster.member_location(member)
+            if loc is None:
+                loc = cluster.centroid
+            table = (
+                self.objects_table
+                if kind is EntityKind.OBJECT
+                else self.queries_table
+            )
+            attrs = table.attrs(entity_id) if entity_id in table else None
+            cn_loc = Point(member.cn_x, member.cn_y)
+            if kind is EntityKind.OBJECT:
+                updates.append(
+                    LocationUpdate(
+                        entity_id,
+                        loc,
+                        member.last_t,
+                        member.speed,
+                        member.cn_node,
+                        cn_loc,
+                        attrs,
+                    )
+                )
+            else:
+                updates.append(
+                    QueryUpdate(
+                        entity_id,
+                        loc,
+                        member.last_t,
+                        member.speed,
+                        member.cn_node,
+                        cn_loc,
+                        member.range_width,
+                        member.range_height,
+                        attrs,
+                    )
+                )
+            touched.add(cid)
+        return {"updates": updates, "clusters": len(touched)}
 
     # -- phases 2 + 3: joining, shedding control, post-join maintenance -----------
 

@@ -76,6 +76,18 @@ class GeneratorConfig:
     #: heartbeats — but their clusters never move, which is the
     #: steady-state regime the incremental join sweep replays.
     stopped_fraction: float = 0.0
+    #: Fraction of skew groups whose origins *and* destinations are drawn
+    #: only from road nodes inside :attr:`hotspot_rect` — a downtown whose
+    #: traffic never leaves.  The plain ``skew`` knob changes
+    #: clusterability while coverage stays uniform; ``hotspot`` changes
+    #: *spatial* skew, which is what load-adaptive re-sharding responds
+    #: to.  ``0.0`` (default) leaves the stream bit-identical to configs
+    #: that predate the knob.
+    hotspot: float = 0.0
+    #: The hot sub-rect as fractions of the network bounds:
+    #: ``(min_x, min_y, max_x, max_y)``, each in [0, 1].  The default is
+    #: the lower-left ~12% of the city's area.
+    hotspot_rect: Tuple[float, float, float, float] = (0.0, 0.0, 0.35, 0.35)
 
     def __post_init__(self) -> None:
         if self.num_objects < 0 or self.num_queries < 0:
@@ -93,6 +105,14 @@ class GeneratorConfig:
             raise ValueError(
                 f"stopped_fraction must be in [0, 1], got {self.stopped_fraction}"
             )
+        if not 0.0 <= self.hotspot <= 1.0:
+            raise ValueError(f"hotspot must be in [0, 1], got {self.hotspot}")
+        hx0, hy0, hx1, hy1 = self.hotspot_rect
+        if not (0.0 <= hx0 < hx1 <= 1.0 and 0.0 <= hy0 < hy1 <= 1.0):
+            raise ValueError(
+                f"hotspot_rect fractions must satisfy 0 <= min < max <= 1, "
+                f"got {self.hotspot_rect}"
+            )
 
 
 class NetworkBasedGenerator:
@@ -106,6 +126,7 @@ class NetworkBasedGenerator:
         self.router = Router(network)
         self._rng = random.Random(config.seed)
         self._node_ids = [n.node_id for n in network.nodes()]
+        self._hot_node_ids = self._resolve_hot_nodes()
         self.entities: List[MovingEntity] = []
         self.time = 0.0
         #: Number of tick() calls served — the generator's resumable
@@ -116,6 +137,30 @@ class NetworkBasedGenerator:
         self._build_population()
 
     # -- population construction ------------------------------------------------
+
+    def _resolve_hot_nodes(self) -> List[object]:
+        """Road nodes inside the configured hotspot sub-rect."""
+        cfg = self.config
+        if cfg.hotspot <= 0.0:
+            return []
+        bounds = self.network.bounds
+        hx0, hy0, hx1, hy1 = cfg.hotspot_rect
+        min_x = bounds.min_x + hx0 * bounds.width
+        max_x = bounds.min_x + hx1 * bounds.width
+        min_y = bounds.min_y + hy0 * bounds.height
+        max_y = bounds.min_y + hy1 * bounds.height
+        hot = [
+            node.node_id
+            for node in self.network.nodes()
+            if min_x <= node.location.x <= max_x
+            and min_y <= node.location.y <= max_y
+        ]
+        if len(hot) < 2:
+            raise ValueError(
+                f"hotspot_rect {cfg.hotspot_rect} covers {len(hot)} road "
+                f"node(s); hot groups need at least 2 to route between"
+            )
+        return hot
 
     def _build_population(self) -> None:
         cfg = self.config
@@ -161,14 +206,18 @@ class NetworkBasedGenerator:
         """
         cfg = self.config
         rng = self._rng
-        plan = DestinationPlan((cfg.seed, group_index), self._node_ids)
         base_factor = rng.uniform(*cfg.speed_factor_range)
-        # Guarding the draw keeps the stream bit-identical to configs that
-        # predate stopped_fraction whenever the knob is off.
+        # Guarding the draws keeps the stream bit-identical to configs that
+        # predate stopped_fraction/hotspot whenever the knobs are off.
         stopped = cfg.stopped_fraction > 0.0 and rng.random() < cfg.stopped_fraction
+        hot = cfg.hotspot > 0.0 and rng.random() < cfg.hotspot
+        # A hot group's whole life — origin draw and every future
+        # destination — happens inside the hotspot's node pool.
+        node_pool = self._hot_node_ids if hot else self._node_ids
+        plan = DestinationPlan((cfg.seed, group_index), node_pool)
 
         # Shared initial route: origin -> first planned destination.
-        origin = self._node_ids[rng.randrange(len(self._node_ids))]
+        origin = node_pool[rng.randrange(len(node_pool))]
         path = None
         for attempt in range(len(self._node_ids)):
             destination = plan.next_destination(attempt, origin)

@@ -14,7 +14,11 @@ answers back into a single exact result stream:
   matches;
 * :class:`ShardedEngine` — the drop-in ``StreamEngine`` counterpart, with
   :class:`ShardedRunStats` reporting per-shard timing, load imbalance and
-  halo replication factor.
+  halo replication factor;
+* :class:`AdaptiveShardPlan` / :class:`ReshardController` — runtime
+  re-sharding: a kd-style rebalanceable plan with versioned epochs, a
+  split-hot/merge-cold policy under hysteresis, and live cluster
+  migration between shards at interval boundaries.
 """
 
 from .engine import (
@@ -36,19 +40,27 @@ from .executor import (
 )
 from .merge import MergeOutcome, ResultMerger
 from .partition import (
+    AdaptiveShardPlan,
+    MigrationMove,
     Retract,
     RouteDecision,
     ShardPlan,
     SpatialPartitioner,
     derive_halo_margin,
 )
+from .reshard import ReshardAction, ReshardConfig, ReshardController
 
 __all__ = [
+    "AdaptiveShardPlan",
     "IncrementalGridShardFactory",
     "MergeOutcome",
+    "MigrationMove",
     "NaiveShardFactory",
     "ProcessExecutor",
     "RegularShardFactory",
+    "ReshardAction",
+    "ReshardConfig",
+    "ReshardController",
     "ResultMerger",
     "Retract",
     "RouteDecision",

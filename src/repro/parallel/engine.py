@@ -55,6 +55,7 @@ from ..generator import NetworkBasedGenerator
 from ..geometry import Rect
 from ..network import DEFAULT_BOUNDS
 from ..pipeline.context import EvaluationContext
+from ..pipeline.hooks import PipelineHook
 from ..pipeline.pipeline import EvaluationPipeline
 from ..pipeline.plan import StagePlan
 from ..streams import (
@@ -67,7 +68,14 @@ from ..streams import (
 )
 from .executor import ShardExecutor, make_executor
 from .merge import ResultMerger
-from .partition import Retract, ShardPlan, SpatialPartitioner, derive_halo_margin
+from .partition import (
+    AdaptiveShardPlan,
+    Retract,
+    ShardPlan,
+    SpatialPartitioner,
+    derive_halo_margin,
+)
+from .reshard import ReshardConfig, ReshardController
 
 __all__ = [
     "IncrementalGridShardFactory",
@@ -215,6 +223,9 @@ class ShardedIntervalStats(IntervalStats):
     deliveries: int = 0
     #: Retract hand-offs issued this interval.
     retractions: int = 0
+    #: Shard-plan version the interval was dispatched under (adaptive
+    #: sharding increments it per executed reshard; 0 = initial plan).
+    plan_epoch: int = 0
 
     @property
     def max_shard_join_seconds(self) -> float:
@@ -233,6 +244,7 @@ class ShardedIntervalStats(IntervalStats):
             "duplicates_dropped": self.duplicates_dropped,
             "deliveries": self.deliveries,
             "retractions": self.retractions,
+            "plan_epoch": self.plan_epoch,
             "shard_join_seconds": [s.join_seconds for s in self.shard_stats],
             "shard_result_counts": [s.result_count for s in self.shard_stats],
         }
@@ -351,6 +363,12 @@ class ShardedStagePlan(StagePlan):
         self._retractions_before = 0
         self._shard_results: Sequence[Any] = ()
         self._outcome = None
+        #: Plan epoch captured at dispatch (adaptive sharding; asserted at
+        #: merge time — the plan must not transition mid-interval).
+        self._dispatch_epoch = 0
+        #: Run-cumulative driver-side counters (reshard accounting) folded
+        #: into every interval's operator counters.
+        self.extra_counters: Dict[str, Any] = {}
 
     def begin_interval(self, ctx: EvaluationContext) -> None:
         self._route_timer = Timer()
@@ -358,6 +376,7 @@ class ShardedStagePlan(StagePlan):
         self._retractions_before = self.partitioner.retractions
         self._shard_results = ()
         self._outcome = None
+        self._dispatch_epoch = getattr(self.partitioner.plan, "epoch", 0)
 
     def ingest(self, ctx: EvaluationContext, updates: Sequence[Any]) -> None:
         k = self.partitioner.plan.num_shards
@@ -377,7 +396,10 @@ class ShardedStagePlan(StagePlan):
         self._shard_results = self.executor.evaluate(ctx.now)
 
     def post_join_maintenance(self, ctx: EvaluationContext) -> None:
-        self._outcome = self.merger.merge([r.matches for r in self._shard_results])
+        self._outcome = self.merger.merge(
+            [r.matches for r in self._shard_results],
+            epoch=self._dispatch_epoch,
+        )
         ctx.matches = self._outcome.matches
 
     def interval_stats(self, ctx: EvaluationContext) -> ShardedIntervalStats:
@@ -398,36 +420,78 @@ class ShardedStagePlan(StagePlan):
             duplicates_dropped=outcome.duplicates_dropped if outcome else 0,
             deliveries=self.partitioner.deliveries - self._deliveries_before,
             retractions=self.partitioner.retractions - self._retractions_before,
+            plan_epoch=self._dispatch_epoch,
         )
 
     def counters(self, ctx: EvaluationContext) -> Dict[str, Any]:
-        return merge_counters(r.counters for r in self._shard_results)
+        counters = merge_counters(r.counters for r in self._shard_results)
+        if self.extra_counters:
+            counters.update(self.extra_counters)
+        return counters
 
 
 # -- the engine --------------------------------------------------------------
 
 
+class _ReshardHook(PipelineHook):
+    """Feeds load telemetry to the engine's reshard controller.
+
+    Runs after the interval's stats are recorded, so a plan transition
+    executed here lands cleanly *between* intervals — the next dispatch
+    sees the new epoch, the just-merged results were wholly produced
+    under the old one.
+    """
+
+    def __init__(self, engine: "ShardedEngine") -> None:
+        self.engine = engine
+
+    def on_interval_end(self, ctx, stats) -> None:
+        self.engine._maybe_reshard(stats)
+
+
 class ShardedEngine:
-    """Drives generator → partitioner → K shard operators → merger → sink."""
+    """Drives generator → partitioner → K shard operators → merger → sink.
+
+    With ``adaptive=True`` (or an :class:`AdaptiveShardPlan` passed as
+    ``shards``) the engine additionally runs a
+    :class:`~repro.parallel.reshard.ReshardController`: at interval
+    boundaries it may rebalance the plan and live-migrate the affected
+    entities between shards over the existing update/Retract protocol
+    (see :meth:`_execute_reshard`).  Adaptive workers are built over the
+    halo-expanded *world* bounds rather than their tile — tiles move under
+    them, and the operators' grids clamp out-of-bounds coordinates, so a
+    full-resolution world grid stays correct across any plan transition.
+    """
 
     def __init__(
         self,
         generator: NetworkBasedGenerator,
         operator_factory,
         *,
-        shards: Union[int, ShardPlan] = 2,
+        shards: Union[int, ShardPlan, AdaptiveShardPlan] = 2,
         sink: Optional[ResultSink] = None,
         config: Optional[EngineConfig] = None,
         executor: Union[str, ShardExecutor] = "serial",
         bounds: Optional[Rect] = None,
         halo_margin: Optional[float] = None,
         hooks: Iterable = (),
+        adaptive: bool = False,
+        reshard_interval: int = 4,
+        reshard_config: Optional[ReshardConfig] = None,
     ) -> None:
         self.generator = generator
         self.operator_factory = operator_factory
         self.sink = sink if sink is not None else ResultSink()
         self.config = config if config is not None else EngineConfig()
-        if isinstance(shards, ShardPlan):
+        if isinstance(shards, AdaptiveShardPlan):
+            self.plan = shards
+            adaptive = True
+        elif isinstance(shards, ShardPlan):
+            if adaptive:
+                raise ValueError(
+                    "adaptive=True needs an AdaptiveShardPlan or a shard "
+                    "count, not a static ShardPlan"
+                )
             self.plan = shards
         else:
             if halo_margin is None:
@@ -438,20 +502,42 @@ class ShardedEngine:
                         "exposes none"
                     )
             world = bounds if bounds is not None else DEFAULT_BOUNDS
-            self.plan = ShardPlan.split(world, shards, halo_margin)
+            plan_cls = AdaptiveShardPlan if adaptive else ShardPlan
+            self.plan = plan_cls.split(world, shards, halo_margin)
+        self.adaptive = adaptive
         self.partitioner = SpatialPartitioner(self.plan)
         self.merger = ResultMerger(self.partitioner)
         self.executor = (
             make_executor(executor) if isinstance(executor, str) else executor
         )
         k = self.plan.num_shards
-        self.executor.start(
-            [operator_factory] * k,
-            [self.plan.halo_rect(shard) for shard in range(k)],
-        )
+        if adaptive:
+            # Tiles move under adaptive workers; give every shard the full
+            # halo-expanded world so its index never needs rebuilding.
+            world_rect = self.plan.bounds.expanded(self.plan.halo_margin)
+            worker_bounds = [world_rect] * k
+        else:
+            worker_bounds = [self.plan.halo_rect(shard) for shard in range(k)]
+        self.executor.start([operator_factory] * k, worker_bounds)
+        if adaptive:
+            if reshard_config is None:
+                reshard_config = ReshardConfig(interval=reshard_interval)
+            self.reshard_controller: Optional[ReshardController] = (
+                ReshardController(reshard_config)
+            )
+        else:
+            self.reshard_controller = None
         self.stage_plan = ShardedStagePlan(
             self.partitioner, self.executor, self.merger
         )
+        if adaptive:
+            self.stage_plan.extra_counters.update(
+                reshard_splits=0,
+                reshard_merges=0,
+                clusters_migrated=0,
+                migration_seconds=0.0,
+            )
+            hooks = list(hooks) + [_ReshardHook(self)]
         self.pipeline = EvaluationPipeline(
             generator,
             self.stage_plan,
@@ -478,6 +564,85 @@ class ShardedEngine:
         """Run ``intervals`` consecutive Δ intervals and return the stats."""
         return self.pipeline.run(intervals)
 
+    # -- adaptive re-sharding ------------------------------------------------
+
+    @property
+    def plan_epoch(self) -> int:
+        """Current shard-plan version (0 for static plans)."""
+        return getattr(self.plan, "epoch", 0)
+
+    def _maybe_reshard(self, interval_stats) -> None:
+        """Interval-boundary reshard step (called by the pipeline hook)."""
+        controller = self.reshard_controller
+        if controller is None:
+            return
+        controller.observe(
+            s.join_seconds for s in getattr(interval_stats, "shard_stats", ())
+        )
+        action = controller.propose(self.plan, self.partitioner)
+        if action is None:
+            return
+        timer = Timer()
+        with timer:
+            clusters = self._execute_reshard(action.plan)
+        extra = self.stage_plan.extra_counters
+        extra["reshard_splits"] += action.splits
+        extra["reshard_merges"] += action.merges
+        extra["clusters_migrated"] += clusters
+        extra["migration_seconds"] += timer.seconds
+        # The interval's counter snapshot was recorded before this hook
+        # fired; refresh it so the reshard is visible in the interval it
+        # was decided in, not one interval late.
+        self.pipeline.stats.counters.update(extra)
+
+    def _execute_reshard(self, new_plan: AdaptiveShardPlan) -> int:
+        """Install ``new_plan`` and live-migrate the affected entities.
+
+        The migration rides the existing routing protocol: for every
+        entity whose placement changed, its state is exported from the
+        *old owner* shard as a replayable update (``export_entity_updates``
+        on the operator — object-backed and columnar storage export
+        identically), delivered to every shard that gained the entity, and
+        a :class:`Retract` is sent to every shard that lost it.  Stale
+        report times are safe to replay: cluster ``advance_to`` is guarded
+        against moving backwards, and grid operators re-hash positions
+        idempotently.  Returns the number of distinct source clusters the
+        migration touched.
+        """
+        moves = self.partitioner.rebind(new_plan)
+        self.plan = new_plan
+        if not moves:
+            return 0
+        k = new_plan.num_shards
+        export_keys: List[List[Tuple[int, Any]]] = [[] for _ in range(k)]
+        for move in moves:
+            if move.source is not None:
+                export_keys[move.source].append((move.entity_id, move.kind))
+        exports = self.executor.apply_each("export_entity_updates", export_keys)
+        updates: Dict[Tuple[int, Any], Any] = {}
+        clusters = 0
+        for shard, result in enumerate(exports):
+            if result is None:
+                if export_keys[shard]:
+                    raise RuntimeError(
+                        "operator does not implement export_entity_updates; "
+                        "adaptive sharding needs migratable operators"
+                    )
+                continue
+            clusters += result["clusters"]
+            for update in result["updates"]:
+                updates[(update.entity_id, update.kind)] = update
+        shard_ops: List[List[object]] = [[] for _ in range(k)]
+        for move in moves:
+            update = updates.get((move.entity_id, move.kind))
+            if update is not None:
+                for shard in move.gains:
+                    shard_ops[shard].append(update)
+            for shard in move.losses:
+                shard_ops[shard].append(Retract(move.entity_id, move.kind))
+        self.executor.ingest(shard_ops)
+        return clusters
+
     # -- checkpoint/restore --------------------------------------------------
 
     def snapshot_state(self) -> dict:
@@ -489,19 +654,31 @@ class ShardedEngine:
         for validation, and the pipeline clock/accounting.
         """
         plan = self.plan
-        return {
+        state = {
             "kind": "sharded",
             "manifest": {
                 "num_shards": plan.num_shards,
-                "kx": plan.kx,
-                "ky": plan.ky,
+                "kx": getattr(plan, "kx", None),
+                "ky": getattr(plan, "ky", None),
                 "halo_margin": plan.halo_margin,
                 "bounds": plan.bounds,
+                "adaptive": self.adaptive,
+                # Adaptive layouts drift from their construction
+                # parameters, so the snapshot carries the whole plan: a
+                # resumed engine adopts it (plus its epoch) wholesale.
+                "plan": plan if self.adaptive else None,
+                "epoch": self.plan_epoch,
             },
             "operators": self.executor.snapshot_operators(),
             "partitioner": self.partitioner.snapshot_state(),
             "pipeline": self.pipeline.snapshot_state(),
         }
+        if self.reshard_controller is not None:
+            state["reshard"] = {
+                "controller": self.reshard_controller.snapshot_state(),
+                "counters": dict(self.stage_plan.extra_counters),
+            }
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Inverse of :meth:`snapshot_state` on a freshly built engine.
@@ -516,21 +693,54 @@ class ShardedEngine:
             )
         manifest = state["manifest"]
         plan = self.plan
-        current = (plan.num_shards, plan.kx, plan.ky, plan.halo_margin)
-        recorded = (
-            manifest["num_shards"],
-            manifest["kx"],
-            manifest["ky"],
-            manifest["halo_margin"],
-        )
-        if current != recorded:
-            raise ValueError(
-                f"snapshot shard plan {recorded} does not match engine "
-                f"plan {current}"
+        if manifest.get("adaptive"):
+            if not self.adaptive:
+                raise ValueError(
+                    "snapshot was taken with adaptive sharding; build the "
+                    "engine with adaptive=True (or pass the snapshot plan)"
+                )
+            recorded_plan = manifest["plan"]
+            current = (plan.num_shards, plan.halo_margin, plan.bounds)
+            recorded = (
+                recorded_plan.num_shards,
+                recorded_plan.halo_margin,
+                recorded_plan.bounds,
             )
+            if current != recorded:
+                raise ValueError(
+                    f"snapshot shard plan {recorded} does not match engine "
+                    f"plan {current}"
+                )
+            # Adopt the adapted layout wholesale — the operators being
+            # restored hold state partitioned under *it*, not under
+            # whatever initial split this engine was built with.
+            self.plan = recorded_plan
+            self.partitioner.plan = recorded_plan
+        else:
+            current = (
+                plan.num_shards,
+                getattr(plan, "kx", None),
+                getattr(plan, "ky", None),
+                plan.halo_margin,
+            )
+            recorded = (
+                manifest["num_shards"],
+                manifest.get("kx"),
+                manifest.get("ky"),
+                manifest["halo_margin"],
+            )
+            if current != recorded:
+                raise ValueError(
+                    f"snapshot shard plan {recorded} does not match engine "
+                    f"plan {current}"
+                )
         self.executor.restore_operators(state["operators"])
         self.partitioner.restore_state(state["partitioner"])
         self.pipeline.restore_state(state["pipeline"])
+        reshard = state.get("reshard")
+        if reshard is not None and self.reshard_controller is not None:
+            self.reshard_controller.restore_state(reshard["controller"])
+            self.stage_plan.extra_counters.update(reshard["counters"])
 
     def broadcast(self, method: str, *args) -> List[Any]:
         """Invoke an operator method on every shard (see executor.apply)."""

@@ -124,6 +124,13 @@ class ShardExecutor(abc.ABC):
         shedding escalation) that must also reach off-process workers.
         """
 
+    @abc.abstractmethod
+    def apply_each(self, method: str, args_per_shard: Sequence[object]) -> List[object]:
+        """Like :meth:`apply`, but shard ``i`` gets ``args_per_shard[i]``
+        as its single argument — the scatter/gather channel for per-shard
+        control payloads (e.g. migration export key lists).  Shards whose
+        operator lacks the method contribute ``None``."""
+
     def close(self) -> None:
         """Release executor resources (idempotent)."""
 
@@ -198,6 +205,19 @@ class SerialExecutor(ShardExecutor):
             if hasattr(operator, method)
             else None
             for operator in self.operators
+        ]
+
+    def apply_each(self, method: str, args_per_shard: Sequence[object]) -> List[object]:
+        if len(args_per_shard) != len(self.operators):
+            raise ValueError(
+                f"got {len(args_per_shard)} per-shard args for "
+                f"{len(self.operators)} shards"
+            )
+        return [
+            getattr(operator, method)(args)
+            if hasattr(operator, method)
+            else None
+            for operator, args in zip(self.operators, args_per_shard)
         ]
 
 
@@ -307,6 +327,19 @@ class ProcessExecutor(ShardExecutor):
     def apply(self, method: str, *args: object) -> List[object]:
         for pipe in self._pipes:
             pipe.send(("apply", method, args))
+        return [pipe.recv() for pipe in self._pipes]
+
+    def apply_each(self, method: str, args_per_shard: Sequence[object]) -> List[object]:
+        if len(args_per_shard) != len(self._pipes):
+            raise ValueError(
+                f"got {len(args_per_shard)} per-shard args for "
+                f"{len(self._pipes)} shards"
+            )
+        # Reuses the "apply" worker message with a one-element args tuple;
+        # pipe FIFO ordering guarantees all previously sent ingests are
+        # applied before the call runs, so exports see a settled shard.
+        for pipe, args in zip(self._pipes, args_per_shard):
+            pipe.send(("apply", method, (args,)))
         return [pipe.recv() for pipe in self._pipes]
 
     def close(self) -> None:

@@ -19,7 +19,7 @@ suppresses and set-union keeps.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 from ..streams import QueryMatch
 from .partition import SpatialPartitioner
@@ -41,13 +41,36 @@ class ResultMerger:
         self.partitioner = partitioner
         #: Cumulative duplicates dropped over the merger's lifetime.
         self.total_duplicates_dropped = 0
+        #: Plan epoch of the last merged interval (adaptive sharding).
+        self.last_epoch: Optional[int] = None
 
-    def merge(self, per_shard: Sequence[List[QueryMatch]]) -> MergeOutcome:
+    def merge(
+        self,
+        per_shard: Sequence[List[QueryMatch]],
+        epoch: Optional[int] = None,
+    ) -> MergeOutcome:
         """Owner-filter merge (exact; see module docstring).
 
         Output order is deterministic: shards in index order, each shard's
         matches in its operator's emission order.
+
+        Owner filtering stays exact under adaptive re-sharding because the
+        plan only ever rebinds at interval boundaries: the ``per_shard``
+        answers of one interval were produced under a single plan epoch,
+        and the partitioner's ``owner_of_query`` map is rebuilt by the
+        same ``rebind`` that installs a new plan — so the owner consulted
+        here is always the owner the shards evaluated under.  ``epoch``
+        (when given) asserts exactly that: it is the plan epoch captured
+        at dispatch time and must match the live plan's epoch at merge
+        time, or the interval spanned a plan transition — a driver bug.
         """
+        plan_epoch = getattr(self.partitioner.plan, "epoch", None)
+        if epoch is not None and plan_epoch is not None and epoch != plan_epoch:
+            raise RuntimeError(
+                f"merge under plan epoch {plan_epoch} for results dispatched "
+                f"under epoch {epoch}: plan transitioned mid-interval"
+            )
+        self.last_epoch = plan_epoch if plan_epoch is not None else epoch
         owner_of_query = self.partitioner.owner_of_query
         merged: List[QueryMatch] = []
         dropped = 0

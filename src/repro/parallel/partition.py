@@ -30,13 +30,13 @@ load shedding derives from them — close to their single-process shape.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..generator import EntityKind, Update
 from ..geometry import Rect
 
-__all__ = ["Retract", "RouteDecision", "ShardPlan", "SpatialPartitioner",
-           "derive_halo_margin"]
+__all__ = ["AdaptiveShardPlan", "MigrationMove", "Retract", "RouteDecision",
+           "ShardPlan", "SpatialPartitioner", "derive_halo_margin"]
 
 
 def derive_halo_margin(
@@ -181,6 +181,329 @@ class ShardPlan:
         )
 
 
+class MigrationMove(NamedTuple):
+    """One entity's shard-set change under a plan transition.
+
+    ``source`` is the shard that owned the entity under the *old* plan —
+    the one shard guaranteed to hold its full state, and therefore the one
+    its state is exported from.  ``gains`` are shards whose halo newly
+    contains the entity; ``losses`` are shards it must be retracted from.
+    """
+
+    entity_id: int
+    kind: EntityKind
+    source: Optional[int]
+    gains: Tuple[int, ...]
+    losses: Tuple[int, ...]
+
+
+class _KdNode:
+    """One node of an adaptive plan's kd-tree: a leaf shard or a split."""
+
+    __slots__ = ("axis", "threshold", "low", "high", "shard")
+
+    def __init__(self, axis: int, threshold: float, low, high, shard: int) -> None:
+        self.axis = axis          # 0 = split on x, 1 = split on y
+        self.threshold = threshold
+        self.low = low            # subtree with coordinate <  threshold
+        self.high = high          # subtree with coordinate >= threshold
+        self.shard = shard        # >= 0 on leaves, -1 on splits
+
+    @classmethod
+    def leaf(cls, shard: int) -> "_KdNode":
+        return cls(0, 0.0, None, None, shard)
+
+    @classmethod
+    def split(cls, axis: int, threshold: float, low, high) -> "_KdNode":
+        return cls(axis, threshold, low, high, -1)
+
+    def __getstate__(self):
+        return (self.axis, self.threshold, self.low, self.high, self.shard)
+
+    def __setstate__(self, state):
+        self.axis, self.threshold, self.low, self.high, self.shard = state
+
+
+def _split_rect(rect: Rect, axis: int, threshold: float) -> Tuple[Rect, Rect]:
+    if axis == 0:
+        return (
+            Rect(rect.min_x, rect.min_y, threshold, rect.max_y),
+            Rect(threshold, rect.min_y, rect.max_x, rect.max_y),
+        )
+    return (
+        Rect(rect.min_x, rect.min_y, rect.max_x, threshold),
+        Rect(rect.min_x, threshold, rect.max_x, rect.max_y),
+    )
+
+
+def _merge_leaves(node: "_KdNode", a: int, b: int) -> "_KdNode":
+    """Fold the sibling leaves ``a``/``b`` into one leaf ``min(a, b)``."""
+    if node.shard >= 0:
+        raise ValueError(f"shards {a} and {b} are not sibling leaves")
+    low, high = node.low, node.high
+    if low.shard >= 0 and high.shard >= 0 and {low.shard, high.shard} == {a, b}:
+        return _KdNode.leaf(min(a, b))
+    for child, sibling, flip in ((low, high, False), (high, low, True)):
+        if child.shard < 0 and _has_leaf(child, a) and _has_leaf(child, b):
+            merged = _merge_leaves(child, a, b)
+            pair = (merged, sibling) if not flip else (sibling, merged)
+            return _KdNode.split(node.axis, node.threshold, *pair)
+    raise ValueError(f"shards {a} and {b} are not sibling leaves")
+
+
+def _has_leaf(node: "_KdNode", shard: int) -> bool:
+    if node.shard >= 0:
+        return node.shard == shard
+    return _has_leaf(node.low, shard) or _has_leaf(node.high, shard)
+
+
+def _split_leaf(
+    node: "_KdNode", shard: int, freed: int, axis: int, threshold: float
+) -> "_KdNode":
+    """Replace leaf ``shard`` with a split: low keeps ``shard``, high is
+    ``freed``."""
+    if node.shard >= 0:
+        if node.shard != shard:
+            raise ValueError(f"leaf {shard} not found")
+        return _KdNode.split(
+            axis, threshold, _KdNode.leaf(shard), _KdNode.leaf(freed)
+        )
+    if _has_leaf(node.low, shard):
+        return _KdNode.split(
+            node.axis,
+            node.threshold,
+            _split_leaf(node.low, shard, freed, axis, threshold),
+            node.high,
+        )
+    return _KdNode.split(
+        node.axis,
+        node.threshold,
+        node.low,
+        _split_leaf(node.high, shard, freed, axis, threshold),
+    )
+
+
+class AdaptiveShardPlan:
+    """A rebalanceable kd-tree tiling with a fixed shard count.
+
+    Same routing interface as :class:`ShardPlan` (``owner_of`` /
+    ``shards_containing`` / ``tile`` / ``halo_rect``), but the tiles are
+    the leaves of a kd-tree that can be reshaped at runtime: a rebalance
+    folds one pair of sibling leaves into their parent region and re-splits
+    a hot region at a load median, keeping the leaf count — and therefore
+    the worker count — constant.  Every transition produces a *new* plan
+    with ``epoch + 1``; shard indices are persistent labels for workers,
+    not positions in a lattice.
+
+    Boundary semantics match the static plan exactly: ownership is
+    half-open (a point on a split threshold belongs to the high side),
+    halo containment is closed, and ``shards_containing`` always includes
+    the owner, so routing errs toward replication, never toward loss.
+    """
+
+    def __init__(
+        self, bounds: Rect, root: _KdNode, halo_margin: float, epoch: int = 0
+    ) -> None:
+        if halo_margin < 0:
+            raise ValueError(f"halo_margin must be non-negative, got {halo_margin}")
+        self.bounds = bounds
+        self.root = root
+        self.halo_margin = float(halo_margin)
+        self.epoch = epoch
+        self._rebuild_tiles()
+
+    def _rebuild_tiles(self) -> None:
+        tiles: Dict[int, Rect] = {}
+
+        def walk(node: _KdNode, rect: Rect) -> None:
+            if node.shard >= 0:
+                if node.shard in tiles:
+                    raise ValueError(f"duplicate shard id {node.shard}")
+                tiles[node.shard] = rect
+                return
+            low_rect, high_rect = _split_rect(rect, node.axis, node.threshold)
+            walk(node.low, low_rect)
+            walk(node.high, high_rect)
+
+        walk(self.root, self.bounds)
+        if sorted(tiles) != list(range(len(tiles))):
+            raise ValueError(f"leaf shard ids not dense: {sorted(tiles)}")
+        self._tiles = [tiles[s] for s in range(len(tiles))]
+        self._halos = [r.expanded(self.halo_margin) for r in self._tiles]
+
+    @classmethod
+    def split(
+        cls, bounds: Rect, shards: int, halo_margin: float
+    ) -> "AdaptiveShardPlan":
+        """The epoch-0 plan: an area-balanced kd subdivision into ``shards``
+        leaves, splitting each region along its wider side."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+
+        def build(rect: Rect, ids: List[int]) -> _KdNode:
+            if len(ids) == 1:
+                return _KdNode.leaf(ids[0])
+            axis = 0 if rect.width >= rect.height else 1
+            n_low = len(ids) // 2
+            frac = n_low / len(ids)
+            if axis == 0:
+                threshold = rect.min_x + frac * rect.width
+            else:
+                threshold = rect.min_y + frac * rect.height
+            low_rect, high_rect = _split_rect(rect, axis, threshold)
+            return _KdNode.split(
+                axis,
+                threshold,
+                build(low_rect, ids[:n_low]),
+                build(high_rect, ids[n_low:]),
+            )
+
+        return cls(bounds, build(bounds, list(range(shards))), halo_margin)
+
+    # -- geometry (ShardPlan interface) -------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._tiles)
+
+    def tile(self, shard: int) -> Rect:
+        """The owned (halo-free) rectangle of ``shard``."""
+        return self._tiles[shard]
+
+    def halo_rect(self, shard: int) -> Rect:
+        """The tile grown by the halo margin — everything the shard sees."""
+        return self._halos[shard]
+
+    def owner_of(self, x: float, y: float) -> int:
+        """The unique shard owning ``(x, y)`` (half-open, like the grid)."""
+        node = self.root
+        while node.shard < 0:
+            v = x if node.axis == 0 else y
+            node = node.low if v < node.threshold else node.high
+        return node.shard
+
+    def shards_containing(self, x: float, y: float) -> Tuple[int, ...]:
+        """Every shard whose (closed) halo rectangle contains the point.
+
+        Always includes :meth:`owner_of` (also for out-of-bounds points,
+        which the descent clamps to a border leaf exactly like the static
+        plan's border tiles)."""
+        owner = self.owner_of(x, y)
+        return tuple(
+            shard
+            for shard, halo in enumerate(self._halos)
+            if shard == owner or halo.contains_xy(x, y)
+        )
+
+    # -- transitions ---------------------------------------------------------
+
+    def leaf_sibling_of(self, shard: int) -> Optional[int]:
+        """The shard sharing ``shard``'s parent split, if it is a leaf."""
+        for a, b in self.sibling_leaf_pairs():
+            if shard == a:
+                return b
+            if shard == b:
+                return a
+        return None
+
+    def sibling_leaf_pairs(self) -> List[Tuple[int, int]]:
+        """All (low, high) leaf pairs under one split — mergeable regions."""
+        pairs: List[Tuple[int, int]] = []
+
+        def walk(node: _KdNode) -> None:
+            if node.shard >= 0:
+                return
+            if node.low.shard >= 0 and node.high.shard >= 0:
+                pairs.append((node.low.shard, node.high.shard))
+                return
+            walk(node.low)
+            walk(node.high)
+
+        walk(self.root)
+        return pairs
+
+    def rebalance(
+        self,
+        merge_pair: Tuple[int, int],
+        split_shard: int,
+        axis: int,
+        threshold: float,
+    ) -> "AdaptiveShardPlan":
+        """One rebalance step: fold ``merge_pair`` (sibling leaves; the
+        lower id keeps the merged region) and re-split ``split_shard`` at
+        ``threshold``, handing the high side to the freed id.  Returns a
+        new plan with ``epoch + 1``; ``self`` is untouched."""
+        a, b = merge_pair
+        root = _merge_leaves(self.root, a, b)
+        freed = max(a, b)
+        root = _split_leaf(root, split_shard, freed, axis, threshold)
+        return AdaptiveShardPlan(
+            self.bounds, root, self.halo_margin, epoch=self.epoch + 1
+        )
+
+    def replan(
+        self, positions: Sequence[Tuple[float, float]]
+    ) -> "AdaptiveShardPlan":
+        """A fresh load-median kd subdivision over the current population.
+
+        Single merge/split steps can only move borders between *sibling*
+        leaves; when load concentrates after a few transitions the tree
+        shape itself becomes the bottleneck.  A replan rebuilds the whole
+        tree the way :meth:`split` does, but splitting each region at the
+        **load median** of the positions inside it (wider axis first, the
+        kd construction of arXiv:1211.4414) instead of at area midpoints;
+        regions whose positions are degenerate — empty, or all on one
+        coordinate — fall back to the area midpoint, so the subdivision is
+        total for any input.  Shard ids are reassigned 0..K-1 in tree
+        order; the caller migrates every entity whose placement changed.
+        Returns a new plan with ``epoch + 1``; ``self`` is untouched.
+        """
+        k = self.num_shards
+
+        def build(
+            rect: Rect, pts: List[Tuple[float, float]], ids: List[int]
+        ) -> _KdNode:
+            if len(ids) == 1:
+                return _KdNode.leaf(ids[0])
+            axis = 0 if rect.width >= rect.height else 1
+            n_low_ids = len(ids) // 2
+            frac = n_low_ids / len(ids)
+            lo_edge = rect.min_x if axis == 0 else rect.min_y
+            hi_edge = rect.max_x if axis == 0 else rect.max_y
+            threshold = None
+            if len(pts) >= 2:
+                coords = sorted(p[axis] for p in pts)
+                candidate = coords[int(len(coords) * frac)]
+                if not lo_edge < candidate < hi_edge:
+                    # The load quantile collapsed onto a region edge
+                    # (duplicates); take the next distinct coordinate.
+                    higher = [c for c in coords if lo_edge < c < hi_edge]
+                    candidate = higher[0] if higher else None
+                threshold = candidate
+            if threshold is None:
+                threshold = lo_edge + frac * (hi_edge - lo_edge)
+            low_rect, high_rect = _split_rect(rect, axis, threshold)
+            low_pts = [p for p in pts if p[axis] < threshold]
+            high_pts = [p for p in pts if p[axis] >= threshold]
+            return _KdNode.split(
+                axis,
+                threshold,
+                build(low_rect, low_pts, ids[:n_low_ids]),
+                build(high_rect, high_pts, ids[n_low_ids:]),
+            )
+
+        root = build(self.bounds, list(positions), list(range(k)))
+        return AdaptiveShardPlan(
+            self.bounds, root, self.halo_margin, epoch=self.epoch + 1
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveShardPlan({self.num_shards} kd tiles over "
+            f"{self.bounds!r}, halo={self.halo_margin:g}, epoch={self.epoch})"
+        )
+
+
 class SpatialPartitioner:
     """Routes the update stream to shards, tracking per-entity placement.
 
@@ -190,13 +513,17 @@ class SpatialPartitioner:
     their halo).  Placement state is one small tuple per live entity.
     """
 
-    def __init__(self, plan: ShardPlan) -> None:
+    def __init__(self, plan) -> None:
         self.plan = plan
         # entity key -> shard tuple it currently lives in.
         self._placement: Dict[int, Tuple[int, ...]] = {}
         # entity key -> owning shard (only queries are consulted, but
         # tracking both kinds keeps the invariant trivial).
         self._owner: Dict[int, int] = {}
+        # entity key -> last reported (x, y).  Lets a plan transition
+        # recompute every placement without asking the shards, and gives
+        # the reshard controller its load medians.
+        self._position: Dict[int, Tuple[float, float]] = {}
         #: Updates routed since construction.
         self.updates_routed = 0
         #: Per-shard deliveries (>= updates_routed; the excess is halo copies).
@@ -223,6 +550,7 @@ class SpatialPartitioner:
             leavers = tuple(s for s in previous if s not in in_targets)
         self._placement[key] = targets
         self._owner[key] = owner
+        self._position[key] = (x, y)
         self.updates_routed += 1
         self.deliveries += len(targets)
         self.retractions += len(leavers)
@@ -243,12 +571,78 @@ class SpatialPartitioner:
             return 1.0
         return self.deliveries / self.updates_routed
 
+    # -- load introspection & plan transitions -------------------------------
+
+    def owner_counts(self) -> List[int]:
+        """Entities owned per shard — the deterministic load signal.
+
+        Derived from last reported positions, so two identically-driven
+        runs (or a resumed run) always see identical counts — unlike
+        wall-clock timings, which would make reshard decisions
+        irreproducible."""
+        counts = [0] * self.plan.num_shards
+        for shard in self._owner.values():
+            counts[shard] += 1
+        return counts
+
+    def owned_positions(self, shards) -> List[Tuple[float, float]]:
+        """Last reported positions of entities owned by any of ``shards``."""
+        wanted = set(shards)
+        return [
+            self._position[key]
+            for key, shard in self._owner.items()
+            if shard in wanted
+        ]
+
+    def rebind(self, new_plan) -> List[MigrationMove]:
+        """Adopt ``new_plan`` and diff every entity's placement against it.
+
+        Recomputes targets/owner for all tracked entities from their last
+        reported positions and returns one :class:`MigrationMove` per
+        entity whose shard set changed, in ascending key order (a
+        deterministic migration schedule).  The caller executes the moves:
+        export state from ``source``, ingest into ``gains``, retract from
+        ``losses``."""
+        if new_plan.num_shards != self.plan.num_shards:
+            raise ValueError(
+                f"rebind cannot change the shard count "
+                f"({self.plan.num_shards} -> {new_plan.num_shards})"
+            )
+        moves: List[MigrationMove] = []
+        for key in sorted(self._position):
+            x, y = self._position[key]
+            new_targets = new_plan.shards_containing(x, y)
+            new_owner = new_plan.owner_of(x, y)
+            old_targets = self._placement.get(key, ())
+            old_owner = self._owner.get(key)
+            if old_targets == new_targets and old_owner == new_owner:
+                continue
+            self._placement[key] = new_targets
+            self._owner[key] = new_owner
+            new_set = set(new_targets)
+            old_set = set(old_targets)
+            gains = tuple(s for s in new_targets if s not in old_set)
+            losses = tuple(s for s in old_targets if s not in new_set)
+            if gains or losses:
+                moves.append(
+                    MigrationMove(
+                        key // 2,
+                        EntityKind.OBJECT if key % 2 else EntityKind.QUERY,
+                        old_owner,
+                        gains,
+                        losses,
+                    )
+                )
+        self.plan = new_plan
+        return moves
+
     def snapshot_state(self) -> Dict[str, object]:
         """Picklable routing state for a checkpoint (plan geometry excluded —
         the restoring engine must already run the identical plan)."""
         return {
             "placement": dict(self._placement),
             "owner": dict(self._owner),
+            "position": dict(self._position),
             "updates_routed": self.updates_routed,
             "deliveries": self.deliveries,
             "retractions": self.retractions,
@@ -258,6 +652,7 @@ class SpatialPartitioner:
         """Inverse of :meth:`snapshot_state`."""
         self._placement = dict(state["placement"])
         self._owner = dict(state["owner"])
+        self._position = dict(state.get("position", {}))
         self.updates_routed = state["updates_routed"]
         self.deliveries = state["deliveries"]
         self.retractions = state["retractions"]

@@ -1,0 +1,282 @@
+"""Adaptive re-sharding: deciding when and where to move shard borders.
+
+Static spatial tilings lose to skew: SCUBA workloads are convoys and
+hotspots, so one downtown tile can dominate the interval critical path
+while suburb shards idle.  The established answer is load-adaptive
+repartitioning — kd-tree region splits driven by runtime load (Tauheed et
+al., arXiv:1211.4414) and grid migration protocols for continuous range
+queries (Zhu & Yu, arXiv:2206.01905).  :class:`ReshardController` is that
+policy for the sharded engine:
+
+* **Telemetry** — every interval the engine's pipeline hook feeds the
+  controller per-shard stage timings (EWMA-smoothed, exported as
+  telemetry) and per-shard object/query counts from the partitioner.
+* **Decision** — at every ``interval``-th boundary, under a cooldown and a
+  minimum-gain threshold (hysteresis), the controller compares the
+  hottest shard's owned-entity count against the mean.  Decisions are
+  keyed on *counts*, not timings: counts are a pure function of the
+  update stream, so a resumed run replays the exact reshard schedule of
+  an uninterrupted one — timing-keyed decisions would be irreproducible.
+* **Action** — one :meth:`~repro.parallel.partition.AdaptiveShardPlan.rebalance`
+  step: fold the cheapest pair of sibling leaf regions (freeing a shard
+  id) and re-split the hot region at the load median of its entities
+  along its wider axis.  When the hot leaf's own sibling is the cheapest
+  victim this degenerates to moving their shared border — a *resplit*.
+
+The controller only proposes plans; executing the migration (state export
+from the old owner shard, replay into the gaining shards, retraction from
+the losing ones) is the engine's job.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Rect
+from .partition import AdaptiveShardPlan, SpatialPartitioner
+
+__all__ = ["ReshardAction", "ReshardConfig", "ReshardController"]
+
+
+@dataclass
+class ReshardConfig:
+    """Hysteresis knobs of the reshard policy."""
+
+    #: Consider a rebalance every N intervals (decision cadence).
+    interval: int = 4
+    #: Minimum intervals between *executed* reshards (cooldown).
+    cooldown: int = 4
+    #: Trigger only when max/mean owned-entity imbalance exceeds this.
+    imbalance_threshold: float = 1.25
+    #: Do nothing for populations smaller than this (not worth moving).
+    min_entities: int = 64
+    #: Minimum predicted reduction of the hot shard's count, as a
+    #: fraction — the min-gain threshold that stops border thrash.
+    min_gain: float = 0.1
+    #: EWMA weight of the newest per-shard join timing observation.
+    ewma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"interval must be >= 1, got {self.interval}")
+        if self.cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
+        if self.imbalance_threshold < 1.0:
+            raise ValueError(
+                f"imbalance_threshold must be >= 1.0, "
+                f"got {self.imbalance_threshold}"
+            )
+        if not 0.0 <= self.min_gain < 1.0:
+            raise ValueError(f"min_gain must be in [0, 1), got {self.min_gain}")
+        if not 0.0 < self.ewma <= 1.0:
+            raise ValueError(f"ewma must be in (0, 1], got {self.ewma}")
+
+
+@dataclass
+class ReshardAction:
+    """A proposed plan transition plus its accounting."""
+
+    plan: AdaptiveShardPlan
+    splits: int
+    merges: int
+    #: ``"resplit"`` (border moved between siblings), ``"merge_split"``
+    #: (cold pair folded, hot region split with the freed id), or
+    #: ``"replan"`` (whole tree rebuilt along load medians — K-1 merges
+    #: and K-1 splits in one transition).
+    kind: str
+
+
+class ReshardController:
+    """Split-hot / merge-cold decisions under hysteresis (see module doc)."""
+
+    def __init__(self, config: Optional[ReshardConfig] = None) -> None:
+        self.config = config if config is not None else ReshardConfig()
+        #: Intervals observed so far (the decision clock).
+        self.intervals_seen = 0
+        #: Interval index of the last executed reshard.
+        self.last_reshard = -(10**9)
+        #: EWMA of per-shard join seconds — exported telemetry; never
+        #: consulted for decisions (see module docstring).
+        self.join_ewma: List[float] = []
+        #: Executed transitions: (interval, kind, new epoch).
+        self.history: List[Tuple[int, str, int]] = []
+
+    # -- telemetry -----------------------------------------------------------
+
+    def observe(self, shard_join_seconds) -> None:
+        """Fold one interval's per-shard join timings into the EWMA."""
+        self.intervals_seen += 1
+        timings = list(shard_join_seconds)
+        if len(self.join_ewma) != len(timings):
+            self.join_ewma = timings
+            return
+        w = self.config.ewma
+        self.join_ewma = [
+            (1.0 - w) * old + w * new_t
+            for old, new_t in zip(self.join_ewma, timings)
+        ]
+
+    # -- decision ------------------------------------------------------------
+
+    def propose(
+        self, plan: AdaptiveShardPlan, partitioner: SpatialPartitioner
+    ) -> Optional[ReshardAction]:
+        """A rebalance for the current load, or ``None`` under hysteresis."""
+        cfg = self.config
+        if plan.num_shards < 2:
+            return None
+        if self.intervals_seen % cfg.interval != 0:
+            return None
+        if self.intervals_seen - self.last_reshard < cfg.cooldown:
+            return None
+        counts = partitioner.owner_counts()
+        total = sum(counts)
+        if total < cfg.min_entities:
+            return None
+        mean = total / len(counts)
+        hot = max(range(len(counts)), key=lambda s: (counts[s], -s))
+        if counts[hot] <= cfg.imbalance_threshold * mean:
+            return None
+
+        ceiling = counts[hot] * (1.0 - cfg.min_gain)
+        best: Optional[Tuple[float, ReshardAction]] = None
+        for a, b in plan.sibling_leaf_pairs():
+            if hot in (a, b):
+                # The hot leaf's own sibling pair: re-split the parent
+                # region at its load median (a pure border move).
+                region = _union(plan.tile(a), plan.tile(b))
+                survivor = min(a, b)
+                split = self._median_split(
+                    partitioner, (a, b), region, plan.bounds
+                )
+                if split is None:
+                    continue
+                axis, threshold, n_low, n_high = split
+                predicted = max(n_low, n_high)
+                if predicted > ceiling:
+                    continue
+                action = ReshardAction(
+                    plan.rebalance((a, b), survivor, axis, threshold),
+                    splits=1,
+                    merges=0,
+                    kind="resplit",
+                )
+            else:
+                # Fold the cold pair, split the hot region with the freed
+                # shard id.
+                combined = counts[a] + counts[b]
+                split = self._median_split(
+                    partitioner, (hot,), plan.tile(hot), plan.bounds
+                )
+                if split is None:
+                    continue
+                axis, threshold, n_low, n_high = split
+                predicted = max(combined, n_low, n_high)
+                if predicted > ceiling:
+                    continue
+                action = ReshardAction(
+                    plan.rebalance((a, b), hot, axis, threshold),
+                    splits=1,
+                    merges=1,
+                    kind="merge_split",
+                )
+            if best is None or predicted < best[0]:
+                best = (predicted, action)
+        # Global candidate: rebuild the whole tree along load medians.
+        # Single merge/split steps can strand load behind the tree shape
+        # (only *sibling* leaves are mergeable); the replan escapes that.
+        # It migrates far more entities than a local move, so it must be
+        # strictly better than every single-step candidate to win.
+        all_positions = partitioner.owned_positions(range(len(counts)))
+        if all_positions:
+            replanned = plan.replan(all_positions)
+            new_counts = [0] * len(counts)
+            for x, y in all_positions:
+                new_counts[replanned.owner_of(x, y)] += 1
+            predicted = float(max(new_counts))
+            if predicted <= ceiling and (best is None or predicted < best[0]):
+                best = (
+                    predicted,
+                    ReshardAction(
+                        replanned,
+                        splits=len(counts) - 1,
+                        merges=len(counts) - 1,
+                        kind="replan",
+                    ),
+                )
+        if best is None:
+            return None
+        self.last_reshard = self.intervals_seen
+        action = best[1]
+        self.history.append((self.intervals_seen, action.kind, action.plan.epoch))
+        return action
+
+    @staticmethod
+    def _median_split(
+        partitioner: SpatialPartitioner,
+        shards: Tuple[int, ...],
+        region,
+        bounds,
+    ) -> Optional[Tuple[int, float, int, int]]:
+        """Load-median threshold for ``region`` along its wider axis.
+
+        Returns ``(axis, threshold, n_low, n_high)`` with both sides
+        non-empty and the threshold strictly inside the region, or
+        ``None`` when the entity distribution is degenerate (all on one
+        coordinate)."""
+        positions = partitioner.owned_positions(shards)
+        if len(positions) < 2:
+            return None
+        axis = 0 if region.width >= region.height else 1
+        coords = sorted(p[axis] for p in positions)
+        threshold = coords[len(coords) // 2]
+        n_low = bisect_left(coords, threshold)
+        if n_low == 0:
+            # Median hit the minimum: use the next distinct coordinate so
+            # the low side (strictly below the threshold) is non-empty.
+            hi = bisect_right(coords, threshold)
+            if hi >= len(coords):
+                return None
+            threshold = coords[hi]
+            n_low = hi
+        lo_edge = region.min_x if axis == 0 else region.min_y
+        hi_edge = region.max_x if axis == 0 else region.max_y
+        if not (lo_edge < threshold < hi_edge):
+            return None
+        return axis, threshold, n_low, len(coords) - n_low
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Picklable decision state — resumed runs must replay the same
+        reshard schedule as an uninterrupted one."""
+        return {
+            "intervals_seen": self.intervals_seen,
+            "last_reshard": self.last_reshard,
+            "join_ewma": list(self.join_ewma),
+            "history": list(self.history),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.intervals_seen = state["intervals_seen"]
+        self.last_reshard = state["last_reshard"]
+        self.join_ewma = list(state["join_ewma"])
+        self.history = list(state["history"])
+
+    def __repr__(self) -> str:
+        return (
+            f"ReshardController({self.intervals_seen} intervals, "
+            f"{len(self.history)} reshards)"
+        )
+
+
+def _union(a: Rect, b: Rect) -> Rect:
+    return Rect(
+        min(a.min_x, b.min_x),
+        min(a.min_y, b.min_y),
+        max(a.max_x, b.max_x),
+        max(a.max_y, b.max_y),
+    )

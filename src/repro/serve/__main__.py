@@ -99,6 +99,7 @@ def _build_fresh(args, bridge, sink):
                 query_range=(args.query_range, args.query_range),
                 update_fraction=args.update_fraction,
                 stopped_fraction=args.stopped_fraction,
+                hotspot=args.hotspot,
             ),
         )
     elif args.source == "trace":
@@ -125,6 +126,8 @@ def _build_engine(args, bridge, sink, engine_config):
             sink=sink,
             config=engine_config,
             executor=args.executor,
+            adaptive=args.adaptive_sharding,
+            reshard_interval=args.reshard_interval,
         )
         manifest = {
             "kind": "sharded",
@@ -132,6 +135,8 @@ def _build_engine(args, bridge, sink, engine_config):
             "plan": engine.plan,
             "factory": pickle.dumps(factory),
             "executor": args.executor,
+            "adaptive": args.adaptive_sharding,
+            "reshard_interval": args.reshard_interval,
         }
     else:
         engine = StreamEngine(bridge, make_operator(args), sink, engine_config)
@@ -161,6 +166,8 @@ def _build_resumed(args, sink):
             sink=sink,
             config=engine_config,
             executor=manifest["executor"],
+            adaptive=manifest.get("adaptive", False),
+            reshard_interval=manifest.get("reshard_interval", 4),
         )
     else:
         operator = pickle.loads(envelope["engine_state"]["operator"])

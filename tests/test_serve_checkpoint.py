@@ -15,7 +15,7 @@ import pytest
 
 from repro.core import Scuba, ScubaConfig
 from repro.generator import GeneratorConfig
-from repro.parallel import ScubaShardFactory, ShardedEngine
+from repro.parallel import ReshardConfig, ScubaShardFactory, ShardedEngine
 from repro.serve import (
     SNAPSHOT_VERSION,
     QueuedTickSource,
@@ -88,6 +88,39 @@ def build_sharded(bridge, scuba_kwargs):
     )
 
 
+def hotspot_spec(seed: int = 7) -> dict:
+    """A downtown-skewed workload that provokes a reshard within a few
+    intervals under an aggressive controller config."""
+    return generator_spec(
+        city_rows=9,
+        city_cols=9,
+        generator_config=GeneratorConfig(
+            num_objects=160,
+            num_queries=80,
+            skew=15,
+            seed=seed,
+            query_range=QUERY_RANGE,
+            hotspot=0.85,
+        ),
+    )
+
+
+def build_adaptive(bridge, scuba_kwargs):
+    return ShardedEngine(
+        bridge,
+        ScubaShardFactory(
+            ScubaConfig(**scuba_kwargs), max_query_extent=QUERY_RANGE
+        ),
+        shards=4,
+        sink=CollectingSink(),
+        config=EngineConfig(),
+        adaptive=True,
+        reshard_config=ReshardConfig(
+            interval=2, cooldown=2, imbalance_threshold=1.05, min_entities=32
+        ),
+    )
+
+
 def answers(engine):
     return sorted(engine.sink.all_matches)
 
@@ -136,6 +169,60 @@ def test_resume_matches_uninterrupted(tmp_path, build, variant):
     assert engine_state_digest(engine_b) == ref_digest
     if hasattr(engine_b, "close"):
         engine_b.close()
+
+
+@pytest.mark.parametrize("variant", sorted(SCUBA_VARIANTS))
+def test_adaptive_resume_matches_uninterrupted(tmp_path, variant):
+    """Kill-and-resume with adaptive sharding: the snapshot is taken
+    *after* at least one reshard, the resumed engine must restore the
+    adapted plan (same epoch, not the epoch-0 tiling) and the stitched
+    answers plus final digest must match an uninterrupted run."""
+    scuba_kwargs = SCUBA_VARIANTS[variant]
+
+    ref_bridge = QueuedTickSource()
+    ref_engine = build_adaptive(ref_bridge, scuba_kwargs)
+    drive(ref_engine, build_source(hotspot_spec()), 6, ref_bridge)
+    ref_answers = answers(ref_engine)
+    ref_digest = engine_state_digest(ref_engine)
+    ref_epoch = ref_engine.plan_epoch
+    assert ref_answers, "workload must produce matches for the test to bite"
+
+    bridge_a = QueuedTickSource()
+    engine_a = build_adaptive(bridge_a, scuba_kwargs)
+    drive(engine_a, build_source(hotspot_spec()), 3, bridge_a)
+    assert engine_a.plan_epoch > 0, (
+        "the hotspot workload must trigger a reshard before the snapshot, "
+        "or this test is not exercising adapted-plan restore"
+    )
+    snap_epoch = engine_a.plan_epoch
+    first_half = answers(engine_a)
+    path = save_snapshot(
+        tmp_path / "snap.pkl",
+        {
+            "engine_state": engine_a.snapshot_state(),
+            "cursor": bridge_a.ticks_consumed,
+            "source_spec": hotspot_spec(),
+        },
+    )
+    engine_a.close()
+
+    envelope = load_snapshot(path)
+    cursor = envelope["cursor"]
+    bridge_b = QueuedTickSource(ticks_consumed=cursor)
+    engine_b = build_adaptive(bridge_b, scuba_kwargs)
+    engine_b.restore_state(envelope["engine_state"])
+    # The adapted plan came back, not a fresh epoch-0 tiling.
+    assert engine_b.plan_epoch == snap_epoch
+    drive(engine_b, build_source(envelope["source_spec"], skip_ticks=cursor),
+          3, bridge_b)
+    second_half = answers(engine_b)
+
+    assert sorted(first_half + second_half) == ref_answers
+    assert engine_state_digest(engine_b) == ref_digest
+    # Count-keyed decisions: the resumed run replays the reference's
+    # reshard schedule exactly.
+    assert engine_b.plan_epoch == ref_epoch
+    engine_b.close()
 
 
 def test_restored_run_stats_continue(tmp_path):
