@@ -56,6 +56,7 @@ def run_worker(args) -> dict:
             query_range=(args.query_range, args.query_range),
             update_fraction=1.0,
             stopped_fraction=0.0,
+            tick_batching=args.tick_batching,
         ),
     )
     scuba_config = ScubaConfig(
@@ -100,6 +101,7 @@ def run_worker(args) -> dict:
     return {
         "population": population,
         "columnar": args.columnar,
+        "tick_batching": args.tick_batching,
         "shards": args.shards,
         "wall_seconds": wall,
         "stages": stages,
@@ -120,7 +122,9 @@ def run_worker(args) -> dict:
     }
 
 
-def measure_cell(args, population: int, columnar: bool) -> dict:
+def measure_cell(
+    args, population: int, columnar: bool, tick_batching: bool
+) -> dict:
     """Run one (rung, mode) cell in a fresh child process."""
     cmd = [
         sys.executable, str(Path(__file__).resolve()),
@@ -136,11 +140,14 @@ def measure_cell(args, population: int, columnar: bool) -> dict:
     ]
     if columnar:
         cmd.append("--columnar")
+    if tick_batching:
+        cmd.append("--tick-batching")
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         raise RuntimeError(
             f"ladder worker failed (population {population}, "
-            f"columnar={columnar}):\n{proc.stderr}"
+            f"columnar={columnar}, tick_batching={tick_batching}):\n"
+            f"{proc.stderr}"
         )
     return json.loads(proc.stdout)
 
@@ -172,6 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help=argparse.SUPPRESS)
     parser.add_argument("--columnar", action="store_true",
                         help=argparse.SUPPRESS)
+    parser.add_argument("--tick-batching", dest="tick_batching",
+                        action="store_true", help=argparse.SUPPRESS)
     return parser
 
 
@@ -181,20 +190,29 @@ def main(argv=None) -> int:
         print(json.dumps(run_worker(args)))
         return 0
     if args.dry_run:
-        rungs = [400]
+        # Two rungs so CI exercises the per-rung loop (and the report's
+        # generate-stage accounting) at more than one population.
+        rungs = [400, 800]
         args.warmup, args.intervals = 1, 2
     else:
         rungs = [int(r) for r in args.rungs.split(",") if r.strip()]
     print(f"scale ladder: rungs {rungs}, skew {args.skew}, "
           f"{args.warmup} warm-up + {args.intervals} timed intervals")
+    modes = [
+        (columnar, tick_batching)
+        for columnar in (False, True)
+        for tick_batching in (False, True)
+    ]
     cells = []
     for population in rungs:
-        for columnar in (False, True):
-            cell = measure_cell(args, population, columnar)
+        for columnar, tick_batching in modes:
+            cell = measure_cell(args, population, columnar, tick_batching)
             cells.append(cell)
             mode = "columnar" if columnar else "objects "
+            mode += " batch" if tick_batching else " rows "
             stages = cell["stages"]
             line = (f"  {population:>8} {mode}: wall {cell['wall_seconds']:.3f}s  "
+                    f"generate {stages['generate']:.3f}s  "
                     f"ingest {stages['ingest']:.3f}s  "
                     f"join {stages['join']:.3f}s  "
                     f"maintenance {stages['maintenance']:.3f}s  "

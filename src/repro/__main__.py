@@ -53,6 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of convoys whose origins and "
                              "destinations stay inside a downtown sub-rect "
                              "(spatial skew; 0=uniform coverage)")
+    parser.add_argument("--tick-batching", dest="tick_batching",
+                        action="store_true", default=True,
+                        help="vectorized tick path: the generator emits "
+                             "columnar TickBatches (default)")
+    parser.add_argument("--no-tick-batching", dest="tick_batching",
+                        action="store_false",
+                        help="scalar reference tick path (per-entity loop, "
+                             "per-object update rows)")
     parser.add_argument("--operator",
                         choices=["scuba", "regular", "naive", "incremental"],
                         default="scuba")
@@ -268,6 +276,7 @@ def main(argv=None) -> int:
                 update_fraction=args.update_fraction,
                 stopped_fraction=args.stopped_fraction,
                 hotspot=args.hotspot,
+                tick_batching=args.tick_batching,
             ),
         )
     if args.record:

@@ -644,10 +644,20 @@ class ColumnarMovingCluster(MovingCluster):
         Called by the maintenance engine before the vectorized sweeps; a
         pure reorder (no value changes, no version bumps).  Returns the
         number of stores rebuilt.
+
+        Disorder alone only matters to the vectorized paths — the
+        ordered-prefix sweeps and the zero-copy join/ingest views all bail
+        below :data:`VECTOR_MIN_MEMBERS` anyway, and the gather fallback
+        sweeps unordered stores exactly — so small clusters skip the
+        rebuild and only compact to reclaim wasted capacity.  Churning
+        convoys at the scale-ladder rungs otherwise pay a full column
+        rebuild every interval for order no fast path ever reads.
         """
         rebuilt = 0
-        for store in (self.obj_store, self.qry_store):
-            if not store.ordered or store.wasteful():
+        so, sq = self.obj_store, self.qry_store
+        small = len(so.index) + len(sq.index) < VECTOR_MIN_MEMBERS
+        for store in (so, sq):
+            if store.wasteful() or (not store.ordered and not small):
                 if store.compact(np):
                     rebuilt += 1
         return rebuilt

@@ -35,6 +35,7 @@ backend *name* and counters, re-resolving numpy lazily per run.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, List
 
 from ..clustering import split_cluster
@@ -49,12 +50,14 @@ EXPIRY_VECTOR_MIN = 8
 class MaintenanceEngine:
     """Vectorized whole-world post-join maintenance for columnar worlds."""
 
-    __slots__ = ("backend_name", "compactions")
+    __slots__ = ("backend_name", "compactions", "compaction_seconds")
 
     def __init__(self, backend_name: str = "auto") -> None:
         self.backend_name = backend_name
         #: Member-store compactions triggered before vectorized sweeps.
         self.compactions = 0
+        #: Wall-clock seconds spent inside ``ensure_compact`` calls.
+        self.compaction_seconds = 0.0
 
     @property
     def resolved_name(self) -> str:
@@ -81,7 +84,9 @@ class MaintenanceEngine:
                 continue
             cluster.advance_to(now)
             if recompute:
+                t0 = perf_counter()
                 self.compactions += cluster.ensure_compact(np)
+                self.compaction_seconds += perf_counter() - t0
                 cluster.maintenance_sweep(np)
             cluster.update_expiry(now)
             survivors.append(cluster)

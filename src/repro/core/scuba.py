@@ -67,7 +67,8 @@ from ..clustering import (
     MovingCluster,
     split_cluster,
 )
-from ..generator import EntityKind, LocationUpdate, QueryUpdate, Update
+from ..generator import EntityKind, LocationUpdate, QueryUpdate, TickBatch, Update
+from ..generator.records import _EMPTY_ATTRS
 from ..geometry import Point, Rect
 from ..ingest import make_ingest_kernel
 from ..kernels import BACKEND_CHOICES, resolve_backend
@@ -341,9 +342,32 @@ class Scuba(StagedJoinOperator):
 
     def record_updates(self, updates: Sequence[Update]) -> None:
         """Bulk :meth:`record_update`: one tick's table rows, arrival
-        order, with the table methods bound once for the whole run."""
+        order, with the table methods bound once for the whole run.  Tick
+        batches record straight off their id/kind columns — no row
+        materialization, same table state."""
         obj_record = self.objects_table.record
         qry_record = self.queries_table.record
+        if isinstance(updates, TickBatch):
+            t = updates.t
+            attrs_list = updates.attrs_list
+            if attrs_list is None:
+                for eid, is_obj in zip(updates.ids, updates.kinds):
+                    if is_obj:
+                        obj_record(eid, _EMPTY_ATTRS, t)
+                    else:
+                        qry_record(eid, _EMPTY_ATTRS, t)
+            else:
+                for i, (eid, is_obj) in enumerate(
+                    zip(updates.ids, updates.kinds)
+                ):
+                    attrs = attrs_list[i]
+                    if attrs is None:
+                        attrs = _EMPTY_ATTRS
+                    if is_obj:
+                        obj_record(eid, attrs, t)
+                    else:
+                        qry_record(eid, attrs, t)
+            return
         obj = EntityKind.OBJECT
         for update in updates:
             if update.kind is obj:
@@ -967,6 +991,11 @@ class Scuba(StagedJoinOperator):
                 self.maintenance_engine.compactions
                 if self.maintenance_engine is not None
                 else 0
+            ),
+            "store_compaction_seconds": (
+                self.maintenance_engine.compaction_seconds
+                if self.maintenance_engine is not None
+                else 0.0
             ),
             # Zeros when batching is off, so merged/reported stat shapes
             # do not depend on the flag.

@@ -5,6 +5,7 @@ Objects in the paper's evaluation, with an explicit skew-factor knob for
 controlling clusterability (paper §6.3).
 """
 
+from .batch import TickBatch
 from .generator import GeneratorConfig, NetworkBasedGenerator
 from .records import EntityKind, LocationUpdate, QueryUpdate, Update
 from .state import DestinationPlan, MovingEntity
@@ -18,6 +19,7 @@ __all__ = [
     "MovingEntity",
     "NetworkBasedGenerator",
     "QueryUpdate",
+    "TickBatch",
     "TraceRecorder",
     "TraceReplayer",
     "Update",

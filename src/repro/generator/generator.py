@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..network import EdgePosition, RoadNetwork, Router
+from .batch import TickBatch
 from .records import EntityKind, Update
 from .state import DestinationPlan, MovingEntity
+from .vectorized import VectorTickCore
 
 __all__ = ["GeneratorConfig", "NetworkBasedGenerator"]
 
@@ -88,6 +90,12 @@ class GeneratorConfig:
     #: ``(min_x, min_y, max_x, max_y)``, each in [0, 1].  The default is
     #: the lower-left ~12% of the city's area.
     hotspot_rect: Tuple[float, float, float, float] = (0.0, 0.0, 0.35, 0.35)
+    #: When True (default), ``tick()`` runs the vectorized column core and
+    #: returns a :class:`~repro.generator.batch.TickBatch` — a
+    #: ``Sequence[Update]`` whose rows materialize lazily, bit-identical to
+    #: the scalar stream.  When False, ``tick()`` is the per-entity
+    #: reference loop returning ``List[Update]``.
+    tick_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.num_objects < 0 or self.num_queries < 0:
@@ -127,7 +135,8 @@ class NetworkBasedGenerator:
         self._rng = random.Random(config.seed)
         self._node_ids = [n.node_id for n in network.nodes()]
         self._hot_node_ids = self._resolve_hot_nodes()
-        self.entities: List[MovingEntity] = []
+        self._entities: List[MovingEntity] = []
+        self._core: Optional[VectorTickCore] = None
         self.time = 0.0
         #: Number of tick() calls served — the generator's resumable
         #: cursor.  Generation is deterministic in the dt sequence, so a
@@ -268,36 +277,66 @@ class NetworkBasedGenerator:
                 range_height=cfg.query_range[1] if kind is EntityKind.QUERY else 0.0,
             )
             next_id[kind] += 1
-            self.entities.append(entity)
+            self._entities.append(entity)
 
     # -- simulation ----------------------------------------------------------------
 
-    def tick(self, dt: float = 1.0) -> List[Update]:
+    @property
+    def entities(self) -> List[MovingEntity]:
+        """The live population, with column state synced back.
+
+        Reading an entity must observe the vectorized core's current
+        offsets/odometers; the core is then marked dirty so any mutation
+        the caller performs (tests park entities, benchmarks retune them)
+        is reloaded before the next tick.
+        """
+        core = self._core
+        if core is not None:
+            core.sync_entities()
+            core.mark_dirty()
+        return self._entities
+
+    def _vector_core(self) -> VectorTickCore:
+        core = self._core
+        if core is None:
+            core = self._core = VectorTickCore(self)
+        return core
+
+    def tick(self, dt: float = 1.0) -> Sequence[Update]:
         """Advance the world by ``dt`` time units and collect update tuples.
 
         Every entity moves; a configurable fraction of them report.  The
-        returned list is the merged object+query stream for this tick, in
-        stable entity order (the incremental clusterer's outcome depends on
-        arrival order — keeping it deterministic keeps experiments
-        reproducible).
+        returned sequence is the merged object+query stream for this tick,
+        in stable entity order (the incremental clusterer's outcome depends
+        on arrival order — keeping it deterministic keeps experiments
+        reproducible).  With ``tick_batching`` (the default) the sequence
+        is a column-backed :class:`TickBatch`; the scalar reference loop
+        below emits the bit-identical stream as a plain list.
         """
         self.time += dt
         self.ticks_elapsed += 1
-        updates: List[Update] = []
         fraction = self.config.update_fraction
-        for entity in self.entities:
+        if self.config.tick_batching:
+            core = self._vector_core()
+            core.advance(dt)
+            return core.emit(self.time, self._rng, fraction)
+        updates: List[Update] = []
+        for entity in self._entities:
             entity.advance(dt, self.network)
             if fraction >= 1.0 or self._rng.random() < fraction:
                 updates.append(entity.make_update(self.time, self.network))
         return updates
 
-    def snapshot(self) -> List[Update]:
+    def snapshot(self) -> Sequence[Update]:
         """Updates for the *entire* population at the current time.
 
         Used by tests and accuracy measurements that need ground truth
-        irrespective of ``update_fraction``.
+        irrespective of ``update_fraction``.  Batched mode serves it from
+        the column core without materializing per-entity rows.
         """
-        return [e.make_update(self.time, self.network) for e in self.entities]
+        if self.config.tick_batching:
+            return self._vector_core().emit_all(self.time)
+        return [e.make_update(self.time, self.network) for e in self._entities]
 
     def fast_forward(self, ticks: int, dt: float = 1.0) -> None:
         """Advance ``ticks`` time steps, discarding the emitted updates.
@@ -305,9 +344,20 @@ class NetworkBasedGenerator:
         The resume path of a checkpointed run: a generator rebuilt from
         the same network and config, fast-forwarded to a snapshot's
         ``ticks_elapsed`` cursor, continues the stream bit-identically.
+        Batched mode skips emission entirely — it advances columns and
+        burns the per-entity report draws the emitting tick would have.
         """
         if ticks < 0:
             raise ValueError(f"ticks must be non-negative, got {ticks}")
+        if self.config.tick_batching:
+            core = self._vector_core()
+            fraction = self.config.update_fraction
+            for _ in range(ticks):
+                self.time += dt
+                self.ticks_elapsed += 1
+                core.advance(dt)
+                core.consume_report_draws(self._rng, fraction)
+            return
         for _ in range(ticks):
             self.tick(dt)
 
@@ -321,6 +371,6 @@ class NetworkBasedGenerator:
 
     def __repr__(self) -> str:
         return (
-            f"NetworkBasedGenerator({len(self.entities)} entities, "
+            f"NetworkBasedGenerator({len(self._entities)} entities, "
             f"skew={self.config.skew}, t={self.time:g})"
         )

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Dict, IO, List, Optional, Union
 
 from ..geometry import Point
+from .batch import TickBatch
 from .records import EntityKind, LocationUpdate, QueryUpdate, Update
 
 __all__ = ["TraceRecorder", "TraceReplayer", "update_to_dict", "update_from_dict"]
@@ -53,6 +54,41 @@ def update_to_dict(update: Update) -> Dict:
     if update.attrs:
         data["attrs"] = dict(update.attrs)
     return data
+
+
+def _batch_to_dicts(batch: TickBatch) -> List[Dict]:
+    """:func:`update_to_dict` for every row of a tick batch, from columns.
+
+    Produces byte-identical JSON to the row path (same key order, Python
+    scalars via the batch's cached scalar columns) without materialising
+    update objects.
+    """
+    xs, ys, speeds, cn_xs, cn_ys, ws, hs = batch._scalar_columns()
+    t = batch.t
+    cns = batch.cns
+    attrs_list = batch.attrs_list
+    obj_kind = EntityKind.OBJECT.value
+    qry_kind = EntityKind.QUERY.value
+    out: List[Dict] = []
+    for i, (eid, is_obj) in enumerate(zip(batch.ids, batch.kinds)):
+        data = {
+            "kind": obj_kind if is_obj else qry_kind,
+            "id": eid,
+            "x": xs[i],
+            "y": ys[i],
+            "t": t,
+            "speed": speeds[i],
+            "cn": cns[i],
+            "cnx": cn_xs[i],
+            "cny": cn_ys[i],
+        }
+        if not is_obj:
+            data["w"] = ws[i]
+            data["h"] = hs[i]
+        if attrs_list is not None and attrs_list[i]:
+            data["attrs"] = dict(attrs_list[i])
+        out.append(data)
+    return out
 
 
 def update_from_dict(data: Dict) -> Update:
@@ -96,10 +132,11 @@ class TraceRecorder:
         if self._file is None:
             raise ValueError("trace recorder is closed")
         updates = self.generator.tick(dt)
-        line = {
-            "t": self.generator.time,
-            "updates": [update_to_dict(u) for u in updates],
-        }
+        if isinstance(updates, TickBatch):
+            dicts = _batch_to_dicts(updates)
+        else:
+            dicts = [update_to_dict(u) for u in updates]
+        line = {"t": self.generator.time, "updates": dicts}
         self._file.write(json.dumps(line) + "\n")
         return updates
 
@@ -177,7 +214,14 @@ class TraceReplayer:
         updates = [update_from_dict(d) for d in record["updates"]]
         for update in updates:
             self._latest[(update.kind, update.entity_id)] = update
-        return updates
+        try:
+            # Column-pack the tick so replay feeds the same batched ingest
+            # and transport paths as a live generator.
+            return TickBatch.from_updates(self.time, updates)
+        except ValueError:
+            # Hand-authored traces may mix timestamps within one tick
+            # record; those stay row-form (the engines accept both).
+            return updates
 
     def snapshot(self) -> List[Update]:
         return list(self._latest.values())

@@ -72,7 +72,7 @@ import math
 from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..generator import EntityKind, Update
+from ..generator import EntityKind, TickBatch, Update
 from .batch import UpdateBatch
 
 _OBJECT = EntityKind.OBJECT
@@ -295,6 +295,7 @@ class PythonBatchIngestKernel(IngestKernel):
         self._commit_cid: Dict[int, int] = {}
         self._updates: Sequence[Update] = ()
         self._keys: List[int] = []
+        self._cols: Optional[tuple] = None
         self._batch: Optional[UpdateBatch] = None
         self._operator: Any = None
         self._extras: List[int] = []
@@ -328,6 +329,13 @@ class PythonBatchIngestKernel(IngestKernel):
             for update in updates:
                 on_update(update)
             return
+        if isinstance(updates, TickBatch):
+            # A tick batch is uniform-t by construction and carries its
+            # columns; the grouping/classify/commit passes read those
+            # directly and only materialize the rows that take a scalar
+            # visit.
+            self._run_tick(operator, updates, updates.t)
+            return
         # The pipeline delivers one tick per call, so a uniform timestamp
         # is the overwhelmingly common case; the grouping pass verifies it
         # inline and backs out (before touching any state) if a hand-built
@@ -360,26 +368,46 @@ class PythonBatchIngestKernel(IngestKernel):
         # reused by classification for the view join.
         groups: Dict[int, List[int]] = {}
         get_group = groups.get
-        keys: List[int] = []
-        append_key = keys.append
         # Homeless rows (entities with no cluster yet) are scalar visits.
         slow: List[int] = []
         append_slow = slow.append
-        obj = _OBJECT
-        for i, update in enumerate(updates):
-            if update.t != t:
-                return False
-            key = update.entity_id * 2 + (update.kind is obj)
-            append_key(key)
-            cid = home_get(key)
-            if cid is not None:
-                rows = get_group(cid)
-                if rows is None:
-                    groups[cid] = [i]
+        if isinstance(updates, TickBatch):
+            # Column path: the batch's cached key column replaces the
+            # per-row attribute reads, and classification/commit read the
+            # scalar column views instead of materialized rows.
+            keys = updates.keys
+            xs, ys, speeds, cn_xs, cn_ys, _, _ = updates._scalar_columns()
+            self._cols = (xs, ys, speeds, updates.cns, cn_xs, cn_ys)
+            for i, key in enumerate(keys):
+                cid = home_get(key)
+                if cid is not None:
+                    rows = get_group(cid)
+                    if rows is None:
+                        groups[cid] = [i]
+                    else:
+                        rows.append(i)
                 else:
-                    rows.append(i)
-            else:
-                append_slow(i)
+                    append_slow(i)
+        else:
+            self._cols = None
+            keys = []
+            append_key = keys.append
+            obj = _OBJECT
+            for i, update in enumerate(updates):
+                if update.t != t:
+                    self._cols = None
+                    return False
+                key = update.entity_id * 2 + (update.kind is obj)
+                append_key(key)
+                cid = home_get(key)
+                if cid is not None:
+                    rows = get_group(cid)
+                    if rows is None:
+                        groups[cid] = [i]
+                    else:
+                        rows.append(i)
+                else:
+                    append_slow(i)
         self._keys = keys
 
         # Classify each group.  Rows outside a fast group — entities with
@@ -489,6 +517,7 @@ class PythonBatchIngestKernel(IngestKernel):
             commit_cid.clear()
             del extras[:]
             self._updates = ()
+            self._cols = None
             self._operator = None
         self._prune_views(storage)
         return True
@@ -575,17 +604,26 @@ class PythonBatchIngestKernel(IngestKernel):
         assignments: List[Tuple[Any, bool]] = []
         seen: set = set()
         seen_add = seen.add
+        cols = self._cols
+        if cols is not None:
+            u_xs, u_ys, u_speeds, u_cns = cols[0], cols[1], cols[2], cols[3]
         for i in rows:
             row = view_rows.get(keys[i])
             if row is None:
                 return None
             seen_add(row)
-            update = updates[i]
-            loc = update.loc
-            x = loc.x
-            y = loc.y
-            speed = update.speed
-            cn = update.cn_node
+            if cols is not None:
+                x = u_xs[i]
+                y = u_ys[i]
+                speed = u_speeds[i]
+                cn = u_cns[i]
+            else:
+                update = updates[i]
+                loc = update.loc
+                x = loc.x
+                y = loc.y
+                speed = update.speed
+                cn = update.cn_node
             if (
                 x == v_rx[row]
                 and y == v_ry[row]
@@ -658,18 +696,27 @@ class PythonBatchIngestKernel(IngestKernel):
         refreshes = 0
         seen: set = set()
         seen_add = seen.add
+        cols = self._cols
+        if cols is not None:
+            u_xs, u_ys, u_speeds, u_cns = cols[0], cols[1], cols[2], cols[3]
         for i in rows:
             key = keys[i]
             member = (objects if key & 1 else queries).get(key >> 1)
             if member is None:
                 return None
             seen_add(key)
-            update = updates[i]
-            loc = update.loc
-            x = loc.x
-            y = loc.y
-            speed = update.speed
-            cn = update.cn_node
+            if cols is not None:
+                x = u_xs[i]
+                y = u_ys[i]
+                speed = u_speeds[i]
+                cn = u_cns[i]
+            else:
+                update = updates[i]
+                loc = update.loc
+                x = loc.x
+                y = loc.y
+                speed = update.speed
+                cn = update.cn_node
             m_speed = member.speed
             rx = member.abs_x + (tx - member.tr_x)
             ry = member.abs_y + (ty - member.tr_y)
@@ -744,24 +791,39 @@ class PythonBatchIngestKernel(IngestKernel):
         else:
             tx = cluster.trans_x
             ty = cluster.trans_y
+            cols = self._cols
+            if cols is not None:
+                u_xs, u_ys, _, u_cns, u_cn_xs, u_cn_ys = cols
             for i, (member, heartbeat) in zip(rows, assignments):
                 if heartbeat:
                     member.last_t = t
                     continue
-                update = updates[i]
-                loc = update.loc
+                if cols is not None:
+                    x = u_xs[i]
+                    y = u_ys[i]
+                    cn = u_cns[i]
+                else:
+                    update = updates[i]
+                    loc = update.loc
+                    x = loc.x
+                    y = loc.y
+                    cn = update.cn_node
                 if member.position_shed:
                     member.position_shed = False
                     cluster.shed_count -= 1
-                member.abs_x = loc.x
-                member.abs_y = loc.y
+                member.abs_x = x
+                member.abs_y = y
                 member.tr_x = tx
                 member.tr_y = ty
                 member.last_t = t
-                if member.cn_node != update.cn_node:
-                    member.cn_node = update.cn_node
-                    member.cn_x = update.cn_loc.x
-                    member.cn_y = update.cn_loc.y
+                if member.cn_node != cn:
+                    member.cn_node = cn
+                    if cols is not None:
+                        member.cn_x = u_cn_xs[i]
+                        member.cn_y = u_cn_ys[i]
+                    else:
+                        member.cn_x = update.cn_loc.x
+                        member.cn_y = update.cn_loc.y
             # One aggregated bump in place of ``refreshed`` sequential
             # ones: same final counter values, same cache invalidation.
             cluster.version += refreshed

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
-from ..generator import EntityKind, Update
+from ..generator import EntityKind, TickBatch, Update
 
 __all__ = ["UpdateBatch"]
 
@@ -36,11 +36,33 @@ class UpdateBatch:
         "speeds",
         "cns",
         "ts",
+        "_uniform",
+        "_source",
         "_np_columns",
     )
 
     def __init__(self, updates: Sequence[Update]) -> None:
         self.updates: Sequence[Update] = updates
+        if isinstance(updates, TickBatch):
+            # Adopt the tick's native columns without materializing rows.
+            # Scalar (Python-float) versions feed the per-row compares and
+            # the commit writes — values that reach persistent cluster
+            # state must be plain floats, not numpy scalars — while
+            # ``numpy_columns`` reuses the producer's arrays untouched.
+            xs, ys, speeds, _, _, _, _ = updates._scalar_columns()
+            self.keys = updates.keys
+            self.kinds = updates.kinds
+            self.xs = xs
+            self.ys = ys
+            self.speeds = speeds
+            self.cns = updates.cns
+            self.ts = None
+            self._uniform = updates.t
+            self._source = updates
+            self._np_columns = None
+            return
+        self._uniform = None
+        self._source = None
         keys: List[int] = []
         kinds: List[bool] = []
         xs: List[float] = []
@@ -78,8 +100,10 @@ class UpdateBatch:
         Generator ticks emit every update at the same simulation time; the
         batched fast path relies on that (one ``advance_to`` per cluster
         per batch), so mixed-timestamp batches fall back to the scalar
-        loop.
+        loop.  Adopted tick batches are uniform by construction.
         """
+        if self._uniform is not None:
+            return self._uniform
         ts = self.ts
         if not ts:
             return None
@@ -94,12 +118,25 @@ class UpdateBatch:
         columns = self._np_columns
         if columns is None:
             n = len(self.keys)
-            columns = (
-                np.fromiter(self.keys, dtype=np.int64, count=n),
-                np.fromiter(self.xs, dtype=np.float64, count=n),
-                np.fromiter(self.ys, dtype=np.float64, count=n),
-                np.fromiter(self.speeds, dtype=np.float64, count=n),
-                np.fromiter(self.cns, dtype=np.int64, count=n),
-            )
+            source = self._source
+            if source is not None:
+                # asarray passes the vectorized generator's float64 arrays
+                # through without a copy; only the int columns (plain
+                # lists on the tick batch) pay a conversion.
+                columns = (
+                    np.fromiter(self.keys, dtype=np.int64, count=n),
+                    np.asarray(source.xs, dtype=np.float64),
+                    np.asarray(source.ys, dtype=np.float64),
+                    np.asarray(source.speeds, dtype=np.float64),
+                    np.fromiter(self.cns, dtype=np.int64, count=n),
+                )
+            else:
+                columns = (
+                    np.fromiter(self.keys, dtype=np.int64, count=n),
+                    np.fromiter(self.xs, dtype=np.float64, count=n),
+                    np.fromiter(self.ys, dtype=np.float64, count=n),
+                    np.fromiter(self.speeds, dtype=np.float64, count=n),
+                    np.fromiter(self.cns, dtype=np.int64, count=n),
+                )
             self._np_columns = columns
         return columns

@@ -51,7 +51,7 @@ from ..core import (
     Scuba,
     ScubaConfig,
 )
-from ..generator import NetworkBasedGenerator
+from ..generator import EntityKind, NetworkBasedGenerator, TickBatch
 from ..geometry import Rect
 from ..network import DEFAULT_BOUNDS
 from ..pipeline.context import EvaluationContext
@@ -66,7 +66,7 @@ from ..streams import (
     Timer,
     merge_counters,
 )
-from .executor import ShardExecutor, make_executor
+from .executor import BatchShardOps, ShardExecutor, make_executor
 from .merge import ResultMerger
 from .partition import (
     AdaptiveShardPlan,
@@ -380,6 +380,11 @@ class ShardedStagePlan(StagePlan):
 
     def ingest(self, ctx: EvaluationContext, updates: Sequence[Any]) -> None:
         k = self.partitioner.plan.num_shards
+        if isinstance(updates, TickBatch):
+            with self._route_timer:
+                shard_ops = self._route_batch(updates, k)
+            self.executor.ingest(shard_ops)
+            return
         with self._route_timer:
             shard_ops: List[List[object]] = [[] for _ in range(k)]
             for update in updates:
@@ -391,6 +396,43 @@ class ShardedStagePlan(StagePlan):
                     for shard in decision.leavers:
                         shard_ops[shard].append(retract)
         self.executor.ingest(shard_ops)
+
+    def _route_batch(self, batch: TickBatch, k: int) -> List[Any]:
+        """Route a tick batch by its key/x/y columns into per-shard
+        :class:`BatchShardOps` (row selections + positioned Retracts).
+
+        Decisions, bookkeeping, and per-shard op order are identical to
+        the object loop — only the materialisation of update rows is
+        skipped.  Coordinates come from the batch's scalar (Python-float)
+        columns, so the partitioner's pickled placement state stays free
+        of numpy scalars.
+        """
+        route_xy = self.partitioner.route_xy
+        keys = batch.keys
+        ids = batch.ids
+        kinds = batch.kinds
+        xs, ys = batch._scalar_columns()[:2]
+        rows: List[List[int]] = [[] for _ in range(k)]
+        retracts: List[List[Tuple[int, Retract]]] = [[] for _ in range(k)]
+        obj, qry = EntityKind.OBJECT, EntityKind.QUERY
+        for i in range(len(keys)):
+            decision = route_xy(keys[i], xs[i], ys[i])
+            for shard in decision.targets:
+                rows[shard].append(i)
+            if decision.leavers:
+                retract = Retract(ids[i], obj if kinds[i] else qry)
+                for shard in decision.leavers:
+                    retracts[shard].append((len(rows[shard]), retract))
+        n = len(keys)
+        return [
+            # A shard receiving every row (row lists are strictly
+            # increasing, so full length means the identity selection)
+            # adopts the batch itself — no column copy.
+            BatchShardOps(batch if len(r) == n else batch.select(r), rt)
+            if (r or rt)
+            else []
+            for r, rt in zip(rows, retracts)
+        ]
 
     def join(self, ctx: EvaluationContext) -> None:
         self._shard_results = self.executor.evaluate(ctx.now)

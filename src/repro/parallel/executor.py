@@ -34,6 +34,7 @@ from ..streams import IntervalStats, QueryMatch
 from .partition import Retract
 
 __all__ = [
+    "BatchShardOps",
     "ShardOp",
     "ShardResult",
     "ShardExecutor",
@@ -60,6 +61,58 @@ class ShardResult:
     counters: Dict[str, Any] = field(default_factory=dict)
 
 
+class BatchShardOps:
+    """One shard's tick operations in columnar form.
+
+    ``batch`` is the shard's row selection of the tick's
+    :class:`~repro.generator.TickBatch` (arrival order preserved);
+    ``retracts`` positions each :class:`Retract` between batch rows as a
+    ``(row_pos, retract)`` pair — the retract applies after ``row_pos``
+    rows have been ingested, exactly where it sat in the object-path
+    operation list.  Picklable as-is, so the process executor ships one
+    column set per shard instead of a per-object update list.
+    """
+
+    __slots__ = ("batch", "retracts")
+
+    def __init__(
+        self, batch, retracts: Sequence[Tuple[int, Retract]] = ()
+    ) -> None:
+        self.batch = batch
+        self.retracts = tuple(retracts)
+
+    def __len__(self) -> int:
+        return len(self.batch) + len(self.retracts)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchShardOps({len(self.batch)} rows, "
+            f"{len(self.retracts)} retracts)"
+        )
+
+
+def _apply_batch_ops(operator, ops: BatchShardOps) -> int:
+    """Columnar twin of :func:`_apply_ops`: batch segments between
+    retract positions go through ``ingest_batch`` as TickBatch slices, so
+    the operator sees the same maximal update runs in the same order."""
+    batch = ops.batch
+    n = len(batch)
+    ingested = 0
+    ingest_batch = operator.ingest_batch
+    start = 0
+    for pos, retract in ops.retracts:
+        if start < pos:
+            segment = batch if (start == 0 and pos == n) else batch[start:pos]
+            ingest_batch(segment)
+            ingested += pos - start
+        operator.retract(retract.entity_id, retract.kind)
+        start = pos
+    if start < n:
+        ingest_batch(batch if start == 0 else batch[start:n])
+        ingested += n - start
+    return ingested
+
+
 def _apply_ops(operator, ops: Sequence[ShardOp]) -> int:
     """Apply one tick's operations in order; returns updates ingested.
 
@@ -68,6 +121,8 @@ def _apply_ops(operator, ops: Sequence[ShardOp]) -> int:
     batched ingest path sees whole-tick groups while the op order — and
     therefore the resulting state — matches the one-at-a-time loop.
     """
+    if isinstance(ops, BatchShardOps):
+        return _apply_batch_ops(operator, ops)
     ingested = 0
     ingest_batch = operator.ingest_batch
     run_start = 0
@@ -294,10 +349,13 @@ class ProcessExecutor(ShardExecutor):
 
     def ingest(self, shard_ops: Sequence[Sequence[ShardOp]]) -> None:
         # Fire-and-forget: workers ingest while the parent routes the next
-        # tick.  Empty lists are skipped — no message, no wakeup.
+        # tick.  Empty lists are skipped — no message, no wakeup.  Columnar
+        # op sets ship whole (one column-set pickle per shard); object
+        # lists are materialised defensively before crossing the pipe.
         for pipe, ops in zip(self._pipes, shard_ops):
             if ops:
-                pipe.send(("ingest", list(ops)))
+                payload = ops if isinstance(ops, BatchShardOps) else list(ops)
+                pipe.send(("ingest", payload))
 
     def evaluate(self, now: float) -> List[ShardResult]:
         for pipe in self._pipes:

@@ -537,11 +537,21 @@ class SpatialPartitioner:
 
     def route(self, update: Update) -> RouteDecision:
         """Targets and leavers for one update (arrival order preserved)."""
+        key = self._key(update.entity_id, update.kind)
+        return self.route_xy(key, update.loc.x, update.loc.y)
+
+    def route_xy(self, key: int, x: float, y: float) -> RouteDecision:
+        """:meth:`route` for a pre-packed key and raw coordinates.
+
+        The columnar dispatch loop routes straight from a tick batch's
+        key/x/y columns without materialising update objects; bookkeeping
+        and decisions are identical to :meth:`route` for equal inputs.
+        ``x``/``y`` must be Python floats (they land in the pickled
+        placement state).
+        """
         plan = self.plan
-        x, y = update.loc.x, update.loc.y
         owner = plan.owner_of(x, y)
         targets = plan.shards_containing(x, y)
-        key = self._key(update.entity_id, update.kind)
         previous = self._placement.get(key)
         if previous is None or previous == targets:
             leavers: Tuple[int, ...] = ()

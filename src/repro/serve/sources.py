@@ -28,10 +28,16 @@ import asyncio
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, NamedTuple, Optional
+from typing import Any, Dict, NamedTuple, Optional, Sequence
 
 from ..generator import NetworkBasedGenerator, Update
-from ..generator.trace import TraceReplayer, update_from_dict, update_to_dict
+from ..generator.batch import TickBatch as _ColumnTickBatch
+from ..generator.trace import (
+    TraceReplayer,
+    _batch_to_dicts,
+    update_from_dict,
+    update_to_dict,
+)
 from ..network import grid_city
 
 __all__ = [
@@ -61,15 +67,24 @@ LINE_LIMIT = 1 << 24
 
 
 class TickBatch(NamedTuple):
-    """One tick of the stream: its simulation time and its updates."""
+    """One tick of the stream: its simulation time and its updates.
+
+    ``updates`` is any update sequence — a plain list, or the generator's
+    columnar :class:`~repro.generator.TickBatch` when the producer runs
+    the batched tick path.
+    """
 
     t: float
-    updates: List[Update]
+    updates: Sequence[Update]
 
 
-def tick_to_line(t: float, updates: List[Update]) -> str:
+def tick_to_line(t: float, updates: Sequence[Update]) -> str:
     """Serialize one tick as a line-protocol JSON record (no newline)."""
-    return json.dumps({"t": t, "updates": [update_to_dict(u) for u in updates]})
+    if isinstance(updates, _ColumnTickBatch):
+        dicts = _batch_to_dicts(updates)
+    else:
+        dicts = [update_to_dict(u) for u in updates]
+    return json.dumps({"t": t, "updates": dicts})
 
 
 class TickSource(abc.ABC):
@@ -208,11 +223,17 @@ class SocketTickSource(TickSource):
                 if record.get("eof"):
                     await self._incoming.put(None)
                     break
-                batch = TickBatch(
-                    record["t"],
-                    [update_from_dict(d) for d in record["updates"]],
-                )
-                await self._incoming.put(batch)
+                updates = [update_from_dict(d) for d in record["updates"]]
+                try:
+                    # Column-pack so the evaluation consumes the socket
+                    # stream through the same batched ingest path as an
+                    # in-process generator.
+                    updates = _ColumnTickBatch.from_updates(
+                        record["t"], updates
+                    )
+                except ValueError:
+                    pass  # mixed timestamps: keep the row list
+                await self._incoming.put(TickBatch(record["t"], updates))
         except asyncio.CancelledError:
             # Service shutdown while this handler was parked on the
             # internal queue — a normal way for a connection to end.

@@ -1,0 +1,278 @@
+"""The columnar tick path: TickBatch semantics and stream equivalence.
+
+The vectorized generator core must be a *bit-identical* drop-in for the
+scalar reference loop: same update values, same RNG consumption, same
+snapshot/fast-forward state.  These tests pin that across a workload
+sweep, pin the batch's Sequence/pickle/selection behaviour, and pin the
+transport paths that carry batches (trace round-trip, shard op lists).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import Scuba
+from repro.generator import (
+    EntityKind,
+    GeneratorConfig,
+    NetworkBasedGenerator,
+    TickBatch,
+    TraceRecorder,
+    TraceReplayer,
+)
+from repro.generator.trace import update_to_dict
+from repro.parallel.executor import BatchShardOps, _apply_ops
+from repro.parallel.partition import Retract
+from repro.streams import CollectingSink, EngineConfig, StreamEngine, match_set
+
+
+def _bits(update):
+    """Every field of an update with floats as exact bit patterns."""
+    extent = None
+    if update.kind is EntityKind.QUERY:
+        extent = (
+            float(update.range_width).hex(),
+            float(update.range_height).hex(),
+        )
+    return (
+        update.kind,
+        update.entity_id,
+        update.loc.x.hex(),
+        update.loc.y.hex(),
+        float(update.t).hex(),
+        float(update.speed).hex(),
+        update.cn_node,
+        update.cn_loc.x.hex(),
+        update.cn_loc.y.hex(),
+        extent,
+        dict(update.attrs) if update.attrs else None,
+    )
+
+
+def _pair(city, **overrides):
+    """Batched and scalar generators over identical configurations."""
+    base = dict(num_objects=70, num_queries=50, skew=10, seed=7)
+    base.update(overrides)
+    return (
+        NetworkBasedGenerator(
+            city, GeneratorConfig(tick_batching=True, **base)
+        ),
+        NetworkBasedGenerator(
+            city, GeneratorConfig(tick_batching=False, **base)
+        ),
+    )
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize(
+        "seed,skew,stopped,hotspot,fraction",
+        [
+            (7, 10, 0.0, 0.0, 1.0),
+            (42, 50, 0.0, 0.0, 1.0),
+            (13, 1, 0.5, 0.0, 1.0),
+            (3, 25, 0.3, 0.5, 1.0),
+            (11, 8, 0.0, 0.25, 0.4),
+            (5, 120, 0.6, 0.0, 0.7),
+        ],
+    )
+    def test_batched_stream_bit_identical(
+        self, city, seed, skew, stopped, hotspot, fraction
+    ):
+        batched, scalar = _pair(
+            city,
+            seed=seed,
+            skew=skew,
+            stopped_fraction=stopped,
+            hotspot=hotspot,
+            update_fraction=fraction,
+            mixed_groups=True,
+        )
+        for _ in range(8):
+            rows_b = [_bits(u) for u in batched.tick(1.0)]
+            rows_s = [_bits(u) for u in scalar.tick(1.0)]
+            assert rows_b == rows_s
+
+    @pytest.mark.parametrize("dt", [0.25, 0.5, 1.0, 2.0])
+    def test_dt_variations(self, city, dt):
+        batched, scalar = _pair(city, seed=19, skew=12)
+        for _ in range(6):
+            assert [_bits(u) for u in batched.tick(dt)] == [
+                _bits(u) for u in scalar.tick(dt)
+            ]
+
+    def test_snapshot_matches(self, city):
+        batched, scalar = _pair(city, seed=23, skew=6, stopped_fraction=0.2)
+        for _ in range(4):
+            batched.tick(1.0)
+            scalar.tick(1.0)
+        assert [_bits(u) for u in batched.snapshot()] == [
+            _bits(u) for u in scalar.snapshot()
+        ]
+
+    def test_fast_forward_matches(self, city):
+        """Fast-forward burns the same RNG draws as ticking, both paths."""
+        batched, scalar = _pair(
+            city, seed=31, skew=9, update_fraction=0.5
+        )
+        batched.fast_forward(5, 1.0)
+        scalar.fast_forward(5, 1.0)
+        for _ in range(3):
+            assert [_bits(u) for u in batched.tick(1.0)] == [
+                _bits(u) for u in scalar.tick(1.0)
+            ]
+
+    def test_tick_returns_batch_only_when_enabled(self, city):
+        batched, scalar = _pair(city)
+        assert isinstance(batched.tick(1.0), TickBatch)
+        assert not isinstance(scalar.tick(1.0), TickBatch)
+
+
+class TestTickBatchSemantics:
+    @pytest.fixture
+    def batch(self, city):
+        generator = NetworkBasedGenerator(
+            city,
+            GeneratorConfig(
+                num_objects=30, num_queries=20, skew=5, seed=3,
+                tick_batching=True,
+            ),
+        )
+        return generator.tick(1.0)
+
+    def test_sequence_protocol(self, batch):
+        assert len(batch) == 50
+        assert batch[0].t == batch.t
+        assert batch[-1].entity_id == batch.ids[-1]
+        assert [u.entity_id for u in batch] == list(batch.ids)
+        with pytest.raises(IndexError):
+            batch[len(batch)]
+
+    def test_rows_are_python_scalars(self, batch):
+        row = batch[0]
+        assert type(row.loc.x) is float
+        assert type(row.speed) is float
+        assert type(row.cn_node) is int
+
+    def test_keys_pack_kind_into_low_bit(self, batch):
+        for key, eid, is_obj in zip(batch.keys, batch.ids, batch.kinds):
+            assert key == eid * 2 + bool(is_obj)
+            assert (key & 1) == (1 if is_obj else 0)
+
+    def test_slice_and_select(self, batch):
+        sliced = batch[10:20]
+        assert isinstance(sliced, TickBatch)
+        assert len(sliced) == 10
+        assert [_bits(u) for u in sliced] == [
+            _bits(batch[i]) for i in range(10, 20)
+        ]
+        picked = batch.select([3, 1, 4])
+        assert [u.entity_id for u in picked] == [
+            batch.ids[3], batch.ids[1], batch.ids[4]
+        ]
+
+    def test_pickle_round_trip(self, batch):
+        clone = pickle.loads(pickle.dumps(batch))
+        assert isinstance(clone, TickBatch)
+        assert clone.t == batch.t
+        assert [_bits(u) for u in clone] == [_bits(u) for u in batch]
+        # Materialized rows on the clone still carry Python scalars even
+        # when the shipped columns were numpy arrays.
+        assert type(clone[0].loc.x) is float
+
+    def test_from_updates_round_trip(self, batch):
+        rows = batch.materialize()
+        rebuilt = TickBatch.from_updates(batch.t, rows)
+        assert [_bits(u) for u in rebuilt] == [_bits(u) for u in rows]
+
+    def test_from_updates_rejects_mixed_times(self, batch):
+        rows = batch.materialize()
+        with pytest.raises(ValueError):
+            TickBatch.from_updates(batch.t + 1.0, rows)
+
+
+class TestTraceRoundTrip:
+    def _run(self, generator, city, intervals=4):
+        sink = CollectingSink()
+        StreamEngine(
+            generator, Scuba(), sink, EngineConfig(delta=2.0)
+        ).run(intervals)
+        return {t: match_set(v) for t, v in sink.by_interval.items()}
+
+    def test_batched_trace_bytes_match_scalar(self, city, tmp_path):
+        """Recording a batched stream writes the identical trace file."""
+        paths = []
+        for tick_batching, name in ((True, "b"), (False, "s")):
+            generator = NetworkBasedGenerator(
+                city,
+                GeneratorConfig(
+                    num_objects=40, num_queries=30, skew=8, seed=3,
+                    tick_batching=tick_batching,
+                ),
+            )
+            path = tmp_path / f"trace_{name}.jsonl"
+            with TraceRecorder(generator, path) as recorder:
+                for _ in range(5):
+                    recorder.tick(1.0)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_replay_is_columnar_and_equivalent(self, city, tmp_path):
+        generator = NetworkBasedGenerator(
+            city,
+            GeneratorConfig(
+                num_objects=40, num_queries=30, skew=8, seed=3,
+                tick_batching=True,
+            ),
+        )
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(generator, path) as recorder:
+            live = self._run(recorder, city)
+        replayer = TraceReplayer(path)
+        first = replayer.tick()
+        assert isinstance(first, TickBatch)
+        replayer.seek(0)
+        replayed = self._run(replayer, city)
+        assert replayed == live
+
+
+class TestBatchShardOps:
+    def test_matches_object_op_list(self, city):
+        """Columnar shard ops replay retract positions exactly."""
+        generator = NetworkBasedGenerator(
+            city,
+            GeneratorConfig(
+                num_objects=30, num_queries=20, skew=5, seed=3,
+                tick_batching=True,
+            ),
+        )
+        batch = generator.tick(1.0)
+        retract = Retract(batch.ids[2], EntityKind.QUERY)
+        rows = [0, 2, 5, 6, 9]
+        object_ops = [batch[0], batch[2], retract, batch[5], batch[6], batch[9]]
+        batch_ops = BatchShardOps(batch.select(rows), [(2, retract)])
+        results = []
+        for ops in (object_ops, batch_ops):
+            operator = Scuba()
+            ingested = _apply_ops(operator, ops)
+            assert ingested == len(rows)
+            results.append(match_set(operator.evaluate(batch.t)))
+        assert results[0] == results[1]
+
+    def test_pickles_as_columns(self, city):
+        generator = NetworkBasedGenerator(
+            city,
+            GeneratorConfig(
+                num_objects=10, num_queries=10, skew=5, seed=3,
+                tick_batching=True,
+            ),
+        )
+        batch = generator.tick(1.0)
+        ops = BatchShardOps(batch, [(1, Retract(4, EntityKind.OBJECT))])
+        clone = pickle.loads(pickle.dumps(ops))
+        assert len(clone) == len(ops)
+        assert clone.retracts == ops.retracts
+        assert [update_to_dict(u) for u in clone.batch] == [
+            update_to_dict(u) for u in batch
+        ]
