@@ -63,6 +63,9 @@ def run_worker(args) -> dict:
         grid_size=args.grid,
         delta=DELTA,
         columnar=args.columnar,
+        # Pinned per cell: False measures the per-pair reference sweep,
+        # True the macro-batched sweep (the operator default).
+        batched_join=args.batched_join,
     )
     operator = None
     if args.shards > 1:
@@ -102,6 +105,7 @@ def run_worker(args) -> dict:
         "population": population,
         "columnar": args.columnar,
         "tick_batching": args.tick_batching,
+        "batched_join": args.batched_join,
         "shards": args.shards,
         "wall_seconds": wall,
         "stages": stages,
@@ -123,7 +127,11 @@ def run_worker(args) -> dict:
 
 
 def measure_cell(
-    args, population: int, columnar: bool, tick_batching: bool
+    args,
+    population: int,
+    columnar: bool,
+    tick_batching: bool,
+    batched_join: bool = False,
 ) -> dict:
     """Run one (rung, mode) cell in a fresh child process."""
     cmd = [
@@ -142,11 +150,14 @@ def measure_cell(
         cmd.append("--columnar")
     if tick_batching:
         cmd.append("--tick-batching")
+    if batched_join:
+        cmd.append("--batched-join")
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         raise RuntimeError(
             f"ladder worker failed (population {population}, "
-            f"columnar={columnar}, tick_batching={tick_batching}):\n"
+            f"columnar={columnar}, tick_batching={tick_batching}, "
+            f"batched_join={batched_join}):\n"
             f"{proc.stderr}"
         )
     return json.loads(proc.stdout)
@@ -181,6 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help=argparse.SUPPRESS)
     parser.add_argument("--tick-batching", dest="tick_batching",
                         action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--batched-join", dest="batched_join",
+                        action="store_true", help=argparse.SUPPRESS)
     return parser
 
 
@@ -198,18 +211,27 @@ def main(argv=None) -> int:
         rungs = [int(r) for r in args.rungs.split(",") if r.strip()]
     print(f"scale ladder: rungs {rungs}, skew {args.skew}, "
           f"{args.warmup} warm-up + {args.intervals} timed intervals")
+    # The four storage/tick modes measure the per-pair reference sweep;
+    # two more cells pin the macro-batched sweep (the operator default)
+    # on the tick-batched path for both storage modes.
     modes = [
-        (columnar, tick_batching)
+        (columnar, tick_batching, False)
         for columnar in (False, True)
         for tick_batching in (False, True)
+    ] + [
+        (columnar, True, True)
+        for columnar in (False, True)
     ]
     cells = []
     for population in rungs:
-        for columnar, tick_batching in modes:
-            cell = measure_cell(args, population, columnar, tick_batching)
+        for columnar, tick_batching, batched_join in modes:
+            cell = measure_cell(
+                args, population, columnar, tick_batching, batched_join
+            )
             cells.append(cell)
             mode = "columnar" if columnar else "objects "
             mode += " batch" if tick_batching else " rows "
+            mode += " bjoin" if batched_join else "      "
             stages = cell["stages"]
             line = (f"  {population:>8} {mode}: wall {cell['wall_seconds']:.3f}s  "
                     f"generate {stages['generate']:.3f}s  "

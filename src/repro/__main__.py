@@ -79,6 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="delta-driven incremental join sweep: replay "
                              "memoized matches for structurally-clean, "
                              "relatively-unmoved cluster pairs (scuba only)")
+    parser.add_argument("--batched-join", dest="batched_join",
+                        action="store_true", default=None,
+                        help="macro-batched join sweep: enumerate, dedup and "
+                             "between-filter all candidate cluster pairs per "
+                             "tick as whole-batch operations, and fuse "
+                             "shed-free join-within runs into segmented "
+                             "kernel calls (scuba only; default on unless "
+                             "--incremental; answers bit-identical)")
+    parser.add_argument("--no-batched-join", dest="batched_join",
+                        action="store_false",
+                        help="per-pair reference sweep (one join-between and "
+                             "kernel dispatch per candidate cluster pair)")
     parser.add_argument("--batched-ingest", action="store_true",
                         help="batched columnar ingest: process each tick's "
                              "updates per cluster group through the "
@@ -137,6 +149,7 @@ def make_scuba_config(args: argparse.Namespace) -> ScubaConfig:
         split_at_destination=args.split,
         kernel_backend=args.kernel_backend,
         incremental=args.incremental,
+        batched_join=args.batched_join,
         batched_ingest=args.batched_ingest,
         columnar=args.columnar,
         columnar_backend=args.columnar_backend,
@@ -214,6 +227,11 @@ def print_cache_footer(counters: dict) -> None:
             f"clean clusters {_hit_rate(counters, 'cluster_clean')}"
         )
     print(line)
+    if counters.get("batched_join"):
+        print(
+            f"batched join: candidate pairs {counters.get('join_pairs_batched', 0)} | "
+            f"fused segments {counters.get('join_segments', 0)}"
+        )
     if counters.get("batched_ingest"):
         print(
             f"ingest [{counters.get('ingest_backend', '?')}]: "
@@ -250,6 +268,15 @@ def main(argv=None) -> int:
     if args.batched_ingest and args.operator != "scuba":
         raise SystemExit(
             f"--batched-ingest requires --operator scuba, got {args.operator}"
+        )
+    if args.batched_join is not None and args.operator != "scuba":
+        raise SystemExit(
+            f"--batched-join requires --operator scuba, got {args.operator}"
+        )
+    if args.batched_join and args.incremental:
+        raise SystemExit(
+            "--batched-join and --incremental select different sweep "
+            "drivers; drop one (plain --incremental wins by default)"
         )
     if args.columnar and args.operator != "scuba":
         raise SystemExit(

@@ -305,6 +305,18 @@ class MovingCluster:
                 member.tr_x = 0.0
                 member.tr_y = 0.0
             return
+        if not self.shed_count:
+            # Shed-free (the steady-state common case): no per-member
+            # position_shed branch and no members() generator chaining.
+            for table in (self.objects, self.queries):
+                for member in table.values():
+                    member.abs_x += tx - member.tr_x
+                    member.abs_y += ty - member.tr_y
+                    member.tr_x = 0.0
+                    member.tr_y = 0.0
+            self.trans_x = 0.0
+            self.trans_y = 0.0
+            return
         for member in self.members():
             if not member.position_shed:
                 member.abs_x += tx - member.tr_x

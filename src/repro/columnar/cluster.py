@@ -527,22 +527,28 @@ class ColumnarMovingCluster(MovingCluster):
         """Prebuilt SoA columns for :class:`ClusterJoinView`, or None.
 
         Called right after ``flush_transform`` (tr = 0, abs current).
-        Only offered when both stores are ordered with no shed members —
-        then the view's x/y/extent columns are zero-copy ndarray slices
-        over the column buffers, ids are the index keys, and the bounding
-        box is two vector reductions.  The buffers can only change after
-        a version bump, which also invalidates the cached view.
+        Offered whenever neither store has shed members.  Large ordered
+        stores under numpy get zero-copy ndarray slices over the column
+        buffers with vector-reduction bounding boxes; everything else
+        (small clusters below ``VECTOR_MIN_MEMBERS``, fragmented stores,
+        no numpy) gets list-mode direct column gathers — still far
+        cheaper than the generic builder, which walks a ``ColumnMember``
+        proxy per member paying a dict probe and slot indirection per
+        attribute read.  The buffers can only change after a version
+        bump, which also invalidates the cached view.
         """
-        np = self._np()
-        if np is None:
-            return None
         so, sq = self.obj_store, self.qry_store
-        if so.shed_count or sq.shed_count or not (so.ordered and sq.ordered):
+        if so.shed_count or sq.shed_count:
             return None
         n_o = len(so.index)
         n_q = len(sq.index)
-        if n_o + n_q < VECTOR_MIN_MEMBERS:
-            return None
+        np = self._np()
+        if (
+            np is None
+            or not (so.ordered and sq.ordered)
+            or n_o + n_q < VECTOR_MIN_MEMBERS
+        ):
+            return self._join_view_columns_lists(so, sq, n_o, n_q)
         obj_ids = list(so.index)
         if n_o:
             obj_xs = np.frombuffer(so.abs_x, dtype=np.float64)[:n_o]
@@ -562,6 +568,47 @@ class ColumnarMovingCluster(MovingCluster):
         # x * 0.5 and x / 2.0 round identically (exact power-of-two scale).
         query_hws = np.frombuffer(sq.range_w, dtype=np.float64)[:n_q] * 0.5
         query_hhs = np.frombuffer(sq.range_h, dtype=np.float64)[:n_q] * 0.5
+        return (
+            obj_ids,
+            obj_xs,
+            obj_ys,
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+            query_ids,
+            query_xs,
+            query_ys,
+            query_hws,
+            query_hhs,
+        )
+
+    @staticmethod
+    def _join_view_columns_lists(so, sq, n_o: int, n_q: int):
+        """List-mode join view columns: direct store gathers.
+
+        Same values the generic builder reads through member proxies —
+        float ``min``/``max`` agree with its comparison loop, and
+        ``* 0.5`` rounds identically to ``/ 2.0`` (exact power-of-two
+        scale) — at one C-level column pass per attribute instead of a
+        Python proxy property call per member per attribute.
+        """
+        obj_ids = list(so.index)
+        obj_xs = so.gather("abs_x")
+        obj_ys = so.gather("abs_y")
+        if n_o:
+            min_x = min(obj_xs)
+            max_x = max(obj_xs)
+            min_y = min(obj_ys)
+            max_y = max(obj_ys)
+        else:
+            min_x = min_y = math.inf
+            max_x = max_y = -math.inf
+        query_ids = list(sq.index)
+        query_xs = sq.gather("abs_x")
+        query_ys = sq.gather("abs_y")
+        query_hws = [w * 0.5 for w in sq.gather("range_w")]
+        query_hhs = [h * 0.5 for h in sq.gather("range_h")]
         return (
             obj_ids,
             obj_xs,

@@ -111,6 +111,20 @@ class MemberColumnStore:
             self._proxies[entity_id] = member
         return member
 
+    def gather(self, name: str) -> List[float]:
+        """Column ``name`` for the live members, in member order.
+
+        Ordered stores convert the column prefix in one C-level
+        ``tolist``; fragmented stores gather slot by slot through
+        ``index``.  Either way the result matches what walking the
+        member proxies would read, without the per-access dict probe
+        and slot indirection of the proxy protocol.
+        """
+        col = getattr(self, name)
+        if self.ordered:
+            return col[: len(self.index)].tolist()
+        return [col[slot] for slot in self.index.values()]
+
     # -- slot management ----------------------------------------------------
 
     def _append_value(self, name: str, typecode: str, value) -> None:

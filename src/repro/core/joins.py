@@ -143,6 +143,34 @@ class ClusterJoinView:
             self.shed_query_groups = {}
             self.scratch = {}
             return
+        if not cluster.shed_count:
+            # Shed-free cluster (the steady-state common case): no
+            # per-member position_shed branch, so the columns fall out of
+            # C-speed comprehensions and the bbox out of builtin min/max.
+            objs = cluster.objects
+            self.obj_ids = list(objs)
+            xs = [m.abs_x for m in objs.values()]
+            ys = [m.abs_y for m in objs.values()]
+            self.obj_xs = xs
+            self.obj_ys = ys
+            self.shed_object_ids = []
+            if xs:
+                self.obj_min_x = min(xs)
+                self.obj_max_x = max(xs)
+                self.obj_min_y = min(ys)
+                self.obj_max_y = max(ys)
+            else:
+                self.obj_min_x = self.obj_min_y = math.inf
+                self.obj_max_x = self.obj_max_y = -math.inf
+            qs = cluster.queries
+            self.query_ids = list(qs)
+            self.query_xs = [m.abs_x for m in qs.values()]
+            self.query_ys = [m.abs_y for m in qs.values()]
+            self.query_hws = [m.range_width / 2.0 for m in qs.values()]
+            self.query_hhs = [m.range_height / 2.0 for m in qs.values()]
+            self.shed_query_groups = {}
+            self.scratch = {}
+            return
         self.obj_ids: List[int] = []
         self.obj_xs: List[float] = []
         self.obj_ys: List[float] = []
@@ -211,6 +239,16 @@ class ClusterJoinView:
                 self.query_hhs,
             )
         )
+
+    @property
+    def shed_free(self) -> bool:
+        """No shed members: every predicate case but exact×exact is empty.
+
+        The macro-batched sweep queues shed-free views as segments for one
+        fused ``join_segments`` call; any shed member forces the per-pair
+        kernel sequencing (the shed cases are per-group scalar tests).
+        """
+        return not (self.shed_object_ids or self.shed_query_groups)
 
     @property
     def has_objects(self) -> bool:

@@ -1,0 +1,556 @@
+"""Macro-batched cell sweep: whole-tick candidate-pair join-between.
+
+The per-pair sweep of :meth:`repro.core.scuba.Scuba._joining_phase` spends
+its time in per-pair Python bookkeeping: a ``seen_pairs`` set probe, two
+attribute walks for the type-mix check, a scalar :func:`circles_overlap`
+and a dict probe per candidate pair.  This module hoists all of that into
+a handful of whole-tick batch operations (DESIGN.md §15):
+
+* :class:`ClusterSoA` — a cluster-level structure-of-arrays registry
+  (centroid, radius, widest query half-diagonal, has-objects/has-queries
+  flags), synced incrementally by version stamp once per sweep, so the
+  filter inputs need no per-pair attribute walks;
+* packed-key candidate enumeration — every multi-member grid cell
+  contributes its ``(cid_l << 32) | cid_r`` pair keys (cids are
+  monotonically allocated ``int`` well below 2³², and sorted cell tuples
+  guarantee ``cid_l < cid_r``), deduplicated in **first-seen sweep
+  order** with one ``np.unique`` — exactly the order the per-pair
+  driver's seen-set establishes;
+* one vectorized join-between over all candidate pairs via the kernel
+  backend's :meth:`~repro.kernels.base.JoinKernelBackend.pairs_between`;
+* :class:`PairVerdictCache` — the version-keyed between-verdict cache as
+  sorted parallel arrays, probed with one ``searchsorted`` gather and
+  folded in-place, hit/miss counts identical to the scalar driver's dict
+  tick for tick.
+
+Without numpy (or under the ``scalar``/``python`` kernel backends) the
+same structure runs on stdlib lists: packed-int seen set, registry list
+gathers, the operator's existing dict between-cache, and a batched
+``pairs_between`` call over the cache misses.  Both paths return the
+surviving pairs in the canonical sweep order with exactly the counter
+deltas the per-pair driver would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # Optional dependency (the ``perf`` extra); stdlib fallback below.
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _numpy = None
+
+__all__ = [
+    "ClusterSoA",
+    "PairVerdictCache",
+    "BatchJoinState",
+    "resolve_sweep_numpy",
+]
+
+#: Low 32 bits of a packed pair key (the right cid).
+_CID_MASK = 0xFFFFFFFF
+
+
+def resolve_sweep_numpy(kernel_name: str):
+    """The numpy module for the vectorized sweep, or None for stdlib.
+
+    Vectorization follows the *resolved* kernel backend: the sweep runs
+    its array path exactly when the member kernels do (``numpy``), so a
+    forced ``scalar``/``python`` backend pins the pure-Python sweep — the
+    same rule the columnar engine applies, and what the no-numpy CI leg
+    relies on.
+    """
+    return _numpy if kernel_name == "numpy" else None
+
+
+class ClusterSoA:
+    """Cluster-level registry columns, version-synced once per sweep.
+
+    Rows are addressed by ``cid - base`` (cids are monotonic and never
+    reused, so a row belongs to one cluster forever); dissolved clusters
+    simply leave stale rows behind that no live candidate pair can ever
+    reference.  A row is rewritten only when the cluster's ``version``
+    moved — every join-relevant mutation (membership, shed transitions,
+    centroid/radius changes, rigid advance) bumps it, which is the same
+    invariant the view and between caches already lean on.
+    """
+
+    __slots__ = (
+        "base",
+        "version",
+        "cx",
+        "cy",
+        "radius",
+        "mqhd",
+        "has_obj",
+        "has_qry",
+        "_arrays",
+    )
+
+    def __init__(self) -> None:
+        self.base: Optional[int] = None
+        self.version: List[int] = []
+        self.cx: List[float] = []
+        self.cy: List[float] = []
+        self.radius: List[float] = []
+        self.mqhd: List[float] = []
+        self.has_obj: List[int] = []
+        self.has_qry: List[int] = []
+        self._arrays: Optional[Tuple[Any, ...]] = None
+
+    def __len__(self) -> int:
+        return len(self.version)
+
+    def sync(self, clusters) -> None:
+        """Refresh the columns of every changed cluster (cid order)."""
+        if not clusters:
+            return
+        base = self.base
+        if base is None:
+            base = self.base = clusters[0].cid
+        version = self.version
+        cx = self.cx
+        cy = self.cy
+        radius = self.radius
+        mqhd = self.mqhd
+        has_obj = self.has_obj
+        has_qry = self.has_qry
+        size = len(version)
+        dirty = False
+        for cluster in clusters:
+            idx = cluster.cid - base
+            if idx >= size:
+                grow = idx + 1 - size
+                version.extend([-1] * grow)
+                cx.extend([0.0] * grow)
+                cy.extend([0.0] * grow)
+                radius.extend([0.0] * grow)
+                mqhd.extend([0.0] * grow)
+                has_obj.extend([0] * grow)
+                has_qry.extend([0] * grow)
+                size = idx + 1
+            if version[idx] != cluster.version:
+                version[idx] = cluster.version
+                cx[idx] = cluster.cx
+                cy[idx] = cluster.cy
+                radius[idx] = cluster.radius
+                mqhd[idx] = cluster.max_query_half_diag
+                # Truthiness of the member tables, shed members included —
+                # the per-pair driver's type-mix check reads the same.
+                has_obj[idx] = 1 if cluster.objects else 0
+                has_qry[idx] = 1 if cluster.queries else 0
+                dirty = True
+        if dirty:
+            self._arrays = None
+
+    def arrays(self, np):
+        """Cached ndarray mirrors of the columns (rebuilt after changes)."""
+        arrays = self._arrays
+        if arrays is None:
+            arrays = (
+                np.asarray(self.version, dtype=np.int64),
+                np.asarray(self.cx, dtype=np.float64),
+                np.asarray(self.cy, dtype=np.float64),
+                np.asarray(self.radius, dtype=np.float64),
+                np.asarray(self.mqhd, dtype=np.float64),
+                np.asarray(self.has_obj, dtype=bool),
+                np.asarray(self.has_qry, dtype=bool),
+            )
+            self._arrays = arrays
+        return arrays
+
+
+def _in_sorted(np, values, sorted_ref):
+    """Boolean membership of ``values`` in the sorted array ``sorted_ref``."""
+    out = np.zeros(values.shape, dtype=bool)
+    if sorted_ref.size:
+        pos = np.searchsorted(sorted_ref, values)
+        inb = pos < sorted_ref.size
+        out[inb] = sorted_ref[pos[inb]] == values[inb]
+    return out
+
+
+class PairVerdictCache:
+    """The between-verdict cache as sorted parallel arrays.
+
+    Mirrors the scalar driver's dict cache exactly: keyed on the packed
+    pair key, an entry holds both cluster versions plus the verdict, a
+    probe hits iff the entry exists with both versions unchanged, and
+    every probed pair's entry is (re)written.  Because cids are never
+    reused a stale entry can only miss, and because identical versions
+    imply identical filter inputs the cached verdict is always bit-equal
+    to a recompute — so hit/miss counts and served verdicts match the
+    dict, tick for tick.
+    """
+
+    __slots__ = ("keys", "lv", "rv", "verdict")
+
+    def __init__(self, np) -> None:
+        self.keys = np.empty(0, dtype=np.int64)
+        self.lv = np.empty(0, dtype=np.int64)
+        self.rv = np.empty(0, dtype=np.int64)
+        self.verdict = np.empty(0, dtype=bool)
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def probe_update(self, np, keys, lver, rver, fresh) -> Tuple[int, Any]:
+        """Gather cached verdicts for ``keys`` and fold the batch back in.
+
+        ``keys`` must be unique; ``fresh`` holds the recomputed verdicts.
+        Returns ``(hits, verdicts)`` with verdicts in the input order —
+        the cached value where the entry was version-valid (the gather),
+        ``fresh`` otherwise.  Entries are updated in place where present
+        and merge-inserted (one vectorized ``np.insert``) where new.
+        """
+        order = np.argsort(keys)
+        ks = keys[order]
+        lv_s = lver[order]
+        rv_s = rver[order]
+        fresh_s = fresh[order]
+        pos = np.searchsorted(self.keys, ks)
+        if self.keys.size:
+            inb = pos < self.keys.size
+            found = np.zeros(ks.size, dtype=bool)
+            found[inb] = self.keys[pos[inb]] == ks[inb]
+        else:
+            found = np.zeros(ks.size, dtype=bool)
+        fidx = pos[found]
+        valid = found.copy()
+        valid[found] = (self.lv[fidx] == lv_s[found]) & (
+            self.rv[fidx] == rv_s[found]
+        )
+        out_s = fresh_s.copy()
+        out_s[valid] = self.verdict[pos[valid]]
+        hits = int(np.count_nonzero(valid))
+        # Fold in: overwrite present rows (version restamp), merge-insert
+        # the rest — exactly the dict's post-probe state.
+        self.lv[fidx] = lv_s[found]
+        self.rv[fidx] = rv_s[found]
+        self.verdict[fidx] = fresh_s[found]
+        missing = ~found
+        if missing.any():
+            ins = pos[missing]
+            self.keys = np.insert(self.keys, ins, ks[missing])
+            self.lv = np.insert(self.lv, ins, lv_s[missing])
+            self.rv = np.insert(self.rv, ins, rv_s[missing])
+            self.verdict = np.insert(self.verdict, ins, fresh_s[missing])
+        out = np.empty_like(out_s)
+        out[order] = out_s
+        return hits, out
+
+    def prune(self, np, live_sorted) -> None:
+        """Drop entries whose left or right cluster no longer exists."""
+        keys = self.keys
+        if keys.size == 0:
+            return
+        keep = _in_sorted(np, keys >> 32, live_sorted) & _in_sorted(
+            np, keys & _CID_MASK, live_sorted
+        )
+        if not keep.all():
+            self.keys = keys[keep]
+            self.lv = self.lv[keep]
+            self.rv = self.rv[keep]
+            self.verdict = self.verdict[keep]
+
+
+class BatchJoinState:
+    """Per-operator state of the macro-batched sweep.
+
+    Holds the cluster registry, the array between-cache (numpy path
+    only) and the cached ``triu_indices`` pair templates.  Dropped on
+    pickling by the owning operator and rebuilt lazily, so a shard
+    shipped to a numpy-less worker re-resolves the stdlib path cleanly.
+    """
+
+    __slots__ = ("np", "soa", "cache", "watermark", "_triu")
+
+    def __init__(self, np=None) -> None:
+        self.np = np
+        self.soa = ClusterSoA()
+        self.cache = PairVerdictCache(np) if np is not None else None
+        # Same amortisation contract as the dict caches: full prune scans
+        # fire only past a watermark doubled beyond the surviving size.
+        self.watermark = 64
+        self._triu: Dict[int, Tuple[Any, Any]] = {}
+
+    def sweep(
+        self, grid, use_filter: bool, dict_cache, backend
+    ) -> Tuple[Tuple[List[int], List[int]], int, int, int]:
+        """Enumerate, dedup and filter this tick's candidate pairs.
+
+        Returns ``((lcids, rcids), mixed_pairs, cache_hits,
+        cache_misses)``: the surviving pairs as parallel cid columns in
+        canonical first-seen sweep order (int64 ndarrays on the numpy
+        path — ready for the driver's vectorised segment builder — and
+        plain lists on the stdlib path), the count of unique type-mixed
+        pairs (the logical between-test count), and the between-cache
+        counter deltas (both zero when ``use_filter`` is off — the
+        filter never runs).
+        """
+        if self.np is not None:
+            return self._sweep_numpy(grid, use_filter, backend)
+        return self._sweep_stdlib(grid, use_filter, dict_cache, backend)
+
+    # -- numpy path ---------------------------------------------------------
+
+    def _sweep_numpy(self, grid, use_filter: bool, backend):
+        np = self.np
+        # Flatten every multi-member cell into one cid array plus member
+        # counts (two C-speed calls per cell — the only Python-level loop
+        # of the sweep), then group equal-sized cells with argsort and
+        # scatter each group's pair keys from one fancy-indexing
+        # expression over a cached triu template.  Cells feed in raw
+        # bucket order; one vectorised row sort re-establishes the
+        # canonical ascending-cid member order, so the emitted pair
+        # sequence is identical to the per-pair driver's nested loop
+        # over ``sorted_members`` without paying that per-cell sort.
+        flat: list = []
+        lens: List[int] = []
+        extend = flat.extend
+        append = lens.append
+        for bucket in grid.sweep_buckets():
+            extend(bucket)
+            append(len(bucket))
+        if not lens:
+            return ([], []), 0, 0, 0
+        counts = np.asarray(lens, dtype=np.int64)
+        flat_arr = np.asarray(flat, dtype=np.int64)
+        starts = np.cumsum(counts) - counts
+        npairs = (counts * (counts - 1)) >> 1
+        pair_starts = np.cumsum(npairs) - npairs
+        total = int(pair_starts[-1] + npairs[-1])
+        ordered = np.empty(total, dtype=np.int64)
+        order = np.argsort(counts, kind="stable")
+        uniq_k, first = np.unique(counts[order], return_index=True)
+        ncells = counts.size
+        for g, k in enumerate(uniq_k):
+            k = int(k)
+            lo = int(first[g])
+            hi = int(first[g + 1]) if g + 1 < uniq_k.size else ncells
+            cells_k = order[lo:hi]
+            iu = self._triu.get(k)
+            if iu is None:
+                iu = self._triu[k] = np.triu_indices(k, k=1)
+            mat = flat_arr[
+                starts[cells_k][:, None] + np.arange(k, dtype=np.int64)
+            ]
+            mat.sort(axis=1)
+            keys = (mat[:, iu[0]] << 32) | mat[:, iu[1]]
+            p = keys.shape[1]
+            seq = (
+                pair_starts[cells_k][:, None]
+                + np.arange(p, dtype=np.int64)[None, :]
+            )
+            ordered[seq.reshape(-1)] = keys.reshape(-1)
+        uk, first = np.unique(ordered, return_index=True)
+        if uk.size != ordered.size:
+            # First-seen order — the canonical order the per-pair driver's
+            # seen-set establishes.
+            uk = uk[np.argsort(first, kind="stable")]
+        else:
+            uk = ordered
+        soa = self.soa
+        version, cx, cy, radius, mqhd, has_obj, has_qry = soa.arrays(np)
+        il = (uk >> 32) - soa.base
+        ir = (uk & _CID_MASK) - soa.base
+        mix = (has_obj[il] & has_qry[ir]) | (has_qry[il] & has_obj[ir])
+        if not mix.all():
+            uk = uk[mix]
+            il = il[mix]
+            ir = ir[mix]
+        mixed = int(uk.size)
+        if not mixed:
+            return ([], []), 0, 0, 0
+        hits = 0
+        misses = 0
+        if use_filter:
+            fresh = backend.pairs_between(
+                cx[il],
+                cy[il],
+                radius[il],
+                mqhd[il],
+                cx[ir],
+                cy[ir],
+                radius[ir],
+                mqhd[ir],
+            )
+            hits, verdicts = self.cache.probe_update(
+                np, uk, version[il], version[ir], fresh
+            )
+            misses = mixed - hits
+            if not verdicts.all():
+                uk = uk[verdicts]
+        # ndarray survivor columns: the driver's vectorised segment
+        # builder consumes them directly; the python fallback zips them
+        # (np.int64 cids hash like ints, so every dict probe still works).
+        return (uk >> 32, uk & _CID_MASK), mixed, hits, misses
+
+    # -- stdlib fallback ----------------------------------------------------
+
+    def _sweep_stdlib(self, grid, use_filter: bool, cache, backend):
+        soa = self.soa
+        base = soa.base
+        if base is None:
+            return ([], []), 0, 0, 0
+        version = soa.version
+        cx = soa.cx
+        cy = soa.cy
+        radius = soa.radius
+        mqhd = soa.mqhd
+        has_obj = soa.has_obj
+        has_qry = soa.has_qry
+        seen: set = set()
+        seen_add = seen.add
+        mixed_l: List[int] = []
+        mixed_r: List[int] = []
+        hits = 0
+        # Pass 1: enumerate + dedup + type-mix + cache probe; misses pile
+        # their filter inputs into columns for one batched pairs_between.
+        verdicts: List[Any] = []
+        verdict_append = verdicts.append
+        miss_at: List[int] = []
+        miss_at_append = miss_at.append
+        m_lx: List[float] = []
+        m_ly: List[float] = []
+        m_lr: List[float] = []
+        m_lq: List[float] = []
+        m_rx: List[float] = []
+        m_ry: List[float] = []
+        m_rr: List[float] = []
+        m_rq: List[float] = []
+        for cids in grid.sweep_cells():
+            k = len(cids)
+            for i in range(k - 1):
+                cid_l = cids[i]
+                li = cid_l - base
+                key_l = cid_l << 32
+                for j in range(i + 1, k):
+                    cid_r = cids[j]
+                    key = key_l | cid_r
+                    if key in seen:
+                        continue
+                    seen_add(key)
+                    ri = cid_r - base
+                    if not (
+                        (has_obj[li] and has_qry[ri])
+                        or (has_qry[li] and has_obj[ri])
+                    ):
+                        continue
+                    mixed_l.append(cid_l)
+                    mixed_r.append(cid_r)
+                    if not use_filter:
+                        continue
+                    lv = version[li]
+                    rv = version[ri]
+                    cached = cache.get((cid_l, cid_r))
+                    if (
+                        cached is not None
+                        and cached[0] == lv
+                        and cached[1] == rv
+                    ):
+                        hits += 1
+                        verdict_append(cached[2])
+                    else:
+                        miss_at_append(len(verdicts))
+                        verdict_append(None)
+                        m_lx.append(cx[li])
+                        m_ly.append(cy[li])
+                        m_lr.append(radius[li])
+                        m_lq.append(mqhd[li])
+                        m_rx.append(cx[ri])
+                        m_ry.append(cy[ri])
+                        m_rr.append(radius[ri])
+                        m_rq.append(mqhd[ri])
+        if not use_filter:
+            return (mixed_l, mixed_r), len(mixed_l), 0, 0
+        # Pass 2: one batched filter over the misses, cache fold-in.
+        if miss_at:
+            fresh = backend.pairs_between(
+                m_lx, m_ly, m_lr, m_lq, m_rx, m_ry, m_rr, m_rq
+            )
+            for slot, verdict in zip(miss_at, fresh):
+                cid_l = mixed_l[slot]
+                cid_r = mixed_r[slot]
+                verdicts[slot] = verdict
+                cache[(cid_l, cid_r)] = (
+                    version[cid_l - base],
+                    version[cid_r - base],
+                    verdict,
+                )
+        lcids: List[int] = []
+        rcids: List[int] = []
+        for i, verdict in enumerate(verdicts):
+            if verdict:
+                lcids.append(mixed_l[i])
+                rcids.append(mixed_r[i])
+        return (lcids, rcids), len(mixed_l), hits, len(miss_at)
+
+    # -- maintenance --------------------------------------------------------
+
+    def prune(self, storage) -> None:
+        """Bound the array cache and the registry across cluster churn.
+
+        Same amortisation as the dict caches: the cache scan fires only
+        past the watermark (doubled beyond the surviving size after each
+        prune); the registry is rebuilt from scratch — re-based at the
+        current lowest live cid — once stale rows dominate it.
+        """
+        cache = self.cache
+        if cache is not None and len(cache) > self.watermark:
+            np = self.np
+            live = np.asarray(
+                [cluster.cid for cluster in storage.clusters()],
+                dtype=np.int64,
+            )
+            cache.prune(np, live)
+            self.watermark = max(64, 2 * len(cache))
+        if len(self.soa) > 2 * len(storage) + 64:
+            self.soa = ClusterSoA()
+            self.soa.sync(storage.clusters())
+
+
+def _warm_numpy(np) -> None:
+    """Pre-pay NumPy's first-call setup for the sweep's routine repertoire.
+
+    Sort/set-op machinery, ufunc loop resolution and fancy-indexing paths
+    all carry one-time per-process dispatch costs (milliseconds in total)
+    that would otherwise land inside the first measured joining phase of
+    every process — visible as a cold-start spike at small scales where a
+    whole tick is sub-millisecond.  Touching each routine once on toy
+    arrays moves that cost to import time, next to numpy's own.
+    """
+    a = np.arange(8, dtype=np.int64)
+    f = a.astype(np.float64)
+    np.unique((a << 32) | a, return_index=True)
+    # The plain variant takes a separate hash-table path that lazily
+    # imports ``numpy.ma`` on first use — by far the largest single
+    # cold-start item (~20 ms).
+    np.unique(a)
+    np.argsort(a, kind="stable")
+    np.searchsorted(a, a, "right")
+    np.insert(a, 1, np.int64(5))
+    np.flatnonzero(a > 3)
+    np.repeat(a, np.full(8, 2, dtype=np.int64))
+    np.concatenate((np.cumsum(a), a))
+    np.fromiter((int(i) for i in range(4)), dtype=np.int64, count=4)
+    np.asarray([1.0, 2.0], dtype=np.float64)
+    mat = a.reshape(4, 2).copy()
+    mat.sort(axis=1)
+    slots = np.empty(8, dtype=np.int64)
+    slots[0::2] = a[:4]
+    slots[1::2] = a[:4]
+    mask = np.zeros(8, dtype=bool)
+    mask[0::2] = a[:4] > 1
+    slots[mask]
+    f[a - 6]
+    alive = (np.abs(f - 1.0) <= 2.0) & (f - 1.0 >= -2.0)
+    int((a * a).sum())
+    (f[:, None] <= f[None, :]) & (f[:, None] >= f[None, :])
+    np.minimum(f, 4.0)
+    np.maximum(f, 4.0)
+    del alive
+
+
+if _numpy is not None:
+    _warm_numpy(_numpy)

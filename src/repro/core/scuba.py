@@ -74,8 +74,9 @@ from ..ingest import make_ingest_kernel
 from ..kernels import BACKEND_CHOICES, resolve_backend
 from ..network import DEFAULT_BOUNDS
 from ..shedding import AdaptiveShedder, NoShedding, SheddingPolicy
-from ..streams import QueryMatch, StagedJoinOperator
+from ..streams import MatchList, QueryMatch, StagedJoinOperator
 from .joins import ClusterJoinView, join_between, join_within_pair, join_within_self
+from .pairsweep import BatchJoinState, resolve_sweep_numpy
 from .tables import ObjectsTable, QueriesTable
 
 __all__ = ["ScubaConfig", "Scuba"]
@@ -139,6 +140,15 @@ class ScubaConfig:
     #: re-running the kernels; clean grid cells replay their pair lists
     #: wholesale.  Answers stay multiset-identical to the full recompute.
     incremental: bool = False
+    #: Macro-batched join sweep: enumerate this tick's candidate cluster
+    #: pairs from the whole grid at once (packed-key dedup), run one
+    #: batched join-between over all of them, and evaluate shed-free
+    #: surviving pairs as fused exact×exact segments (DESIGN.md §15).
+    #: ``None`` (default) turns it on whenever the incremental sweep is
+    #: not active — vectorized under the NumPy kernel backend, stdlib
+    #: batch fallback otherwise; ``False`` forces the per-pair driver.
+    #: Answers and counters stay identical to the per-pair sweep.
+    batched_join: Optional[bool] = None
     #: Batched columnar ingest: build one
     #: :class:`~repro.ingest.UpdateBatch` per evaluation tick and run the
     #: steady-state cluster-maintenance fast path per cluster group
@@ -183,6 +193,16 @@ class ScubaConfig:
             raise ValueError(
                 f"stale_after must be positive, got {self.stale_after}"
             )
+        if self.batched_join and self.incremental:
+            raise ValueError(
+                "batched_join and incremental are mutually exclusive sweep "
+                "drivers (leave batched_join unset to let incremental win)"
+            )
+
+    @property
+    def batched_join_active(self) -> bool:
+        """Whether the macro-batched sweep drives the joining phase."""
+        return self.batched_join is not False and not self.incremental
 
     def clustering_spec(self) -> ClusteringSpec:
         return ClusteringSpec(
@@ -237,6 +257,12 @@ class Scuba(StagedJoinOperator):
         #: Table rows dropped by ``stale_after`` garbage collection.
         self.evicted_stale = 0
         self._shed_is_noop = isinstance(self.config.shedding, NoShedding)
+        # Sticky never-shed marker: flips the moment a real shedding policy
+        # goes live and never flips back — shed members can outlive a later
+        # policy switch, so the vectorised batched driver (which assumes
+        # exact member columns) keys off the whole run's history, not the
+        # current policy.
+        self._ever_shed = not self._shed_is_noop
         if self.config.adaptive_shedding:
             ladder = self.config.shed_ladder
             self.shedder: Optional[AdaptiveShedder] = (
@@ -291,6 +317,11 @@ class Scuba(StagedJoinOperator):
         self._self_memo: Dict[int, Tuple[int, int, Tuple[Tuple[int, int], ...]]] = {}
         self._sweep_marks: Dict[int, Tuple[int, float, float]] = {}
         self._cell_pairs: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        # Macro-batched sweep state (config.batched_join): cluster SoA
+        # registry, array between-cache, pair templates.  Built lazily on
+        # the first batched sweep and dropped on pickling, so shards
+        # re-resolve the numpy-vs-stdlib path per process.
+        self._batch_state: Optional[BatchJoinState] = None
         if self.config.incremental:
             self.world.grid.enable_dirty_tracking()
         # Phase timings of the most recent evaluate().
@@ -305,6 +336,11 @@ class Scuba(StagedJoinOperator):
         self.view_cache_misses = 0
         self.between_cache_hits = 0
         self.between_cache_misses = 0
+        # Macro-batched sweep instrumentation: candidate mixed pairs that
+        # went through the whole-tick batched between filter, and shed-free
+        # join units fused into join_segments kernel calls.
+        self.join_pairs_batched = 0
+        self.join_segments = 0
         # Incremental-sweep instrumentation: replayed vs freshly-computed
         # join units (self joins + surviving pairs), wholesale-replayed vs
         # fully-enumerated cells, and per-sweep clean vs dirty clusters.
@@ -481,9 +517,17 @@ class Scuba(StagedJoinOperator):
     # -- phases 2 + 3: joining, shedding control, post-join maintenance -----------
 
     def join_phase(self, now: float) -> List[QueryMatch]:
-        """The Δ-triggered cluster join; returns the current query answers."""
+        """The Δ-triggered cluster join; returns the current query answers.
+
+        The macro-batched driver answers into a :class:`MatchList` so its
+        segmented kernel can splice whole columnar match runs in at their
+        canonical positions; the per-pair and incremental drivers keep the
+        plain list (their kernels emit row by row either way).
+        """
         self.evaluations += 1
-        results: List[QueryMatch] = []
+        results: List[QueryMatch] = (
+            MatchList() if self.config.batched_join_active else []
+        )
         self._joining_phase(now, results)
         return results
 
@@ -506,6 +550,8 @@ class Scuba(StagedJoinOperator):
         """Swap the live shedding policy (keeps the no-op fast path honest)."""
         self.config.shedding = policy
         self._shed_is_noop = isinstance(policy, NoShedding)
+        if not self._shed_is_noop:
+            self._ever_shed = True
 
     def escalate_shedding(self, now: float) -> bool:
         """External overload signal: force η one rung up the ladder.
@@ -541,6 +587,9 @@ class Scuba(StagedJoinOperator):
         """Algorithm 1, lines 8-21: the cell sweep."""
         if self.config.incremental:
             self._joining_phase_incremental(now, results)
+            return
+        if self.config.batched_join is not False:
+            self._joining_phase_batched(now, results)
             return
         storage = self.world.storage
         view_of = self._view_of
@@ -606,6 +655,213 @@ class Scuba(StagedJoinOperator):
                     self.within_tests += join_within_pair(
                         view_of(left), view_of(right), now, results, backend
                     )
+
+    # -- macro-batched sweep (config.batched_join) --------------------------------
+
+    def _joining_phase_batched(self, now: float, results: List[QueryMatch]) -> None:
+        """The macro-batched sweep: same visit order, whole-tick batches.
+
+        Observationally identical to :meth:`_joining_phase`'s per-pair
+        loop — the candidate pairs, the logical counter increments
+        (``between_tests``/``within_tests``/cache hits and misses) and the
+        QueryMatch multiset all match — but the work is restructured into
+        three whole-tick batch operations: vectorised pair enumeration
+        over the grid cells (:class:`BatchJoinState`), one
+        ``pairs_between`` kernel call over every uncached candidate pair,
+        and fused ``join_segments`` runs over consecutive shed-free
+        surviving pairs.  Shed clusters flush the pending segment run and
+        take the per-pair path, so emission stays grouped in the canonical
+        per-unit order.
+        """
+        storage = self.world.storage
+        backend = self.kernels
+        state = self._batch_state
+        if state is None:
+            state = self._batch_state = BatchJoinState(
+                resolve_sweep_numpy(backend.name)
+            )
+        clusters = storage.clusters()
+        state.soa.sync(clusters)
+
+        pending: List[Tuple[ClusterJoinView, ClusterJoinView]] = []
+        pending_append = pending.append
+        # The view cache probe is inlined (vs _view_of) in both driver
+        # loops: at tens of thousands of probes per tick the method-call
+        # frame is measurable.  Hit/miss tallies accumulate in locals and
+        # fold into the counters once per phase.
+        view_cache = self._view_cache
+        view_get = view_cache.get
+        view_hits = 0
+        view_misses = 0
+
+        def flush() -> None:
+            if pending:
+                self.join_segments += len(pending)
+                self.within_tests += backend.join_segments(pending, now, results)
+                pending.clear()
+
+        # Self join-within (Algorithm 1, line 15): a shed-free mixed
+        # cluster queues an exact×exact segment; shed members force the
+        # per-case kernel sequencing, so those clusters flush and run the
+        # per-pair path in place.
+        for cluster in clusters:
+            if not (cluster.objects and cluster.queries):  # is_mixed
+                continue
+            cid = cluster.cid
+            view = view_get(cid)
+            if view is not None and view.version == cluster.version:
+                view_hits += 1
+            else:
+                view_misses += 1
+                view = ClusterJoinView(cluster)
+                view_cache[cid] = view
+            if cluster.shed_count:
+                flush()
+                self.within_tests += join_within_self(view, now, results, backend)
+            else:
+                # Shed-free and mixed: both member columns are non-empty.
+                pending_append((view, view))
+
+        use_filter = self.config.use_between_filter
+        (survivor_l, survivor_r), mixed, cache_hits, cache_misses = state.sweep(
+            self.world.grid, use_filter, self._between_cache, backend
+        )
+        self.join_pairs_batched += mixed
+        if use_filter:
+            self.between_tests += mixed
+            self.between_cache_hits += cache_hits
+            self.between_cache_misses += cache_misses
+            self.between_hits += len(survivor_l)
+        get = storage.get
+        np_mod = state.np
+        if (
+            np_mod is not None
+            and not self._ever_shed
+            and not isinstance(survivor_l, list)
+        ):
+            # Vectorised segment assembly (numpy sweep, never-shed run).
+            # Views resolve once per unique survivor cid; the per-pair
+            # driver would probe the cache once per *occurrence*, and
+            # every repeat occurrence would hit (the version cannot move
+            # mid-phase), so the repeats fold into one synthetic tally.
+            n_pairs = int(survivor_l.size)
+            uniq = np_mod.unique(np_mod.concatenate((survivor_l, survivor_r)))
+            for cid in uniq.tolist():
+                cl = get(cid)
+                view = view_get(cid)
+                if view is not None and view.version == cl.version:
+                    view_hits += 1
+                else:
+                    view_misses += 1
+                    view_cache[cid] = ClusterJoinView(cl)
+            view_hits += 2 * n_pairs - int(uniq.size)
+            # Never-shed makes the registry's member-table truthiness
+            # columns exact-column truthiness, so direction validity
+            # (objects on one side, queries on the other) is two masked
+            # gathers.  Interleaved even/odd slots keep the canonical
+            # emission order: per pair L→R then R→L, pairs in first-seen
+            # sweep order.
+            has_obj, has_qry = state.soa.arrays(np_mod)[5:]
+            il = survivor_l - state.soa.base
+            ir = survivor_r - state.soa.base
+            slot_o = np_mod.empty(2 * n_pairs, dtype=np_mod.int64)
+            slot_q = np_mod.empty(2 * n_pairs, dtype=np_mod.int64)
+            valid = np_mod.empty(2 * n_pairs, dtype=bool)
+            slot_o[0::2] = survivor_l
+            slot_q[0::2] = survivor_r
+            valid[0::2] = has_obj[il] & has_qry[ir]
+            slot_o[1::2] = survivor_r
+            slot_q[1::2] = survivor_l
+            valid[1::2] = has_obj[ir] & has_qry[il]
+            o_cids = slot_o[valid]
+            q_cids = slot_q[valid]
+            # Never-shed also means the self loop above never flushed:
+            # ``pending`` holds exactly the self segments, in cluster
+            # order, ahead of the pair segments — the canonical per-unit
+            # order.  All referenced views are fresh in the cache (self
+            # loop + uniq loop), so the segment table indexes it directly.
+            nseg = len(pending) + int(o_cids.size)
+            if nseg:
+                scids = np_mod.asarray(
+                    [seg[0].cid for seg in pending], dtype=np_mod.int64
+                )
+                all_cids = np_mod.unique(np_mod.concatenate((scids, uniq)))
+                view_table = [view_cache[cid] for cid in all_cids.tolist()]
+                self_pos = np_mod.searchsorted(all_cids, scids)
+                o_pos = np_mod.concatenate(
+                    (self_pos, np_mod.searchsorted(all_cids, o_cids))
+                )
+                q_pos = np_mod.concatenate(
+                    (self_pos, np_mod.searchsorted(all_cids, q_cids))
+                )
+                pending.clear()
+                self.join_segments += nseg
+                self.within_tests += backend.join_segments_indexed(
+                    view_table, o_pos, q_pos, now, results
+                )
+            self.view_cache_hits += view_hits
+            self.view_cache_misses += view_misses
+            return
+        # Per-tick cid resolution: a survivor cluster recurs across many
+        # pairs, so the (view, shed, column-presence) lookup resolves once
+        # per cid and later occurrences are one dict probe.  A repeat
+        # occurrence tallies a view-cache hit — after the first probe the
+        # view is cached and the version cannot move mid-phase, so the
+        # per-pair driver's per-occurrence probe would hit too.
+        resolved: Dict[int, Tuple[ClusterJoinView, bool, bool, bool]] = {}
+        res_get = resolved.get
+        for cid_l, cid_r in zip(survivor_l, survivor_r):
+            info = res_get(cid_l)
+            if info is None:
+                cl = get(cid_l)
+                left = view_get(cid_l)
+                if left is not None and left.version == cl.version:
+                    view_hits += 1
+                else:
+                    view_misses += 1
+                    left = ClusterJoinView(cl)
+                    view_cache[cid_l] = left
+                info = resolved[cid_l] = (
+                    left,
+                    bool(cl.shed_count),
+                    bool(left.obj_ids),
+                    bool(left.query_ids),
+                )
+            else:
+                view_hits += 1
+            left, shed_l, obj_l, qry_l = info
+            info = res_get(cid_r)
+            if info is None:
+                cr = get(cid_r)
+                right = view_get(cid_r)
+                if right is not None and right.version == cr.version:
+                    view_hits += 1
+                else:
+                    view_misses += 1
+                    right = ClusterJoinView(cr)
+                    view_cache[cid_r] = right
+                info = resolved[cid_r] = (
+                    right,
+                    bool(cr.shed_count),
+                    bool(right.obj_ids),
+                    bool(right.query_ids),
+                )
+            else:
+                view_hits += 1
+            right, shed_r, obj_r, qry_r = info
+            if shed_l or shed_r:
+                flush()
+                self.within_tests += join_within_pair(
+                    left, right, now, results, backend
+                )
+            else:
+                if obj_l and qry_r:
+                    pending_append((left, right))
+                if obj_r and qry_l:
+                    pending_append((right, left))
+        flush()
+        self.view_cache_hits += view_hits
+        self.view_cache_misses += view_misses
 
     # -- incremental sweep (config.incremental) -----------------------------------
 
@@ -946,6 +1202,9 @@ class Scuba(StagedJoinOperator):
             vacant = [cell for cell in cell_pairs if not grid.members(cell)]
             for cell in vacant:
                 del cell_pairs[cell]
+        state = self._batch_state
+        if state is not None:
+            state.prune(storage)
 
     def _prune_pair_cache(
         self, cache: Dict[Tuple[int, int], Any], watermark: int
@@ -985,7 +1244,10 @@ class Scuba(StagedJoinOperator):
             "kernel_backend": self.kernels.name,
             "incremental": self.config.incremental,
             "batched_ingest": self.config.batched_ingest,
+            "batched_join": self.config.batched_join_active,
             "columnar": self.config.columnar,
+            "join_pairs_batched": self.join_pairs_batched,
+            "join_segments": self.join_segments,
             "evicted_stale": self.evicted_stale,
             "store_compactions": (
                 self.maintenance_engine.compactions
@@ -1062,6 +1324,7 @@ class Scuba(StagedJoinOperator):
             "_self_memo",
             "_sweep_marks",
             "_cell_pairs",
+            "_batch_state",
         ):
             state.pop(transient, None)
         return state
@@ -1083,6 +1346,9 @@ class Scuba(StagedJoinOperator):
         self._self_memo = {}
         self._sweep_marks = {}
         self._cell_pairs = {}
+        # Rebuilt lazily so the numpy-vs-stdlib sweep path is resolved in
+        # the receiving process, not the one that pickled us.
+        self._batch_state = None
 
     def __repr__(self) -> str:
         return (

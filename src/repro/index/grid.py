@@ -195,6 +195,35 @@ class SpatialGrid:
         for cell in sorted(self._cells):
             yield cell, self._cells[cell]
 
+    def sweep_cells(self) -> Iterator[Tuple[Hashable, ...]]:
+        """Sorted member tuples of every multi-member cell, in flat order.
+
+        The pair-enumeration feed of the join sweep: exactly the cells and
+        member order :meth:`occupied_cells` + :meth:`sorted_members`
+        produce, minus the single-member cells no pair can come from and
+        the per-cell dict probes of the two-call protocol.
+        """
+        cells = self._cells
+        sorted_members = self.sorted_members
+        for cell in sorted(cells):
+            if len(cells[cell]) >= 2:
+                yield sorted_members(cell)
+
+    def sweep_buckets(self) -> Iterator[Set[Hashable]]:
+        """Raw member sets of every multi-member cell, in flat order.
+
+        The unsorted sibling of :meth:`sweep_cells` for consumers that
+        normalise member order themselves (the vectorised pair sweep
+        row-sorts whole cell batches in one ndarray operation): same
+        cells, same visit order, no per-cell sort or tuple cache.  The
+        yielded sets are the live buckets — do not mutate them.
+        """
+        cells = self._cells
+        for cell in sorted(cells):
+            bucket = cells[cell]
+            if len(bucket) >= 2:
+                yield bucket
+
     # -- dirty-cell tracking -------------------------------------------------
 
     def enable_dirty_tracking(self) -> None:

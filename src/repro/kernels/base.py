@@ -27,8 +27,9 @@ once per cluster *pair*.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from ..geometry import circles_overlap
 from ..streams import QueryMatch
 
 __all__ = ["JoinKernelBackend", "PointBatch", "rect_point_gap_sq"]
@@ -90,6 +91,48 @@ class JoinKernelBackend(abc.ABC):
     @abc.abstractmethod
     def shed_shed(self, objects, queries, now: float, out: List[QueryMatch]) -> int:
         """Shed objects × shed query groups: the two nuclei within reach."""
+
+    # -- macro-batched sweep kernels -----------------------------------------
+
+    def pairs_between(
+        self, lxs, lys, lrads, lqs, rxs, rys, rrads, rqs
+    ) -> Sequence[bool]:
+        """Batched join-between: one lossless overlap verdict per pair.
+
+        Columns are parallel per candidate cluster pair: left/right
+        centroid x/y, radius and widest query half-diagonal.  Each verdict
+        must equal ``join_between`` on the pair's clusters — the left
+        radius inflated by the larger of the two query half-diagonals.
+        The default is the scalar loop; array backends vectorize it.
+        """
+        return [
+            circles_overlap(ax, ay, ar + (aq if aq >= bq else bq), bx, by, br)
+            for ax, ay, ar, aq, bx, by, br, bq in zip(
+                lxs, lys, lrads, lqs, rxs, rys, rrads, rqs
+            )
+        ]
+
+    def join_segments(
+        self,
+        segments: Sequence[Tuple[object, object]],
+        now: float,
+        out: List[QueryMatch],
+    ) -> int:
+        """Evaluate a run of shed-free exact×exact join segments.
+
+        Each segment is an ``(objects_view, queries_view)`` pair of
+        :class:`~repro.core.joins.ClusterJoinView` with non-empty exact
+        columns and no shed members, in the driver's canonical emission
+        order.  The default evaluates them one ``exact_exact`` call at a
+        time — exact by construction; a batched backend may fuse the whole
+        run into one segmented array pass as long as the QueryMatch
+        multiset and the logical test count match this loop.
+        """
+        tests = 0
+        exact_exact = self.exact_exact
+        for objects, queries in segments:
+            tests += exact_exact(objects, queries, now, out)
+        return tests
 
     # -- grid baseline kernel ------------------------------------------------
 

@@ -17,11 +17,20 @@ Emission order within one kernel call is ascending-x (the slab order)
 instead of member-insertion order; the :class:`~repro.streams.QueryMatch`
 multiset — the system's correctness contract — is identical to the scalar
 backend's, and so are the reported logical test counts.
+
+The slab is a *prune*, never the inclusion test: its bisect bounds are
+padded by a couple of ulps (``qx - hw`` rounds differently from the
+canonical ``abs(ox - qx) <= hw``, so an unpadded slab can drop an object
+sitting exactly on a window edge), and every candidate then passes
+through the same float expression the scalar oracle uses.  That keeps
+the answer bit-identical to :class:`ScalarBackend` — and to the numpy
+kernels — even on boundary ties.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from math import ulp
 from typing import List
 
 from ..streams import QueryMatch
@@ -86,14 +95,20 @@ class PythonBatchBackend(ScalarBackend):
             if lx > o_max_x or hx < o_min_x or ly > o_max_y or hy < o_min_y:
                 continue
             tests += n
-            lo = bisect_left(sx, lx)
-            hi = bisect_right(sx, hx, lo)
+            # Padded prune: 2 ulps of the largest x-magnitude in play
+            # covers the rounding gap between the slab bounds and the
+            # canonical abs-form test below.
+            pad = 2.0 * ulp(abs(qx) + hw)
+            lo = bisect_left(sx, lx - pad)
+            hi = bisect_right(sx, hx + pad, lo)
             if lo < hi:
                 extend(
                     [
                         QueryMatch(qid, oid, now)
-                        for oid, oy in zip(sid[lo:hi], sy[lo:hi])
-                        if ly <= oy <= hy
+                        for oid, ox, oy in zip(
+                            sid[lo:hi], sx[lo:hi], sy[lo:hi]
+                        )
+                        if abs(ox - qx) <= hw and abs(oy - qy) <= hh
                     ]
                 )
         return tests
@@ -122,9 +137,11 @@ class PythonBatchBackend(ScalarBackend):
             tests += n
             sx, sy, sid = _sorted_columns(objects)
             # Necessary x-condition for a zero-or-small gap: the object must
-            # lie within the slack-inflated window horizontally.
-            lo = bisect_left(sx, qcx - reach_x)
-            hi = bisect_right(sx, qcx + reach_x, lo)
+            # lie within the slack-inflated window horizontally (padded —
+            # the gap test below is the exact inclusion criterion).
+            pad = 2.0 * ulp(abs(qcx) + reach_x)
+            lo = bisect_left(sx, qcx - reach_x - pad)
+            hi = bisect_right(sx, qcx + reach_x + pad, lo)
             if lo < hi:
                 hits = [
                     oid
@@ -173,16 +190,15 @@ class PythonBatchBackend(ScalarBackend):
                 scratch["touched"] = True
                 return super().points_in_rect(batch, qid, qx, qy, hw, hh, now, out)
         sx, sy, sid = cols
-        ly = qy - hh
-        hy = qy + hh
-        lo = bisect_left(sx, qx - hw)
-        hi = bisect_right(sx, qx + hw, lo)
+        pad = 2.0 * ulp(abs(qx) + hw)
+        lo = bisect_left(sx, qx - hw - pad)
+        hi = bisect_right(sx, qx + hw + pad, lo)
         if lo < hi:
             out.extend(
                 [
                     QueryMatch(qid, oid, now)
-                    for oid, oy in zip(sid[lo:hi], sy[lo:hi])
-                    if ly <= oy <= hy
+                    for oid, ox, oy in zip(sid[lo:hi], sx[lo:hi], sy[lo:hi])
+                    if abs(ox - qx) <= hw and abs(oy - qy) <= hh
                 ]
             )
         return n

@@ -19,6 +19,7 @@ pure-Python backend when the import fails.
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import List
 
 import numpy as np
@@ -38,6 +39,37 @@ _MIN_VECTOR_PAIRS = 1024
 #: One-dimensional kernels (per shed group, per grid-cell query) amortise
 #: ndarray dispatch much sooner than the pair matrix does.
 _MIN_VECTOR_ELEMS = 64
+
+#: Candidate-pair budget per segmented-expansion chunk of the macro
+#: join_segments kernel: bounds the transient index/mask arrays to a few
+#: MiB regardless of how many segments one flush carries.
+_SEGMENT_CHUNK = 1 << 20
+
+
+def _fused_column(parts, dtype):
+    """One array from per-view column ``parts`` (lists and/or ndarrays).
+
+    Consecutive list parts are fused through a single ``asarray`` — for
+    object-mode views (plain Python columns) the whole fuse is one C-speed
+    ``extend`` sweep plus one conversion, instead of one tiny ndarray per
+    view fed to ``concatenate``.  ndarray parts (zero-copy columnar views)
+    pass through unconverted.
+    """
+    chunks = []
+    buf: list = []
+    for part in parts:
+        if type(part) is list:
+            buf.extend(part)
+        else:
+            if buf:
+                chunks.append(np.asarray(buf, dtype=dtype))
+                buf = []
+            chunks.append(part)
+    if buf or not chunks:
+        chunks.append(np.asarray(buf, dtype=dtype))
+    if len(chunks) == 1:
+        return np.asarray(chunks[0], dtype=dtype)
+    return np.concatenate(chunks, dtype=dtype)
 
 
 def _object_arrays(view):
@@ -65,11 +97,217 @@ def _query_arrays(view):
     return arrays
 
 
+def _query_ids_array(view):
+    ids = view.scratch.get("np_qid")
+    if ids is None:
+        ids = np.asarray(view.query_ids, dtype=np.int64)
+        view.scratch["np_qid"] = ids
+    return ids
+
+
 class NumpyBackend(PythonBatchBackend):
     """Array kernels for the member-loop cases; batched-Python fallbacks
     below the vectorisation threshold, scalar group tests."""
 
     name = "numpy"
+
+    def pairs_between(self, lxs, lys, lrads, lqs, rxs, rys, rrads, rqs):
+        lxs = np.asarray(lxs, dtype=np.float64)
+        lys = np.asarray(lys, dtype=np.float64)
+        lrads = np.asarray(lrads, dtype=np.float64)
+        lqs = np.asarray(lqs, dtype=np.float64)
+        rxs = np.asarray(rxs, dtype=np.float64)
+        rys = np.asarray(rys, dtype=np.float64)
+        rrads = np.asarray(rrads, dtype=np.float64)
+        rqs = np.asarray(rqs, dtype=np.float64)
+        # Same float association as the scalar join_between:
+        # (radius + bonus) + right_radius, then dx*dx + dy*dy.
+        ar = lrads + np.maximum(lqs, rqs)
+        dx = lxs - rxs
+        dy = lys - rys
+        reach = ar + rrads
+        return dx * dx + dy * dy <= reach * reach
+
+    def join_segments(self, segments, now: float, out: List[QueryMatch]) -> int:
+        nseg = len(segments)
+        if nseg < 2:
+            return super().join_segments(segments, now, out)
+        # Unique-view tables: one flush revisits the same view in many
+        # segments (a survivor cluster pairs with every neighbour, both
+        # directions), so columns are gathered and concatenated once per
+        # distinct view and segments address them through index arrays.
+        # The candidate-pair estimate that decides vectorised-vs-fallback
+        # comes from the same tables (unique-view member counts gathered
+        # per segment), so the flush is walked exactly once.
+        o_index: dict = {}
+        q_index: dict = {}
+        o_views: list = []
+        q_views: list = []
+        o_idx_l: list = []
+        q_idx_l: list = []
+        o_idx_append = o_idx_l.append
+        q_idx_append = q_idx_l.append
+        for objects, queries in segments:
+            key = id(objects)
+            i = o_index.get(key)
+            if i is None:
+                i = o_index[key] = len(o_views)
+                o_views.append(objects)
+            o_idx_append(i)
+            key = id(queries)
+            i = q_index.get(key)
+            if i is None:
+                i = q_index[key] = len(q_views)
+                q_views.append(queries)
+            q_idx_append(i)
+        o_idx = np.asarray(o_idx_l, dtype=np.int64)
+        q_idx = np.asarray(q_idx_l, dtype=np.int64)
+        n_ov = len(o_views)
+        u_on = np.fromiter(
+            (len(v.obj_ids) for v in o_views), dtype=np.int64, count=n_ov
+        )
+        u_qn = np.fromiter(
+            (len(v.query_ids) for v in q_views),
+            dtype=np.int64,
+            count=len(q_views),
+        )
+        if int((u_on[o_idx] * u_qn[q_idx]).sum()) < _MIN_VECTOR_PAIRS:
+            return super().join_segments(segments, now, out)
+        return self._join_segments_core(
+            o_views, q_views, o_idx, q_idx, u_on, u_qn, now, out
+        )
+
+    def join_segments_indexed(
+        self, views, o_idx, q_idx, now: float, out: List[QueryMatch]
+    ) -> int:
+        """Pre-indexed variant of :meth:`join_segments`.
+
+        The macro-batched driver already knows each segment's views by
+        table position (one shared view table, two parallel int64 index
+        arrays), so the per-segment identity-registry walk of
+        :meth:`join_segments` is redundant — this entry point goes
+        straight to the fused core.  Semantics (candidates, emission
+        order, logical test counts) are identical to an equivalent
+        ``join_segments([(views[o], views[q]) for o, q in ...])`` call.
+        """
+        nseg = int(o_idx.size)
+        n_views = len(views)
+        u_on = np.fromiter(
+            (len(v.obj_ids) for v in views), dtype=np.int64, count=n_views
+        )
+        u_qn = np.fromiter(
+            (len(v.query_ids) for v in views), dtype=np.int64, count=n_views
+        )
+        if nseg < 2 or int((u_on[o_idx] * u_qn[q_idx]).sum()) < _MIN_VECTOR_PAIRS:
+            return super().join_segments(
+                [
+                    (views[o], views[q])
+                    for o, q in zip(o_idx.tolist(), q_idx.tolist())
+                ],
+                now,
+                out,
+            )
+        return self._join_segments_core(
+            views, views, o_idx, q_idx, u_on, u_qn, now, out
+        )
+
+    def _join_segments_core(
+        self, o_views, q_views, o_idx, q_idx, u_on, u_qn, now, out
+    ) -> int:
+        nseg = int(o_idx.size)
+        n_ov = len(o_views)
+        oxs = _fused_column((v.obj_xs for v in o_views), np.float64)
+        oys = _fused_column((v.obj_ys for v in o_views), np.float64)
+        oids = _fused_column((v.obj_ids for v in o_views), np.int64)
+        qxs_u = _fused_column((v.query_xs for v in q_views), np.float64)
+        qys_u = _fused_column((v.query_ys for v in q_views), np.float64)
+        qhws_u = _fused_column((v.query_hws for v in q_views), np.float64)
+        qhhs_u = _fused_column((v.query_hhs for v in q_views), np.float64)
+        qids_u = _fused_column((v.query_ids for v in q_views), np.int64)
+        bbox = np.empty((n_ov, 4), dtype=np.float64)
+        for i, objects in enumerate(o_views):
+            bbox[i, 0] = objects.obj_min_x
+            bbox[i, 1] = objects.obj_max_x
+            bbox[i, 2] = objects.obj_min_y
+            bbox[i, 3] = objects.obj_max_y
+        o_starts_u = np.cumsum(u_on) - u_on
+        q_starts_u = np.cumsum(u_qn) - u_qn
+        # Expand each segment's query run: per-instance global column
+        # index = its view's start + position within the view.
+        q_counts = u_qn[q_idx]
+        o_counts = u_on[o_idx]
+        qseg = np.repeat(np.arange(nseg, dtype=np.int64), q_counts)
+        qcsum = np.cumsum(q_counts)
+        gq = (
+            q_starts_u[q_idx[qseg]]
+            + np.arange(int(qcsum[-1]), dtype=np.int64)
+            - np.repeat(qcsum - q_counts, q_counts)
+        )
+        qxs = qxs_u[gq]
+        qys = qys_u[gq]
+        qhws = qhws_u[gq]
+        qhhs = qhhs_u[gq]
+        # Per-query bounding-box pre-filter across all segments at once
+        # (identical float comparisons, and identical logical test-count
+        # semantics, to the per-pair scalar loop: n objects per passing
+        # query of that query's segment).
+        qbox = bbox[o_idx[qseg]]
+        alive = (
+            (qxs - qhws <= qbox[:, 1])
+            & (qxs + qhws >= qbox[:, 0])
+            & (qys - qhhs <= qbox[:, 3])
+            & (qys + qhhs >= qbox[:, 2])
+        )
+        alive_idx = np.flatnonzero(alive)
+        if alive_idx.size == 0:
+            return 0
+        reps = o_counts[qseg[alive_idx]]
+        tests = int(reps.sum())
+        seg_o_start = o_starts_u[o_idx]
+        bound = np.cumsum(reps)
+        append_block = getattr(out, "append_block", None)
+        # Segmented candidate expansion (query × its segment's objects),
+        # chunked so the transient arrays stay bounded; candidate rows fall
+        # out grouped (segment, query, object) — the canonical per-pair
+        # emission grouping.
+        lo = 0
+        n_alive = int(alive_idx.size)
+        while lo < n_alive:
+            floor = int(bound[lo]) - int(reps[lo])
+            hi = int(np.searchsorted(bound, floor + _SEGMENT_CHUNK, "right"))
+            if hi <= lo:
+                hi = lo + 1
+            r = reps[lo:hi]
+            csum = np.cumsum(r)
+            local = np.arange(int(csum[-1]), dtype=np.int64) - np.repeat(
+                csum - r, r
+            )
+            qg = np.repeat(alive_idx[lo:hi], r)
+            og = seg_o_start[qseg[qg]] + local
+            inside = (np.abs(oxs[og] - qxs[qg]) <= qhws[qg]) & (
+                np.abs(oys[og] - qys[qg]) <= qhhs[qg]
+            )
+            sel = np.flatnonzero(inside)
+            if sel.size:
+                matched_q = qids_u[gq[qg[sel]]]
+                matched_o = oids[og[sel]]
+                if append_block is not None:
+                    # Columnar emission: the MatchList splices the run in
+                    # at its canonical position, rows materialise lazily.
+                    append_block(matched_q, matched_o, now)
+                else:
+                    out.extend(
+                        map(
+                            QueryMatch._make,
+                            zip(
+                                matched_q.tolist(),
+                                matched_o.tolist(),
+                                repeat(now),
+                            ),
+                        )
+                    )
+            lo = hi
+        return tests
 
     def exact_exact(self, objects, queries, now: float, out: List[QueryMatch]) -> int:
         n = len(objects.obj_ids)

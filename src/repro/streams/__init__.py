@@ -7,7 +7,7 @@ execution loop, result sinks, and per-phase timing metrics.
 from .engine import EngineConfig, StreamEngine
 from .metrics import IntervalStats, RunStats, Timer, merge_counters
 from .operator import ContinuousJoinOperator, StagedJoinOperator
-from .results import QueryMatch, match_set
+from .results import MatchBlock, MatchList, QueryMatch, match_set
 from .sink import CollectingSink, CountingSink, ResultSink
 
 __all__ = [
@@ -16,6 +16,8 @@ __all__ = [
     "CountingSink",
     "EngineConfig",
     "IntervalStats",
+    "MatchBlock",
+    "MatchList",
     "QueryMatch",
     "ResultSink",
     "RunStats",

@@ -9,9 +9,10 @@ containers of it compare cleanly.
 
 from __future__ import annotations
 
-from typing import Iterable, NamedTuple, Set, Tuple
+from itertools import repeat
+from typing import Iterable, List, NamedTuple, Set, Tuple
 
-__all__ = ["QueryMatch", "match_set"]
+__all__ = ["QueryMatch", "MatchBlock", "MatchList", "match_set"]
 
 
 class QueryMatch(NamedTuple):
@@ -25,6 +26,107 @@ class QueryMatch(NamedTuple):
     def pair(self) -> Tuple[int, int]:
         """The time-independent (qid, oid) identity of the match."""
         return (self.qid, self.oid)
+
+
+def _as_list(column) -> list:
+    """Column as a list of built-in scalars (ndarray columns ``tolist``)."""
+    tolist = getattr(column, "tolist", None)
+    return tolist() if tolist is not None else list(column)
+
+
+class MatchBlock:
+    """A columnar run of matches sharing one evaluation time.
+
+    Holds parallel qid/oid columns (lists or ndarrays) instead of one
+    tuple per match; rows materialise as :class:`QueryMatch` — with
+    built-in ``int`` ids, never ``np.int64`` — only when iterated.  The
+    macro-batched join emits these so producing an answer costs two
+    column gathers rather than len(answer) tuple constructions.
+    """
+
+    __slots__ = ("qids", "oids", "t")
+
+    def __init__(self, qids, oids, t: float) -> None:
+        self.qids = qids
+        self.oids = oids
+        self.t = t
+
+    def __len__(self) -> int:
+        return len(self.qids)
+
+    def __iter__(self):
+        return map(
+            QueryMatch._make,
+            zip(_as_list(self.qids), _as_list(self.oids), repeat(self.t)),
+        )
+
+    def __reduce__(self):
+        # Materialise columns for transport: shard answers cross process
+        # boundaries, and built-in lists pickle without requiring numpy
+        # on the receiving side.
+        return (MatchBlock, (_as_list(self.qids), _as_list(self.oids), self.t))
+
+
+def _rebuild_matchlist(raw: list, extra: int) -> "MatchList":
+    out = MatchList()
+    list.extend(out, raw)
+    out._extra = extra
+    return out
+
+
+class MatchList(list):
+    """An answer list whose producer may append whole columnar runs.
+
+    Scalar code paths use the inherited (C-speed) ``append``/``extend``
+    with :class:`QueryMatch` rows; the batched join calls
+    :meth:`append_block` to splice in a :class:`MatchBlock` run at its
+    canonical position.  ``len()`` and iteration present the flattened
+    match sequence, so counting sinks stay O(1) per interval and
+    collecting sinks materialise rows only when they retain them.
+    Positional indexing/slicing exposes the raw interleaving — consumers
+    wanting rows by index should iterate (or ``materialize()``) first.
+    """
+
+    __slots__ = ("_extra",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Flattened length minus the raw entry count (Σ len(block) - 1).
+        self._extra = 0
+
+    def append_block(self, qids, oids, t: float) -> None:
+        n = len(qids)
+        if n:
+            self._extra += n - 1
+            list.append(self, MatchBlock(qids, oids, t))
+
+    def __len__(self) -> int:
+        return list.__len__(self) + self._extra
+
+    def __iter__(self):
+        for row in list.__iter__(self):
+            if type(row) is MatchBlock:
+                yield from row
+            else:
+                yield row
+
+    def materialize(self) -> List[QueryMatch]:
+        """The flattened answer as a plain list of :class:`QueryMatch`."""
+        return [*self]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (list, tuple)):
+            return [*self] == list(other)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    __hash__ = None
+
+    def __reduce__(self):
+        return (_rebuild_matchlist, (list(list.__iter__(self)), self._extra))
 
 
 def match_set(matches: Iterable[QueryMatch]) -> Set[Tuple[int, int]]:
